@@ -1,0 +1,290 @@
+//! Uniform samples and the aggregates derived from them (§5).
+//!
+//! "The Uniform sample algorithm can be used to compute various other
+//! aggregates (e.g., Quantiles, Statistical moments) using the framework."
+//!
+//! Both schemes use the same min-hash bottom-k sample: an element's
+//! priority is a fixed hash of its node id, so the tree merge, the
+//! multi-path fusion, and the conversion function are all the *same*
+//! union-and-truncate operation — the conversion is the identity, and the
+//! sample drawn is independent of the aggregation topology. (A classical
+//! tree-only implementation would use reservoir merging; min-hash gives
+//! the identical uniform distribution while being ODI for free.)
+
+use crate::traits::{Aggregate, Wire};
+use td_sketches::hash::keyed;
+use td_sketches::sample::MinHashSample;
+
+const SAMPLE_KEY: u64 = 0x5A4D;
+
+/// A uniform sample of contributing readings; evaluates to the sample
+/// mean (the sample itself is available in the partial results for richer
+/// post-processing).
+#[derive(Clone, Debug)]
+pub struct UniformSample {
+    k: usize,
+}
+
+impl UniformSample {
+    /// Sample of capacity `k`.
+    pub fn new(k: usize) -> Self {
+        UniformSample { k }
+    }
+
+    /// Sample capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Default for UniformSample {
+    fn default() -> Self {
+        UniformSample { k: 64 }
+    }
+}
+
+fn local_sample(k: usize, node: u32, value: u64) -> MinHashSample {
+    let mut s = MinHashSample::new(k);
+    s.insert_f64(keyed(SAMPLE_KEY, node as u64), value as f64);
+    s
+}
+
+impl Aggregate for UniformSample {
+    type TreePartial = MinHashSample;
+    type Synopsis = MinHashSample;
+
+    fn name(&self) -> &'static str {
+        "uniform-sample"
+    }
+
+    fn local_tree(&self, node: u32, value: u64) -> MinHashSample {
+        local_sample(self.k, node, value)
+    }
+
+    fn merge_tree(&self, into: &mut MinHashSample, from: &MinHashSample) {
+        into.merge(from);
+    }
+
+    fn local_synopsis(&self, node: u32, value: u64) -> MinHashSample {
+        local_sample(self.k, node, value)
+    }
+
+    fn fuse(&self, into: &mut MinHashSample, from: &MinHashSample) {
+        into.merge(from);
+    }
+
+    fn convert(&self, _root: u32, partial: &MinHashSample) -> MinHashSample {
+        partial.clone()
+    }
+
+    fn evaluate_tree(&self, partial: &MinHashSample) -> f64 {
+        partial.moment(1).unwrap_or(0.0)
+    }
+
+    fn evaluate_synopsis(&self, synopsis: &MinHashSample) -> f64 {
+        synopsis.moment(1).unwrap_or(0.0)
+    }
+
+    fn tree_wire(&self, partial: &MinHashSample) -> Wire {
+        Wire::from_words(partial.wire_words())
+    }
+
+    fn synopsis_wire(&self, synopsis: &MinHashSample) -> Wire {
+        Wire::from_words(synopsis.wire_words())
+    }
+}
+
+/// A quantile estimated from a uniform sample.
+#[derive(Clone, Debug)]
+pub struct SampledQuantile {
+    inner: UniformSample,
+    q: f64,
+}
+
+impl SampledQuantile {
+    /// Estimate the `q`-quantile (0 ≤ q ≤ 1) from a sample of capacity `k`.
+    pub fn new(k: usize, q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        SampledQuantile {
+            inner: UniformSample::new(k),
+            q,
+        }
+    }
+}
+
+impl Aggregate for SampledQuantile {
+    type TreePartial = MinHashSample;
+    type Synopsis = MinHashSample;
+
+    fn name(&self) -> &'static str {
+        "sampled-quantile"
+    }
+
+    fn local_tree(&self, node: u32, value: u64) -> MinHashSample {
+        self.inner.local_tree(node, value)
+    }
+
+    fn merge_tree(&self, into: &mut MinHashSample, from: &MinHashSample) {
+        self.inner.merge_tree(into, from);
+    }
+
+    fn local_synopsis(&self, node: u32, value: u64) -> MinHashSample {
+        self.inner.local_synopsis(node, value)
+    }
+
+    fn fuse(&self, into: &mut MinHashSample, from: &MinHashSample) {
+        self.inner.fuse(into, from);
+    }
+
+    fn convert(&self, root: u32, partial: &MinHashSample) -> MinHashSample {
+        self.inner.convert(root, partial)
+    }
+
+    fn evaluate_tree(&self, partial: &MinHashSample) -> f64 {
+        partial.quantile(self.q).unwrap_or(0.0)
+    }
+
+    fn evaluate_synopsis(&self, synopsis: &MinHashSample) -> f64 {
+        synopsis.quantile(self.q).unwrap_or(0.0)
+    }
+
+    fn tree_wire(&self, partial: &MinHashSample) -> Wire {
+        self.inner.tree_wire(partial)
+    }
+
+    fn synopsis_wire(&self, synopsis: &MinHashSample) -> Wire {
+        self.inner.synopsis_wire(synopsis)
+    }
+}
+
+/// A raw statistical moment estimated from a uniform sample.
+#[derive(Clone, Debug)]
+pub struct SampledMoment {
+    inner: UniformSample,
+    p: u32,
+}
+
+impl SampledMoment {
+    /// Estimate the `p`-th raw moment from a sample of capacity `k`.
+    pub fn new(k: usize, p: u32) -> Self {
+        SampledMoment {
+            inner: UniformSample::new(k),
+            p,
+        }
+    }
+}
+
+impl Aggregate for SampledMoment {
+    type TreePartial = MinHashSample;
+    type Synopsis = MinHashSample;
+
+    fn name(&self) -> &'static str {
+        "sampled-moment"
+    }
+
+    fn local_tree(&self, node: u32, value: u64) -> MinHashSample {
+        self.inner.local_tree(node, value)
+    }
+
+    fn merge_tree(&self, into: &mut MinHashSample, from: &MinHashSample) {
+        self.inner.merge_tree(into, from);
+    }
+
+    fn local_synopsis(&self, node: u32, value: u64) -> MinHashSample {
+        self.inner.local_synopsis(node, value)
+    }
+
+    fn fuse(&self, into: &mut MinHashSample, from: &MinHashSample) {
+        self.inner.fuse(into, from);
+    }
+
+    fn convert(&self, root: u32, partial: &MinHashSample) -> MinHashSample {
+        self.inner.convert(root, partial)
+    }
+
+    fn evaluate_tree(&self, partial: &MinHashSample) -> f64 {
+        partial.moment(self.p).unwrap_or(0.0)
+    }
+
+    fn evaluate_synopsis(&self, synopsis: &MinHashSample) -> f64 {
+        synopsis.moment(self.p).unwrap_or(0.0)
+    }
+
+    fn tree_wire(&self, partial: &MinHashSample) -> Wire {
+        self.inner.tree_wire(partial)
+    }
+
+    fn synopsis_wire(&self, synopsis: &MinHashSample) -> Wire {
+        self.inner.synopsis_wire(synopsis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws::{assert_conversion_sound, assert_fuse_laws, fuse_all};
+
+    fn readings(n: u32) -> Vec<(u32, u64)> {
+        (1..=n).map(|i| (i, i as u64)).collect()
+    }
+
+    #[test]
+    fn sample_mean_close_to_population_mean() {
+        let agg = UniformSample::new(128);
+        let s = fuse_all(&agg, &readings(2000)).unwrap();
+        let est = agg.evaluate_synopsis(&s);
+        assert!((est - 1000.5).abs() < 250.0, "sample mean {est}");
+    }
+
+    #[test]
+    fn conversion_is_identity() {
+        let agg = UniformSample::new(32);
+        let s = fuse_all(&agg, &readings(100)).unwrap();
+        assert_eq!(agg.convert(1, &s), s);
+        assert_conversion_sound(&agg, 1, &readings(100), &readings(100), 0.0, None);
+    }
+
+    #[test]
+    fn quantile_aggregate() {
+        let agg = SampledQuantile::new(256, 0.5);
+        let s = fuse_all(&agg, &readings(4000)).unwrap();
+        let est = agg.evaluate_synopsis(&s);
+        assert!((est - 2000.0).abs() < 600.0, "median {est}");
+        // Tree and synopsis sides agree exactly (same structure).
+        assert_eq!(agg.evaluate_tree(&s), est);
+    }
+
+    #[test]
+    fn moment_aggregate() {
+        let agg = SampledMoment::new(512, 2);
+        let rs: Vec<(u32, u64)> = (1..=1000).map(|i| (i, 10)).collect();
+        let s = fuse_all(&agg, &rs).unwrap();
+        assert!((agg.evaluate_synopsis(&s) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fuse_laws() {
+        let agg = UniformSample::new(16);
+        assert_fuse_laws(&agg, &readings(50), &readings(80), &readings(30));
+    }
+
+    #[test]
+    fn sample_independent_of_topology_split() {
+        // Union of two partial samples equals the sample of the union —
+        // the property that makes tree/multi-path/conversion agree.
+        let agg = UniformSample::new(32);
+        let all = fuse_all(&agg, &readings(500)).unwrap();
+        let left = fuse_all(&agg, &readings(250)).unwrap();
+        let right: Vec<(u32, u64)> = (251..=500).map(|i| (i, i as u64)).collect();
+        let right = fuse_all(&agg, &right).unwrap();
+        let mut merged = left;
+        agg.fuse(&mut merged, &right);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn quantile_out_of_range_rejected() {
+        let _ = SampledQuantile::new(8, 1.5);
+    }
+}

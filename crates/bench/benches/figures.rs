@@ -1,0 +1,69 @@
+//! `cargo bench` regenerator: runs every table and figure of the paper at
+//! smoke scale (set `TD_SCALE=paper` for the full-scale run, or use the
+//! `run_all` binary). Not a Criterion harness — the deliverable is the
+//! printed tables and the CSVs under `results/`.
+
+use td_bench::experiments::{
+    ablation, fig04, fig06, fig07, fig08, fig09, labdata_sum, rms, tab01, tab02,
+};
+use td_bench::Scale;
+
+fn main() {
+    // `cargo bench` passes --bench; ignore argv.
+    let scale = Scale::from_env_or(Scale::smoke());
+    let t0 = std::time::Instant::now();
+    println!(
+        "[figures] regenerating all paper artifacts at sensors={}, epochs={}, runs={}",
+        scale.sensors, scale.epochs, scale.runs
+    );
+
+    tab02::table().print();
+    println!("{}", tab02::summary());
+
+    let points = rms::figure2(scale, 0xF1602);
+    rms::table("Figure 2: RMS error of Count under Global(p)", &points).print();
+
+    let a = rms::figure5a(scale, 0xF1605A);
+    rms::table("Figure 5(a): Sum RMS under Global(p)", &a).print();
+    let b = rms::figure5b(scale, 0xF1605B);
+    rms::table("Figure 5(b): Sum RMS under Regional(p, 0.05)", &b).print();
+
+    let snaps = fig04::run(scale, 0xF1604);
+    fig04::table(&snaps).print();
+
+    let timeline = fig06::run(scale, 0xF1606);
+    fig06::phase_means(&timeline).print();
+
+    let trials = 3;
+    let d = fig07::density_sweep(trials, 0xF1607A);
+    fig07::table("Figure 7(a): domination vs density", "density", &d).print();
+    let w = fig07::width_sweep(trials, 0xF1607B);
+    fig07::table("Figure 7(b): domination vs width", "width", &w).print();
+    let (lab_tag, lab_ours) = fig07::labdata_factor(trials, 0xF1607C);
+    println!("LabData domination: TAG {lab_tag:.2}, ours {lab_ours:.2} (paper 2.25)");
+
+    let rows = fig08::run(scale, 0xF1608);
+    fig08::table(&rows).print();
+
+    let f9a = fig09::run(0, scale, 0xF1609A);
+    fig09::table("Figure 9(a): false negatives", &f9a).print();
+    let f9b = fig09::run(2, scale, 0xF1609B);
+    fig09::table("Figure 9(b): with retransmissions", &f9b).print();
+    let f9c = fig09::run_regional(scale, 0xF1609C);
+    fig09::table("§7.4.3 ext: Regional(p, 0.05)", &f9c).print();
+
+    let lab = labdata_sum::run(scale, 0x1AB5);
+    labdata_sum::table(&lab).print();
+
+    let rows = tab01::run(scale, 0x7AB01);
+    tab01::table(&rows).print();
+
+    ablation::signal_ablation(scale, 0xAB1A).print();
+    ablation::tree_construction_ablation(scale, 0xAB1B).print();
+    ablation::damping_ablation(scale, 0xAB1C).print();
+
+    println!(
+        "[figures] all artifacts regenerated in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks for the hot data structures: the sketches,
+//! summaries, and fusion operations every epoch exercises thousands of
+//! times.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use td_frequent::items::ItemBag;
+use td_frequent::multipath::{fuse, generate_from_bag, MultipathConfig};
+use td_frequent::summary::FreqSummary;
+use td_netsim::node::NodeId;
+use td_quantiles::summary::GkSummary;
+use td_sketches::counter::FmFactory;
+use td_sketches::fm::FmSketch;
+use td_sketches::kmv::Kmv;
+use td_sketches::rle;
+use td_sketches::sample::MinHashSample;
+
+fn bench_fm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fm");
+    g.bench_function("insert_distinct_x100", |b| {
+        b.iter(|| {
+            let mut s = FmSketch::default_config();
+            for i in 0..100u64 {
+                s.insert_distinct(black_box(i));
+            }
+            s
+        })
+    });
+    g.bench_function("insert_value_10k", |b| {
+        b.iter(|| {
+            let mut s = FmSketch::default_config();
+            s.insert_value(black_box(7), black_box(10_000));
+            s
+        })
+    });
+    let mut a = FmSketch::default_config();
+    let mut bm = FmSketch::default_config();
+    for i in 0..500u64 {
+        a.insert_distinct(i);
+        bm.insert_distinct(i + 250);
+    }
+    g.bench_function("merge", |b| {
+        b.iter(|| {
+            let mut x = a.clone();
+            x.merge(black_box(&bm));
+            x
+        })
+    });
+    g.bench_function("estimate", |b| b.iter(|| black_box(&a).estimate()));
+    g.bench_function("rle_encode", |b| b.iter(|| rle::encode(black_box(&a))));
+    let encoded = rle::encode(&a);
+    g.bench_function("rle_decode", |b| {
+        b.iter(|| rle::decode(black_box(&encoded), 40).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_kmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmv");
+    g.bench_function("insert_x1000", |b| {
+        b.iter(|| {
+            let mut s = Kmv::new(64);
+            for i in 0..1000u64 {
+                s.insert_hash(td_sketches::hash::keyed(1, black_box(i)));
+            }
+            s
+        })
+    });
+    g.bench_function("add_occurrences_1M", |b| {
+        b.iter(|| {
+            let mut s = Kmv::new(64);
+            s.add_occurrences(black_box(9), black_box(1_000_000));
+            s
+        })
+    });
+    g.finish();
+}
+
+fn bench_minhash(c: &mut Criterion) {
+    let mut a = MinHashSample::new(64);
+    let mut b2 = MinHashSample::new(64);
+    for i in 0..500u64 {
+        a.insert(td_sketches::hash::keyed(2, i), i);
+        b2.insert(td_sketches::hash::keyed(2, i + 250), i);
+    }
+    c.bench_function("minhash/merge", |b| {
+        b.iter(|| {
+            let mut x = a.clone();
+            x.merge(black_box(&b2));
+            x
+        })
+    });
+}
+
+fn bench_freq_summary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("freq_summary");
+    let bags: Vec<ItemBag> = (0..8)
+        .map(|k| {
+            ItemBag::from_counts((0..200u64).map(|i| (i * 8 + k, 1 + i % 5)))
+        })
+        .collect();
+    let children: Vec<FreqSummary> = bags.iter().map(FreqSummary::local).collect();
+    g.bench_function("algorithm1_combine_8x200", |b| {
+        b.iter(|| {
+            FreqSummary::combine(
+                black_box(&children),
+                &FreqSummary::empty(),
+                black_box(0.01),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_multipath_fuse(c: &mut Criterion) {
+    let cfg = MultipathConfig::new(0.01, 2.0, 1 << 20, FmFactory { bitmaps: 16 });
+    // Equal totals so both synopses land in the same class (Algorithm 2
+    // only fuses same-class synopses).
+    let bag_a = ItemBag::from_counts((0..100u64).map(|i| (i, 10)));
+    let bag_b = ItemBag::from_counts((50..150u64).map(|i| (i, 10)));
+    let a = generate_from_bag(&cfg, NodeId(1), &bag_a).unwrap();
+    let b2 = generate_from_bag(&cfg, NodeId(2), &bag_b).unwrap();
+    assert_eq!(a.class, b2.class);
+    c.bench_function("multipath/algorithm2_fuse_100items", |b| {
+        b.iter(|| fuse(&cfg, black_box(a.clone()), black_box(b2.clone())))
+    });
+}
+
+fn bench_gk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gk");
+    let vals_a: Vec<u64> = (0..2000).map(|i| i * 7 % 1000).collect();
+    let vals_b: Vec<u64> = (0..2000).map(|i| i * 13 % 1000).collect();
+    let a = GkSummary::exact(&vals_a);
+    let b2 = GkSummary::exact(&vals_b);
+    g.bench_function("combine_2k", |b| b.iter(|| black_box(&a).combine(black_box(&b2))));
+    g.bench_function("reduce_2k", |b| {
+        b.iter(|| {
+            let mut s = a.clone();
+            s.reduce(black_box(50));
+            s
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fm,
+    bench_kmv,
+    bench_minhash,
+    bench_freq_summary,
+    bench_multipath_fuse,
+    bench_gk
+);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates §7.3's LabData numbers: RMS error of Sum for all four
+//! schemes under the lab's distance-based loss.
+
+use td_bench::experiments::labdata_sum;
+use td_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_or(Scale::paper());
+    println!(
+        "LabData Sum RMS (epochs={}, runs={})",
+        scale.epochs, scale.runs
+    );
+    let res = labdata_sum::run(scale, 0x1AB5);
+    let t = labdata_sum::table(&res);
+    t.print();
+    t.write_csv("labdata_sum");
+    println!(
+        "\nTD ran multi-path over {:.0}% of the motes (paper: \"most of the nodes\")",
+        res.td_delta_fraction * 100.0
+    );
+}

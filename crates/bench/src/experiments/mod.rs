@@ -1,0 +1,12 @@
+//! The experiment implementations, one module per paper artifact.
+
+pub mod ablation;
+pub mod fig04;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod labdata_sum;
+pub mod rms;
+pub mod tab01;
+pub mod tab02;

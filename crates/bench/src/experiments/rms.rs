@@ -1,0 +1,226 @@
+//! Figures 2 and 5: RMS error of Count/Sum versus message loss rate.
+//!
+//! Figure 2 is the 0–0.4 prefix of Figure 5(a) computed for Count;
+//! Figure 5(a) sweeps `Global(p)` for Sum over `p ∈ [0, 1]` and Figure
+//! 5(b) sweeps `Regional(p, 0.05)`. Four schemes everywhere: TAG, SD,
+//! TD-Coarse, TD. Shape targets (EXPERIMENTS.md): TAG best at `p ≈ 0`,
+//! crossing below SD at small `p`; SD flat near its ~12% approximation
+//! error; TD/TD-Coarse at or below the best of the two at every rate,
+//! with up to ~3× error reduction at realistic rates.
+
+use crate::report::{f, Table};
+use crate::Scale;
+use std::collections::BTreeMap;
+use td_netsim::loss::LossModel;
+use td_netsim::network::Network;
+use td_netsim::rng::substream;
+use td_workloads::scenario;
+use td_workloads::synthetic::Synthetic;
+use tributary_delta::metrics::rms_error_series;
+use tributary_delta::protocol::ScalarProtocol;
+use tributary_delta::session::{Scheme, Session};
+
+/// Which aggregate the sweep runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepAggregate {
+    /// Count (Figure 2).
+    Count,
+    /// Sum (Figure 5).
+    Sum,
+}
+
+/// Which failure model the sweep applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepFailure {
+    /// `Global(p)`.
+    Global,
+    /// `Regional(p, 0.05)` over the paper's quadrant.
+    Regional,
+}
+
+/// One sweep point: loss rate and per-scheme RMS error.
+#[derive(Clone, Debug)]
+pub struct RmsPoint {
+    /// The swept loss rate `p`.
+    pub p: f64,
+    /// RMS error per scheme name.
+    pub rms: BTreeMap<&'static str, f64>,
+}
+
+fn readings(agg: SweepAggregate, net: &Network, seed: u64, epoch: u64) -> Vec<u64> {
+    match agg {
+        SweepAggregate::Count => Synthetic::count_readings(net),
+        SweepAggregate::Sum => Synthetic::sum_readings(net, seed, epoch),
+    }
+}
+
+fn truth(agg: SweepAggregate, net: &Network, values: &[u64]) -> f64 {
+    match agg {
+        SweepAggregate::Count => net.num_sensors() as f64,
+        SweepAggregate::Sum => values[1..].iter().sum::<u64>() as f64,
+    }
+}
+
+/// RMS error of one scheme over `scale.epochs` measured epochs, averaged
+/// over `scale.runs` seeds.
+fn rms_one<M: LossModel>(
+    agg: SweepAggregate,
+    scheme: Scheme,
+    model: &M,
+    scale: Scale,
+    seed: u64,
+) -> f64 {
+    let mut total = 0.0;
+    for run in 0..scale.runs {
+        let net = Synthetic::sized(scale.sensors).build(seed ^ (run + 1));
+        let mut topo_rng = substream(seed, 0xA0 + run);
+        let mut session = Session::with_paper_defaults(scheme, &net, &mut topo_rng);
+        let mut rng = substream(seed, 0xB0 + run);
+        let mut estimates = Vec::with_capacity(scale.epochs as usize);
+        let mut actuals = Vec::with_capacity(scale.epochs as usize);
+        for epoch in 0..(scale.warmup + scale.epochs) {
+            let values = readings(agg, &net, seed ^ run, epoch);
+            let rec = match agg {
+                SweepAggregate::Count => {
+                    // Per-run salt: runs sample independent sketch draws.
+                    let agg = td_aggregates::count::Count::default().with_salt(seed ^ (run * 7 + 1));
+                    let proto = ScalarProtocol::new(agg, &values);
+                    session.run_epoch(&proto, model, epoch, &mut rng)
+                }
+                SweepAggregate::Sum => {
+                    let proto = ScalarProtocol::new(td_aggregates::sum::Sum::default(), &values);
+                    session.run_epoch(&proto, model, epoch, &mut rng)
+                }
+            };
+            if epoch >= scale.warmup {
+                estimates.push(rec.output);
+                actuals.push(truth(agg, &net, &values));
+            }
+        }
+        total += rms_error_series(&estimates, &actuals);
+    }
+    total / scale.runs as f64
+}
+
+/// Run the sweep across loss rates and all four schemes. Points are
+/// computed in parallel (one thread per loss rate).
+pub fn sweep(
+    agg: SweepAggregate,
+    failure: SweepFailure,
+    ps: &[f64],
+    scale: Scale,
+    seed: u64,
+) -> Vec<RmsPoint> {
+    let mut out: Vec<Option<RmsPoint>> = vec![None; ps.len()];
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (i, &p) in ps.iter().enumerate() {
+            handles.push((
+                i,
+                s.spawn(move || {
+                    let spec = Synthetic::sized(scale.sensors);
+                    let mut rms = BTreeMap::new();
+                    for scheme in Scheme::all() {
+                        let value = match failure {
+                            SweepFailure::Global => {
+                                rms_one(agg, scheme, &scenario::global(p), scale, seed)
+                            }
+                            SweepFailure::Regional => rms_one(
+                                agg,
+                                scheme,
+                                &scenario::regional_for(spec.width, spec.height, p, 0.05),
+                                scale,
+                                seed,
+                            ),
+                        };
+                        rms.insert(scheme.name(), value);
+                    }
+                    RmsPoint { p, rms }
+                }),
+            ));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("sweep worker panicked"));
+        }
+    });
+    out.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+/// Render a sweep as a report table.
+pub fn table(title: &str, points: &[RmsPoint]) -> Table {
+    let mut t = Table::new(title, &["loss_rate", "TAG", "SD", "TD-Coarse", "TD"]);
+    for pt in points {
+        t.row(vec![
+            format!("{:.3}", pt.p),
+            f(pt.rms["TAG"]),
+            f(pt.rms["SD"]),
+            f(pt.rms["TD-Coarse"]),
+            f(pt.rms["TD"]),
+        ]);
+    }
+    t
+}
+
+/// Figure 2: Count under `Global(p)`, `p ∈ {0, 0.05, …, 0.4}`.
+pub fn figure2(scale: Scale, seed: u64) -> Vec<RmsPoint> {
+    let ps: Vec<f64> = (0..=8).map(|i| i as f64 * 0.05).collect();
+    sweep(SweepAggregate::Count, SweepFailure::Global, &ps, scale, seed)
+}
+
+/// Figure 5(a): Sum under `Global(p)`, `p ∈ {0, 0.125, …, 1.0}`.
+pub fn figure5a(scale: Scale, seed: u64) -> Vec<RmsPoint> {
+    let ps: Vec<f64> = (0..=8).map(|i| i as f64 * 0.125).collect();
+    sweep(SweepAggregate::Sum, SweepFailure::Global, &ps, scale, seed)
+}
+
+/// Figure 5(b): Sum under `Regional(p, 0.05)`.
+pub fn figure5b(scale: Scale, seed: u64) -> Vec<RmsPoint> {
+    let ps: Vec<f64> = (0..=8).map(|i| i as f64 * 0.125).collect();
+    sweep(SweepAggregate::Sum, SweepFailure::Regional, &ps, scale, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny smoke sweep checking the headline shape: at p = 0 TAG is
+    /// (near-)exact while SD pays its approximation error; at high p TAG
+    /// collapses while SD and TD hold up.
+    #[test]
+    fn shape_smoke() {
+        let scale = Scale {
+            runs: 1,
+            epochs: 20,
+            warmup: 60,
+            sensors: 150,
+            items_per_node: 0,
+        };
+        let points = sweep(
+            SweepAggregate::Sum,
+            SweepFailure::Global,
+            &[0.0, 0.35],
+            scale,
+            77,
+        );
+        let p0 = &points[0].rms;
+        assert!(p0["TAG"] < 0.02, "TAG at p=0 should be near-exact: {}", p0["TAG"]);
+        assert!(
+            p0["SD"] > 0.03 && p0["SD"] < 0.35,
+            "SD approximation error out of band: {}",
+            p0["SD"]
+        );
+        let p35 = &points[1].rms;
+        assert!(
+            p35["TAG"] > 2.0 * p35["SD"],
+            "tree should collapse vs multi-path at p=0.35: TAG {} SD {}",
+            p35["TAG"],
+            p35["SD"]
+        );
+        let best = p35["TAG"].min(p35["SD"]);
+        assert!(
+            p35["TD"] <= best * 1.35,
+            "TD {} should track the best baseline {best}",
+            p35["TD"]
+        );
+    }
+}

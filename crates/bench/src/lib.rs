@@ -1,0 +1,91 @@
+//! # td-bench — regenerators for every table and figure in §7
+//!
+//! Each experiment lives in [`experiments`] as a plain function taking a
+//! [`Scale`], so the same code runs at paper scale (the `src/bin`
+//! binaries) and at smoke scale (the Criterion-adjacent `benches/`
+//! targets executed by `cargo bench`). Results are printed as aligned
+//! tables and written as CSV under `results/`.
+//!
+//! | Regenerator | Paper artifact |
+//! |---|---|
+//! | `fig02_count_rms` | Figure 2 (Count RMS, loss 0–0.4) |
+//! | `fig04_delta_evolution` | Figure 4 (delta region under Regional loss) |
+//! | `fig05_sum_rms` | Figures 5(a)/5(b) (Sum RMS, Global/Regional) |
+//! | `fig06_timeline` | Figure 6(a–c) (relative error timeline) |
+//! | `fig07_domination` | Figure 7(a)/(b) (domination factor sweeps) |
+//! | `fig08_freq_load` | Figure 8 (frequent-items loads) |
+//! | `fig09_freq_loss` | Figure 9(a)/(b) (false negatives vs loss) |
+//! | `tab01_comparison` | Table 1 (quantitative backing) |
+//! | `tab02_domination` | Table 2 (example 2-dominating tree) |
+//! | `labdata_sum` | §7.3's LabData RMS numbers |
+//! | `ablation_signal` | exact vs in-band adaptation signal (extension) |
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+
+/// How big to run an experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Independent repetitions (different seeds) averaged per point.
+    pub runs: u64,
+    /// Measured epochs per run (after warm-up).
+    pub epochs: u64,
+    /// Warm-up epochs before measurement ("data collection begins only
+    /// after the aggregation topologies become stable", §7.1).
+    pub warmup: u64,
+    /// Sensors in the Synthetic deployment.
+    pub sensors: usize,
+    /// Items per node in frequent-items workloads.
+    pub items_per_node: usize,
+}
+
+impl Scale {
+    /// The paper's configuration (§7.1): 600 sensors, 100 measured
+    /// epochs, adaptation every 10 epochs (warm-up lets the delta settle).
+    pub fn paper() -> Self {
+        Scale {
+            runs: 3,
+            epochs: 100,
+            warmup: 100,
+            sensors: 600,
+            items_per_node: 500,
+        }
+    }
+
+    /// A fast configuration for `cargo bench` smoke regeneration.
+    pub fn smoke() -> Self {
+        Scale {
+            runs: 1,
+            epochs: 30,
+            warmup: 40,
+            sensors: 150,
+            items_per_node: 120,
+        }
+    }
+
+    /// Scale selected by the `TD_SCALE` environment variable
+    /// (`paper` | `smoke`; default `paper` for binaries).
+    pub fn from_env_or(default: Scale) -> Scale {
+        match std::env::var("TD_SCALE").as_deref() {
+            Ok("smoke") => Scale::smoke(),
+            Ok("paper") => Scale::paper(),
+            _ => default,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_sane() {
+        let p = Scale::paper();
+        assert_eq!(p.sensors, 600);
+        assert_eq!(p.epochs, 100);
+        let s = Scale::smoke();
+        assert!(s.sensors < p.sensors);
+    }
+}

@@ -1,0 +1,45 @@
+//! # tributary-delta — the paper's core contribution (§3–§5)
+//!
+//! Tributary-Delta runs **tree aggregation** (exact, small messages,
+//! fragile) in the outer *tributaries* of a sensor network and
+//! **multi-path aggregation** (robust, approximate) in an inner *delta*
+//! region around the base station, adjusting the boundary dynamically to
+//! hold a user-specified fraction of nodes contributing to each answer.
+//!
+//! Crate layout:
+//!
+//! * [`protocol`] — the [`protocol::Protocol`] abstraction an aggregate
+//!   implements to run under Tributary-Delta: tree messages, multi-path
+//!   synopses, and the conversion function between them (§5). Adapters
+//!   are provided for every scalar aggregate in `td-aggregates`
+//!   ([`protocol::ScalarProtocol`]) and for the §6 frequent-items
+//!   algorithms ([`protocol::FreqProtocol`]).
+//! * [`envelope`] — instrumentation wrappers the runner adds around
+//!   protocol messages: exact contributor sets (ground truth), the
+//!   in-band approximate Count of §4.2, and the per-subtree
+//!   non-contribution extrema that drive the fine-grained TD strategy.
+//! * [`runner`] — one epoch of level-synchronized execution over a
+//!   [`td_topology::TdTopology`] (plus the pure-TAG baseline runner).
+//!   Synopsis-diffusion (SD) is the special case of an all-multipath
+//!   topology; TAG is the all-tree special case on an unrestricted tree.
+//! * [`adapt`] — the §4.2 adaptation strategies **TD-Coarse** (grow or
+//!   shrink the delta by a whole level) and **TD** (target the subtrees
+//!   with the most non-contributing nodes), with oscillation damping.
+//! * [`session`] — multi-epoch drivers tying runner + adapter together:
+//!   the experiment entry points used by the bench crate.
+//! * [`metrics`] — RMS/relative error and false-positive/negative rates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod envelope;
+pub mod metrics;
+pub mod protocol;
+pub mod runner;
+pub mod session;
+
+pub use adapt::{AdaptAction, Adapter, AdapterConfig, Strategy};
+pub use protocol::{FreqProtocol, Protocol, ScalarProtocol};
+pub use runner::{run_tag_epoch, run_td_epoch, EpochOutput, RunnerConfig};
+pub use session::{Scheme, Session, SessionConfig};

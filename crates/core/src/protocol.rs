@@ -1,0 +1,426 @@
+//! The protocol abstraction: what an aggregate must provide to run under
+//! Tributary-Delta (§5), plus adapters for scalar aggregates and for the
+//! frequent-items algorithms of §6.
+
+use td_aggregates::traits::Aggregate;
+use td_frequent::convert::convert_summary;
+use td_frequent::items::{Item, ItemBag};
+use td_frequent::multipath::{generate_from_bag, FreqEstimates, MultipathConfig, SynopsisSet};
+use td_frequent::summary::FreqSummary;
+use td_netsim::message::WireSize;
+use td_netsim::node::NodeId;
+use td_quantiles::gradient::PrecisionGradient;
+use td_sketches::counter::CounterFactory;
+
+/// An aggregation protocol runnable by the Tributary-Delta runner.
+///
+/// Tree (tributary) nodes exchange `TreeMsg`s with ordinary merge
+/// semantics; delta nodes exchange ODI `MpMsg`s; `convert` bridges a
+/// tributary root's final message into the delta (§5). `finalize_tree`
+/// lets height-dependent algorithms (the §6.1 precision gradients) apply
+/// their per-level budget after a node has merged its children.
+pub trait Protocol {
+    /// Partial result used in tributaries.
+    type TreeMsg: Clone;
+    /// Duplicate-insensitive partial result used in the delta.
+    type MpMsg: Clone;
+    /// The query answer produced at the base station.
+    type Output;
+
+    /// The local tree contribution of a node (`None` if the node has no
+    /// data, e.g. the base station).
+    fn local_tree(&self, node: NodeId) -> Option<Self::TreeMsg>;
+
+    /// Merge a child's tree message into an accumulator.
+    fn merge_tree(&self, into: &mut Self::TreeMsg, from: &Self::TreeMsg);
+
+    /// Post-merge hook for height-dependent processing (default: none).
+    fn finalize_tree(&self, _node: NodeId, _height: u32, msg: Self::TreeMsg) -> Self::TreeMsg {
+        msg
+    }
+
+    /// The local multi-path contribution of a node.
+    fn local_mp(&self, node: NodeId) -> Option<Self::MpMsg>;
+
+    /// ODI fusion of multi-path messages.
+    fn fuse(&self, into: &mut Self::MpMsg, from: &Self::MpMsg);
+
+    /// Conversion function: re-express the finished tree message of
+    /// tributary root `root` as a multi-path message.
+    fn convert(&self, root: NodeId, msg: &Self::TreeMsg) -> Self::MpMsg;
+
+    /// Wire footprint of a tree message.
+    fn tree_wire(&self, msg: &Self::TreeMsg) -> WireSize;
+
+    /// Wire footprint of a multi-path message.
+    fn mp_wire(&self, msg: &Self::MpMsg) -> WireSize;
+
+    /// Evaluate the answer at the base station. When the base runs
+    /// multi-path, `tree_parts` is empty and `mp` holds the fused delta
+    /// synopsis (tree parts were converted on arrival); when the whole
+    /// network is a tree, `mp` is `None`. `base_height` is the base
+    /// station's height for height-dependent final combines.
+    fn evaluate(
+        &self,
+        tree_parts: &[Self::TreeMsg],
+        mp: Option<&Self::MpMsg>,
+        base_height: u32,
+    ) -> Self::Output;
+}
+
+// ---------------------------------------------------------------------
+// Scalar adapter
+// ---------------------------------------------------------------------
+
+/// Adapter running any [`Aggregate`] (Count, Sum, Min, Max, Average,
+/// samples…) as a Tributary-Delta protocol. Holds the epoch's readings:
+/// `values[i]` is node `i`'s reading (the base station's entry is
+/// ignored).
+#[derive(Clone, Debug)]
+pub struct ScalarProtocol<'v, A> {
+    agg: A,
+    values: &'v [u64],
+}
+
+impl<'v, A: Aggregate> ScalarProtocol<'v, A> {
+    /// Wrap an aggregate with this epoch's readings.
+    pub fn new(agg: A, values: &'v [u64]) -> Self {
+        ScalarProtocol { agg, values }
+    }
+
+    /// The wrapped aggregate.
+    pub fn aggregate(&self) -> &A {
+        &self.agg
+    }
+}
+
+impl<'v, A: Aggregate> Protocol for ScalarProtocol<'v, A> {
+    type TreeMsg = A::TreePartial;
+    type MpMsg = A::Synopsis;
+    type Output = f64;
+
+    fn local_tree(&self, node: NodeId) -> Option<Self::TreeMsg> {
+        if node.is_base() {
+            return None;
+        }
+        Some(self.agg.local_tree(node.0, self.values[node.index()]))
+    }
+
+    fn merge_tree(&self, into: &mut Self::TreeMsg, from: &Self::TreeMsg) {
+        self.agg.merge_tree(into, from);
+    }
+
+    fn local_mp(&self, node: NodeId) -> Option<Self::MpMsg> {
+        if node.is_base() {
+            return None;
+        }
+        Some(self.agg.local_synopsis(node.0, self.values[node.index()]))
+    }
+
+    fn fuse(&self, into: &mut Self::MpMsg, from: &Self::MpMsg) {
+        self.agg.fuse(into, from);
+    }
+
+    fn convert(&self, root: NodeId, msg: &Self::TreeMsg) -> Self::MpMsg {
+        self.agg.convert(root.0, msg)
+    }
+
+    fn tree_wire(&self, msg: &Self::TreeMsg) -> WireSize {
+        let w = self.agg.tree_wire(msg);
+        WireSize {
+            bytes: w.bytes,
+            words: w.words,
+        }
+    }
+
+    fn mp_wire(&self, msg: &Self::MpMsg) -> WireSize {
+        let w = self.agg.synopsis_wire(msg);
+        WireSize {
+            bytes: w.bytes,
+            words: w.words,
+        }
+    }
+
+    fn evaluate(
+        &self,
+        tree_parts: &[Self::TreeMsg],
+        mp: Option<&Self::MpMsg>,
+        _base_height: u32,
+    ) -> f64 {
+        match (tree_parts, mp) {
+            ([], None) => 0.0,
+            (parts, None) => {
+                let mut acc = parts[0].clone();
+                for p in &parts[1..] {
+                    self.agg.merge_tree(&mut acc, p);
+                }
+                self.agg.evaluate_tree(&acc)
+            }
+            (parts, Some(mp)) => {
+                // Any stray tree parts (base running multi-path with tree
+                // children) are converted with the base as pseudo-root of
+                // each child's subtree; the runner normally does this
+                // before calling evaluate.
+                let mut acc = mp.clone();
+                for p in parts {
+                    let conv = self.agg.convert(0, p);
+                    self.agg.fuse(&mut acc, &conv);
+                }
+                self.agg.evaluate_synopsis(&acc)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frequent-items adapter
+// ---------------------------------------------------------------------
+
+/// The answer of a frequent-items query.
+#[derive(Clone, Debug)]
+pub struct FreqOutput {
+    /// Items reported frequent (estimate > `(s − ε)·N̂`).
+    pub reported: Vec<Item>,
+    /// Estimated total occurrences N̂.
+    pub n_est: f64,
+    /// The raw per-item estimates.
+    pub estimates: FreqEstimates,
+}
+
+/// Adapter running the §6 frequent-items algorithms under Tributary-Delta:
+/// Algorithm 1 with a precision gradient in the tributaries, Algorithm 2
+/// in the delta, and the §6.3 conversion at the boundary. The total error
+/// splits as `ε = ε_a (tree) + ε_b (multi-path)`.
+pub struct FreqProtocol<'v, F: CounterFactory, G> {
+    /// Multi-path configuration (ε_b, η, counter factory).
+    pub mp_cfg: MultipathConfig<F>,
+    /// Precision gradient for the tree side (built for ε_a and the
+    /// topology's domination factor / height).
+    pub gradient: G,
+    /// Support threshold s.
+    pub support: f64,
+    bags: &'v [ItemBag],
+}
+
+impl<'v, F: CounterFactory, G: PrecisionGradient> FreqProtocol<'v, F, G> {
+    /// Create the protocol over this epoch's per-node item bags.
+    pub fn new(mp_cfg: MultipathConfig<F>, gradient: G, support: f64, bags: &'v [ItemBag]) -> Self {
+        FreqProtocol {
+            mp_cfg,
+            gradient,
+            support,
+            bags,
+        }
+    }
+
+    /// The combined error tolerance ε = ε_a + ε_b.
+    pub fn total_eps(&self) -> f64 {
+        self.gradient.final_eps() + self.mp_cfg.eps
+    }
+}
+
+impl<'v, F: CounterFactory, G: PrecisionGradient> Protocol for FreqProtocol<'v, F, G> {
+    type TreeMsg = FreqSummary;
+    type MpMsg = SynopsisSet<F::Counter>;
+    type Output = FreqOutput;
+
+    fn local_tree(&self, node: NodeId) -> Option<Self::TreeMsg> {
+        if node.is_base() || self.bags[node.index()].is_empty() {
+            return None;
+        }
+        Some(FreqSummary::local(&self.bags[node.index()]))
+    }
+
+    fn merge_tree(&self, into: &mut Self::TreeMsg, from: &Self::TreeMsg) {
+        // Raw pointwise accumulation; the per-level decrement happens in
+        // finalize_tree so that Algorithm 1's single Step-3 decrement per
+        // node is preserved. The merged eps tracks spent budget exactly:
+        // spent = Σ ε_j·n_j encoded as a weighted average.
+        let spent = into.eps * into.n as f64 + from.eps * from.n as f64;
+        let mut counts: std::collections::BTreeMap<Item, u64> = into.iter().collect();
+        for (u, c) in from.iter() {
+            *counts.entry(u).or_insert(0) += c;
+        }
+        let n = into.n + from.n;
+        let eps = if n == 0 { 0.0 } else { spent / n as f64 };
+        *into = FreqSummary::from_parts(n, eps, counts);
+    }
+
+    fn finalize_tree(&self, _node: NodeId, height: u32, msg: Self::TreeMsg) -> Self::TreeMsg {
+        FreqSummary::combine(&[msg], &FreqSummary::empty(), self.gradient.eps_at(height))
+    }
+
+    fn local_mp(&self, node: NodeId) -> Option<Self::MpMsg> {
+        if node.is_base() {
+            return None;
+        }
+        let synopsis = generate_from_bag(&self.mp_cfg, node, &self.bags[node.index()])?;
+        let mut set = SynopsisSet::new();
+        set.insert(synopsis);
+        Some(set)
+    }
+
+    fn fuse(&self, into: &mut Self::MpMsg, from: &Self::MpMsg) {
+        into.absorb(from.clone());
+        into.compact(&self.mp_cfg);
+    }
+
+    fn convert(&self, root: NodeId, msg: &Self::TreeMsg) -> Self::MpMsg {
+        let mut set = SynopsisSet::new();
+        if let Some(s) = convert_summary(&self.mp_cfg, root, msg) {
+            set.insert(s);
+        }
+        set
+    }
+
+    fn tree_wire(&self, msg: &Self::TreeMsg) -> WireSize {
+        WireSize::from_words(msg.wire_words())
+    }
+
+    fn mp_wire(&self, msg: &Self::MpMsg) -> WireSize {
+        WireSize::from_words(msg.wire_words())
+    }
+
+    fn evaluate(
+        &self,
+        tree_parts: &[Self::TreeMsg],
+        mp: Option<&Self::MpMsg>,
+        base_height: u32,
+    ) -> FreqOutput {
+        let (estimates, eps) = match mp {
+            Some(set) => {
+                let mut set = set.clone();
+                for p in tree_parts {
+                    // Normally empty: the runner converts on arrival.
+                    if let Some(s) = convert_summary(&self.mp_cfg, td_netsim::node::BASE_STATION, p)
+                    {
+                        set.insert(s);
+                    }
+                }
+                set.compact(&self.mp_cfg);
+                (set.evaluate(), self.total_eps())
+            }
+            None => {
+                // Pure tree: final Algorithm 1 combine at the base.
+                let summary = FreqSummary::combine(
+                    tree_parts,
+                    &FreqSummary::empty(),
+                    self.gradient.eps_at(base_height),
+                );
+                let estimates = FreqEstimates {
+                    n_est: summary.n as f64,
+                    counts: summary.iter().map(|(u, c)| (u, c as f64)).collect(),
+                };
+                (estimates, self.gradient.final_eps())
+            }
+        };
+        let reported = estimates.report(self.support - eps);
+        FreqOutput {
+            reported,
+            n_est: estimates.n_est,
+            estimates,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_aggregates::count::Count;
+    use td_aggregates::sum::Sum;
+    use td_quantiles::gradient::MinTotalLoad;
+    use td_sketches::counter::ExactFactory;
+
+    #[test]
+    fn scalar_protocol_tree_path() {
+        let values = vec![0u64, 10, 20, 30];
+        let p = ScalarProtocol::new(Sum::default(), &values);
+        assert!(p.local_tree(NodeId(0)).is_none());
+        let mut acc = p.local_tree(NodeId(1)).unwrap();
+        let b = p.local_tree(NodeId(2)).unwrap();
+        p.merge_tree(&mut acc, &b);
+        assert_eq!(p.evaluate(&[acc], None, 1), 30.0);
+    }
+
+    #[test]
+    fn scalar_protocol_mp_path() {
+        let values = vec![0u64, 1, 1, 1];
+        let p = ScalarProtocol::new(Count::default(), &values);
+        let mut acc = p.local_mp(NodeId(1)).unwrap();
+        for n in [2u32, 3] {
+            let s = p.local_mp(NodeId(n)).unwrap();
+            p.fuse(&mut acc, &s);
+        }
+        let est = p.evaluate(&[], Some(&acc), 1);
+        assert!(est > 0.5 && est < 12.0, "count estimate {est}");
+    }
+
+    #[test]
+    fn scalar_protocol_conversion_path() {
+        let values = vec![0u64; 101];
+        let p = ScalarProtocol::new(Count::default(), &values);
+        // 50-node tree partial converted and fused with 50 mp locals.
+        let mut tree_acc = p.local_tree(NodeId(1)).unwrap();
+        for n in 2..=50u32 {
+            let t = p.local_tree(NodeId(n)).unwrap();
+            p.merge_tree(&mut tree_acc, &t);
+        }
+        let mut mp = p.convert(NodeId(1), &tree_acc);
+        for n in 51..=100u32 {
+            let s = p.local_mp(NodeId(n)).unwrap();
+            p.fuse(&mut mp, &s);
+        }
+        let est = p.evaluate(&[], Some(&mp), 1);
+        let rel = (est - 100.0).abs() / 100.0;
+        assert!(rel < 0.45, "count estimate {est}");
+    }
+
+    fn freq_fixture(bags: &[ItemBag]) -> FreqProtocol<'_, ExactFactory, MinTotalLoad> {
+        let mp_cfg = MultipathConfig::new(0.01, 1.5, 1 << 20, ExactFactory);
+        let gradient = MinTotalLoad::new(0.01, 2.25);
+        FreqProtocol::new(mp_cfg, gradient, 0.2, bags)
+    }
+
+    #[test]
+    fn freq_protocol_tree_only() {
+        let bags = vec![
+            ItemBag::new(), // base
+            ItemBag::from_counts([(1, 500), (9, 10)]),
+            ItemBag::from_counts([(1, 400), (2, 90)]),
+        ];
+        let p = freq_fixture(&bags);
+        let mut a = p.local_tree(NodeId(1)).unwrap();
+        let b = p.local_tree(NodeId(2)).unwrap();
+        p.merge_tree(&mut a, &b);
+        let a = p.finalize_tree(NodeId(1), 2, a);
+        let out = p.evaluate(&[a], None, 3);
+        assert_eq!(out.n_est, 1000.0);
+        assert!(out.reported.contains(&1));
+        assert!(!out.reported.contains(&9));
+    }
+
+    #[test]
+    fn freq_protocol_mixed_paths_agree_with_truth() {
+        let bags = vec![
+            ItemBag::new(),
+            ItemBag::from_counts([(1, 600), (7, 30)]),
+            ItemBag::from_counts([(1, 500), (8, 40)]),
+            ItemBag::from_counts([(2, 700), (9, 50)]),
+        ];
+        let p = freq_fixture(&bags);
+        // Node 1+2 as a tributary rooted at node 1; node 3 native mp.
+        let mut tree = p.local_tree(NodeId(1)).unwrap();
+        let t2 = p.local_tree(NodeId(2)).unwrap();
+        p.merge_tree(&mut tree, &t2);
+        let tree = p.finalize_tree(NodeId(1), 2, tree);
+        let mut mp = p.convert(NodeId(1), &tree);
+        let native = p.local_mp(NodeId(3)).unwrap();
+        p.fuse(&mut mp, &native);
+        let out = p.evaluate(&[], Some(&mp), 3);
+        // Exact counters: N̂ = 1920 exactly.
+        assert!((out.n_est - 1920.0).abs() < 1e-6, "n_est {}", out.n_est);
+        assert!(out.reported.contains(&1), "reported {:?}", out.reported);
+        assert!(out.reported.contains(&2));
+        assert!(!out.reported.contains(&7));
+    }
+}

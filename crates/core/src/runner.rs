@@ -1,0 +1,580 @@
+//! One epoch of level-synchronized aggregation.
+//!
+//! [`run_td_epoch`] executes a query epoch over a labeled
+//! [`TdTopology`]: ring levels are processed outermost-first; tributary
+//! (`T`) vertices merge their children's tree messages, finalize at their
+//! height, and unicast to their tree parent (with the configured
+//! retransmissions); delta (`M`) vertices convert arriving tree messages
+//! (§5), fuse synopses from the level above, and broadcast — every
+//! `M`-labeled ring neighbor one level down that hears the broadcast
+//! folds it in. The base station evaluates whatever reaches it.
+//!
+//! Synopsis diffusion (SD) is exactly this runner on an all-multipath
+//! labeling; the pure-TAG baseline [`run_tag_epoch`] runs the tree side
+//! alone on an arbitrary (unrestricted) TAG tree.
+
+use crate::envelope::{MpEnvelope, TreeEnvelope, TREE_OVERHEAD_WORDS};
+use crate::protocol::Protocol;
+use td_netsim::loss::{broadcast, unicast, LossModel, Retransmit};
+use td_netsim::network::Network;
+use td_netsim::node::{NodeId, BASE_STATION};
+use td_netsim::stats::CommStats;
+use td_sketches::rle as sketch_rle;
+use td_topology::td::{Mode, TdTopology};
+use td_topology::tree::Tree;
+
+/// Runner knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerConfig {
+    /// Retransmission policy for tree (tributary) links. Multi-path
+    /// broadcasts are never retransmitted (§7.4.3 lets *tree* nodes
+    /// retransmit to equalize energy).
+    pub tree_retransmit: Retransmit,
+    /// Whether message accounting charges for the §4.2 adaptation fields
+    /// (the in-band count sketch and the extremum reports). The
+    /// non-adaptive baselines (TAG, SD) don't carry them.
+    pub charge_adaptation_overhead: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            tree_retransmit: Retransmit::default(),
+            charge_adaptation_overhead: true,
+        }
+    }
+}
+
+/// What one epoch produced at the base station.
+#[derive(Clone, Debug)]
+pub struct EpochOutput<O> {
+    /// The evaluated answer.
+    pub output: O,
+    /// Exact number of sensors whose data is accounted for
+    /// (instrumentation ground truth).
+    pub contributing: usize,
+    /// The in-band estimate of the same quantity (what a real base
+    /// station would see: exact tree counts, sketched delta counts).
+    pub contributing_est: f64,
+    /// Largest per-subtree non-contributions reported by switchable M
+    /// vertices this epoch (drives TD expansion).
+    pub max_noncontrib: crate::envelope::ExtremaSet,
+    /// Smallest such reports (drives TD shrinking).
+    pub min_noncontrib: crate::envelope::ExtremaSet,
+}
+
+/// Run one Tributary-Delta epoch. `stats` accumulates communication
+/// accounting across epochs.
+// Every parameter is load-bearing and callers always have all of them in
+// hand (protocol, topology, channel, config, clock, accounting, rng);
+// bundling into a context struct would just move the argument list.
+#[allow(clippy::too_many_arguments)]
+pub fn run_td_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
+    proto: &P,
+    topo: &TdTopology,
+    net: &Network,
+    model: &M,
+    config: RunnerConfig,
+    epoch: u64,
+    stats: &mut CommStats,
+    rng: &mut R,
+) -> EpochOutput<P::Output> {
+    let rings = topo.rings();
+    let tree = topo.tree();
+    let heights = tree.heights();
+    let subtree_sizes = tree.subtree_sizes();
+    let n = net.len();
+
+    let mut tree_inbox: Vec<Vec<TreeEnvelope<P::TreeMsg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut mp_inbox: Vec<Vec<MpEnvelope<P::MpMsg>>> = (0..n).map(|_| Vec::new()).collect();
+
+    for level in (1..=rings.max_level()).rev() {
+        for u in rings.nodes_at_level(level) {
+            match topo.mode(u) {
+                Mode::T => {
+                    let env = build_tree_envelope(
+                        proto,
+                        u,
+                        heights[u.index()],
+                        n,
+                        std::mem::take(&mut tree_inbox[u.index()]),
+                    );
+                    let p = tree
+                        .parent(u)
+                        .expect("connected non-base T vertex has a parent");
+                    let wire = env
+                        .msg
+                        .as_ref()
+                        .map(|m| proto.tree_wire(m))
+                        .unwrap_or_default();
+                    let overhead = if config.charge_adaptation_overhead {
+                        TREE_OVERHEAD_WORDS
+                    } else {
+                        0
+                    };
+                    let words = wire.words + overhead;
+                    let outcome = unicast(model, config.tree_retransmit, u, p, net, epoch, rng);
+                    stats.record_send(u, words * 4, words, outcome.attempts_used as u64);
+                    if outcome.delivered {
+                        tree_inbox[p.index()].push(env);
+                    }
+                }
+                Mode::M => {
+                    let env = build_mp_envelope(
+                        proto,
+                        topo,
+                        u,
+                        n,
+                        subtree_sizes[u.index()] as u64,
+                        std::mem::take(&mut tree_inbox[u.index()]),
+                        std::mem::take(&mut mp_inbox[u.index()]),
+                    );
+                    let wire = env
+                        .msg
+                        .as_ref()
+                        .map(|m| proto.mp_wire(m))
+                        .unwrap_or_default();
+                    // Adaptation overhead: the RLE-encoded count sketch
+                    // plus the extremum reports.
+                    let overhead_bytes = if config.charge_adaptation_overhead {
+                        sketch_rle::encoded_size_bytes(&env.count_sketch)
+                            + 8 * crate::envelope::TOP_K_EXTREMA
+                    } else {
+                        0
+                    };
+                    let bytes = wire.bytes + overhead_bytes;
+                    let words = wire.words + overhead_bytes.div_ceil(4);
+                    stats.record_send(u, bytes, words, 1);
+                    let heard = broadcast(model, u, rings.receivers(u), net, epoch, rng);
+                    for r in heard {
+                        if topo.mode(r) == Mode::M {
+                            mp_inbox[r.index()].push(env.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Base station.
+    let base_height = heights[BASE_STATION.index()];
+    match topo.mode(BASE_STATION) {
+        Mode::T => {
+            let children = std::mem::take(&mut tree_inbox[BASE_STATION.index()]);
+            let mut contributing = 0usize;
+            let mut contributors = td_sketches::idset::IdSet::new(n);
+            let mut parts = Vec::new();
+            let mut exact_count = 0u64;
+            for env in children {
+                exact_count += env.count;
+                contributors.union(&env.contributors);
+                if let Some(m) = env.msg {
+                    parts.push(m);
+                }
+            }
+            contributing += contributors.len();
+            EpochOutput {
+                output: proto.evaluate(&parts, None, base_height),
+                contributing,
+                contributing_est: exact_count as f64,
+                max_noncontrib: crate::envelope::ExtremaSet::largest(),
+                min_noncontrib: crate::envelope::ExtremaSet::smallest(),
+            }
+        }
+        Mode::M => {
+            let env = build_mp_envelope(
+                proto,
+                topo,
+                BASE_STATION,
+                n,
+                subtree_sizes[BASE_STATION.index()] as u64,
+                std::mem::take(&mut tree_inbox[BASE_STATION.index()]),
+                std::mem::take(&mut mp_inbox[BASE_STATION.index()]),
+            );
+            EpochOutput {
+                output: proto.evaluate(&[], env.msg.as_ref(), base_height),
+                contributing: env.contributors.len(),
+                contributing_est: env.count_sketch.estimate(),
+                max_noncontrib: env.max_noncontrib,
+                min_noncontrib: env.min_noncontrib,
+            }
+        }
+    }
+}
+
+/// Merge children + own local data into a tree envelope and finalize it.
+fn build_tree_envelope<P: Protocol>(
+    proto: &P,
+    u: NodeId,
+    height: u32,
+    capacity: usize,
+    children: Vec<TreeEnvelope<P::TreeMsg>>,
+) -> TreeEnvelope<P::TreeMsg> {
+    let mut env = TreeEnvelope::local(capacity, u, proto.local_tree(u));
+    for child in children {
+        env.absorb_counts(&child);
+        if let Some(cm) = child.msg {
+            match &mut env.msg {
+                Some(m) => proto.merge_tree(m, &cm),
+                None => env.msg = Some(cm),
+            }
+        }
+    }
+    env.msg = env.msg.take().map(|m| proto.finalize_tree(u, height, m));
+    env.root = u;
+    env
+}
+
+/// Convert + fuse everything an M vertex holds into one envelope,
+/// reporting its subtree non-contribution when switchable.
+fn build_mp_envelope<P: Protocol>(
+    proto: &P,
+    topo: &TdTopology,
+    u: NodeId,
+    capacity: usize,
+    subtree_size: u64,
+    tree_msgs: Vec<TreeEnvelope<P::TreeMsg>>,
+    mp_msgs: Vec<MpEnvelope<P::MpMsg>>,
+) -> MpEnvelope<P::MpMsg> {
+    let mut env = MpEnvelope::local(capacity, u, proto.local_mp(u));
+    // §4.2: a switchable M vertex is the root of a unique (all-tree)
+    // subtree; it reports how many of its subtree's nodes are missing.
+    if topo.is_switchable_m(u) {
+        // Expected contributors below u: its whole static subtree minus u
+        // itself (u's own contribution is in the local envelope already).
+        let expected = subtree_size.saturating_sub(1);
+        let received: u64 = tree_msgs.iter().map(|e| e.count).sum();
+        env.report_noncontrib(u, expected.saturating_sub(received));
+    }
+    for te in tree_msgs {
+        env.absorb_tree_counts(&te);
+        if let Some(m) = &te.msg {
+            let converted = proto.convert(te.root, m);
+            match &mut env.msg {
+                Some(acc) => proto.fuse(acc, &converted),
+                None => env.msg = Some(converted),
+            }
+        }
+    }
+    for me in mp_msgs {
+        env.fuse_counts(&me);
+        if let Some(m) = me.msg {
+            match &mut env.msg {
+                Some(acc) => proto.fuse(acc, &m),
+                None => env.msg = Some(m),
+            }
+        }
+    }
+    env
+}
+
+/// Run one epoch of the pure-TAG baseline over an arbitrary spanning tree
+/// (parents may be at any lower level — no ring restriction).
+#[allow(clippy::too_many_arguments)]
+pub fn run_tag_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
+    proto: &P,
+    tree: &Tree,
+    net: &Network,
+    model: &M,
+    config: RunnerConfig,
+    epoch: u64,
+    stats: &mut CommStats,
+    rng: &mut R,
+) -> EpochOutput<P::Output> {
+    let heights = tree.heights();
+    let n = net.len();
+    let mut inbox: Vec<Vec<TreeEnvelope<P::TreeMsg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut base_children: Vec<TreeEnvelope<P::TreeMsg>> = Vec::new();
+
+    for u in tree.bottom_up_order() {
+        let env = build_tree_envelope(
+            proto,
+            u,
+            heights[u.index()],
+            n,
+            std::mem::take(&mut inbox[u.index()]),
+        );
+        match tree.parent(u) {
+            None => base_children.push(env),
+            Some(p) => {
+                let wire = env
+                    .msg
+                    .as_ref()
+                    .map(|m| proto.tree_wire(m))
+                    .unwrap_or_default();
+                let overhead = if config.charge_adaptation_overhead {
+                    TREE_OVERHEAD_WORDS
+                } else {
+                    0
+                };
+                let words = wire.words + overhead;
+                let outcome = unicast(model, config.tree_retransmit, u, p, net, epoch, rng);
+                stats.record_send(u, words * 4, words, outcome.attempts_used as u64);
+                if outcome.delivered {
+                    inbox[p.index()].push(env);
+                }
+            }
+        }
+    }
+
+    let base_height = heights[BASE_STATION.index()];
+    let mut contributors = td_sketches::idset::IdSet::new(n);
+    let mut exact = 0u64;
+    let mut parts = Vec::new();
+    for env in base_children {
+        exact += env.count;
+        contributors.union(&env.contributors);
+        if let Some(m) = env.msg {
+            parts.push(m);
+        }
+    }
+    EpochOutput {
+        output: proto.evaluate(&parts, None, base_height),
+        contributing: contributors.len(),
+        contributing_est: exact as f64,
+        max_noncontrib: crate::envelope::ExtremaSet::largest(),
+        min_noncontrib: crate::envelope::ExtremaSet::smallest(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ScalarProtocol;
+    use td_aggregates::count::Count;
+    use td_aggregates::sum::Sum;
+    use td_netsim::loss::{Global, NoLoss};
+    use td_netsim::node::Position;
+    use td_netsim::rng::rng_from_seed;
+    use td_topology::bushy::{build_bushy_tree, BushyOptions};
+    use td_topology::rings::Rings;
+
+    fn topo(seed: u64, sensors: usize, delta_levels: u16) -> (Network, TdTopology) {
+        let mut rng = rng_from_seed(seed);
+        let net = Network::random_connected(
+            sensors,
+            20.0,
+            20.0,
+            Position::new(10.0, 10.0),
+            3.0,
+            &mut rng,
+        );
+        let rings = Rings::build(&net);
+        let tree = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
+        (net.clone(), TdTopology::new(rings, tree, delta_levels))
+    }
+
+    #[test]
+    fn all_tree_lossless_sum_is_exact() {
+        let (net, td) = topo(121, 150, 0);
+        let td = {
+            // Force pure tree (base included).
+            let rings = td.rings().clone();
+            let tree = td.tree().clone();
+            TdTopology::all_tree(rings, tree)
+        };
+        let values: Vec<u64> = (0..net.len() as u64).collect();
+        let expect: f64 = values[1..].iter().sum::<u64>() as f64;
+        let proto = ScalarProtocol::new(Sum::default(), &values);
+        let mut stats = CommStats::new(net.len());
+        let mut rng = rng_from_seed(122);
+        let out = run_td_epoch(
+            &proto,
+            &td,
+            &net,
+            &NoLoss,
+            RunnerConfig::default(),
+            0,
+            &mut stats,
+            &mut rng,
+        );
+        assert_eq!(out.output, expect);
+        assert_eq!(out.contributing, net.num_sensors());
+        assert_eq!(out.contributing_est, net.num_sensors() as f64);
+    }
+
+    #[test]
+    fn all_multipath_lossless_sum_approximate() {
+        let (net, td) = topo(123, 150, 0);
+        let td = TdTopology::all_multipath(td.rings().clone(), td.tree().clone());
+        let values: Vec<u64> = vec![50; net.len()];
+        let expect = 50.0 * net.num_sensors() as f64;
+        let proto = ScalarProtocol::new(Sum::default(), &values);
+        let mut stats = CommStats::new(net.len());
+        let mut rng = rng_from_seed(124);
+        let out = run_td_epoch(
+            &proto,
+            &td,
+            &net,
+            &NoLoss,
+            RunnerConfig::default(),
+            0,
+            &mut stats,
+            &mut rng,
+        );
+        let rel = (out.output - expect).abs() / expect;
+        assert!(rel < 0.4, "sum {} expect {expect}", out.output);
+        assert_eq!(out.contributing, net.num_sensors());
+    }
+
+    #[test]
+    fn mixed_topology_lossless_accounts_everyone() {
+        for delta_levels in [1u16, 2, 3] {
+            let (net, td) = topo(125, 200, delta_levels);
+            let values: Vec<u64> = vec![1; net.len()];
+            let proto = ScalarProtocol::new(Count::default(), &values);
+            let mut stats = CommStats::new(net.len());
+            let mut rng = rng_from_seed(126);
+            let out = run_td_epoch(
+                &proto,
+                &td,
+                &net,
+                &NoLoss,
+                RunnerConfig::default(),
+                0,
+                &mut stats,
+                &mut rng,
+            );
+            assert_eq!(
+                out.contributing,
+                net.num_sensors(),
+                "delta_levels={delta_levels}"
+            );
+            let rel = (out.output - net.num_sensors() as f64).abs() / net.num_sensors() as f64;
+            assert!(rel < 0.4, "count {} at delta {delta_levels}", out.output);
+        }
+    }
+
+    #[test]
+    fn lossy_td_beats_lossy_tag_on_contribution() {
+        let (net, td) = topo(127, 300, 3);
+        let values: Vec<u64> = vec![1; net.len()];
+        let model = Global::new(0.25);
+        let mut td_contrib = 0usize;
+        let mut tag_contrib = 0usize;
+        let epochs = 20;
+        let mut rng = rng_from_seed(128);
+        let mut stats = CommStats::new(net.len());
+        for e in 0..epochs {
+            let proto = ScalarProtocol::new(Count::default(), &values);
+            let out = run_td_epoch(
+                &proto,
+                &td,
+                &net,
+                &model,
+                RunnerConfig::default(),
+                e,
+                &mut stats,
+                &mut rng,
+            );
+            td_contrib += out.contributing;
+            let out = run_tag_epoch(
+                &proto,
+                td.tree(),
+                &net,
+                &model,
+                RunnerConfig::default(),
+                e,
+                &mut stats,
+                &mut rng,
+            );
+            tag_contrib += out.contributing;
+        }
+        assert!(
+            td_contrib > tag_contrib,
+            "TD {td_contrib} <= TAG {tag_contrib}"
+        );
+    }
+
+    #[test]
+    fn switchable_m_vertices_report_noncontrib_under_loss() {
+        let (net, td) = topo(129, 250, 2);
+        let values: Vec<u64> = vec![1; net.len()];
+        let proto = ScalarProtocol::new(Count::default(), &values);
+        let mut stats = CommStats::new(net.len());
+        let mut rng = rng_from_seed(130);
+        let out = run_td_epoch(
+            &proto,
+            &td,
+            &net,
+            &Global::new(0.5),
+            RunnerConfig::default(),
+            0,
+            &mut stats,
+            &mut rng,
+        );
+        // Under 50% loss some subtree must be missing nodes, and the
+        // extrema must have bubbled up (the base station fuses them).
+        if let Some(max) = out.max_noncontrib.best() {
+            assert!(max.value > 0);
+            assert!(td.is_switchable_m(max.node) || td.mode(max.node) == Mode::M);
+        }
+        assert!(out.contributing < net.num_sensors());
+    }
+
+    #[test]
+    fn tag_retransmissions_help() {
+        let (net, td) = topo(131, 200, 0);
+        let tree = td.tree();
+        let values: Vec<u64> = vec![1; net.len()];
+        let model = Global::new(0.3);
+        let mut plain = 0usize;
+        let mut retried = 0usize;
+        for e in 0..10 {
+            let proto = ScalarProtocol::new(Count::default(), &values);
+            let mut stats = CommStats::new(net.len());
+            let mut rng = rng_from_seed(1000 + e);
+            plain += run_tag_epoch(
+                &proto,
+                tree,
+                &net,
+                &model,
+                RunnerConfig::default(),
+                e,
+                &mut stats,
+                &mut rng,
+            )
+            .contributing;
+            let mut rng = rng_from_seed(1000 + e);
+            retried += run_tag_epoch(
+                &proto,
+                tree,
+                &net,
+                &model,
+                RunnerConfig {
+                    tree_retransmit: Retransmit { retries: 2 },
+                    ..RunnerConfig::default()
+                },
+                e,
+                &mut stats,
+                &mut rng,
+            )
+            .contributing;
+        }
+        assert!(retried > plain, "retransmit {retried} <= plain {plain}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (net, td) = topo(132, 150, 2);
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| i % 100).collect();
+        let run = |seed: u64| {
+            let proto = ScalarProtocol::new(Sum::default(), &values);
+            let mut stats = CommStats::new(net.len());
+            let mut rng = rng_from_seed(seed);
+            let out = run_td_epoch(
+                &proto,
+                &td,
+                &net,
+                &Global::new(0.2),
+                RunnerConfig::default(),
+                0,
+                &mut stats,
+                &mut rng,
+            );
+            (out.output, out.contributing, stats.total_bytes())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+}

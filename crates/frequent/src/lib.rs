@@ -1,0 +1,38 @@
+//! # td-frequent — frequent-items aggregation (§6 of the paper)
+//!
+//! Finding frequent items is the paper's "difficult aggregate": exact
+//! counting would ship every distinct item to the base station, so both
+//! schemes work with ε-deficient counts — every reported count `c̃(u)`
+//! satisfies `max(0, c(u) − ε·N) ≤ c̃(u) ≤ c(u)`, and all items with
+//! `c̃(u) > (s−ε)·N` are reported (no false negatives among items with
+//! frequency ≥ `s·N`; false positives have frequency ≥ `(s−ε)·N`).
+//!
+//! * [`items`] — item collections and exact counting (ground truth).
+//! * [`summary`] — the ε-deficient summary and **Algorithm 1** (generate
+//!   an ε(k)-summary at a height-k node).
+//! * [`tree`] — the tree algorithms: Algorithm 1 driven over an
+//!   aggregation tree under a precision gradient — `Min Total-load`
+//!   (Lemma 3), `Min Max-load` [13], `Hybrid` (§6.1.4) — with
+//!   communication-load accounting for Figure 8.
+//! * [`quantile_based`] — the Quantiles-based baseline [8]: GK summaries
+//!   up the tree, frequencies extracted from ranks.
+//! * [`multipath`] — the paper's new multi-path algorithm (§6.2):
+//!   class-indexed synopses with duplicate-insensitive counters, rising
+//!   thresholds in place of subtraction, and the η slack (**Algorithm 2**).
+//! * [`convert`] — the Tributary-Delta conversion function (§6.3): a tree
+//!   summary re-expressed as a multi-path synopsis via the SG threshold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod items;
+pub mod multipath;
+pub mod quantile_based;
+pub mod summary;
+pub mod tree;
+
+pub use items::{count_items, Item, ItemBag};
+pub use multipath::{MultipathConfig, SynopsisSet};
+pub use summary::FreqSummary;
+pub use tree::TreeFrequentConfig;

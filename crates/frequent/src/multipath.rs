@@ -1,0 +1,583 @@
+//! The paper's multi-path frequent-items algorithm (§6.2, Algorithm 2).
+//!
+//! Three ideas make Algorithm 1 duplicate-insensitive:
+//!
+//! 1. **⊕ everywhere** — Steps 1 and 2 replace addition with a
+//!    duplicate-insensitive sum (any [`DiCounter`]); populations are
+//!    salted by `(item, node)` so multi-path re-delivery dedups exactly.
+//! 2. **Rising thresholds instead of subtraction** — no known
+//!    duplicate-insensitive *subtraction* preserves small synopses, so
+//!    instead of decrementing estimates, an item is dropped once
+//!    `ε·ñ / log N ≥ η·c̃(u)`: the threshold rises with the (estimated)
+//!    population ñ, and the slack factor `η > 1` absorbs ⊕'s estimation
+//!    error so items are not dropped wrongly.
+//! 3. **Classes** — a synopsis is in class `i` when it represents ≈ `2^i`
+//!    items; only same-class synopses fuse, and a fusion whose ñ exceeds
+//!    `2^{i+1}` promotes to class `i+1` and re-applies the drop rule.
+//!    With at most `log N + 1` classes, each node transmits at most one
+//!    synopsis per class.
+//!
+//! Synopsis generation prunes items with frequency ≤ `i·n0·ε / log N`
+//! (`i = ⌊log n0⌋`), charging the thresholds a leaf "skipped" by starting
+//! at class `i`. Synopsis evaluation ⊕-sums an item's counters across all
+//! classes — safe because copies of the same population carry the same
+//! salts and dedup.
+
+use crate::items::{Item, ItemBag};
+use std::collections::BTreeMap;
+use td_netsim::loss::{broadcast, LossModel};
+use td_netsim::network::Network;
+use td_netsim::node::{NodeId, BASE_STATION};
+use td_netsim::stats::CommStats;
+use td_sketches::counter::{CounterFactory, DiCounter};
+use td_sketches::hash::keyed_pair;
+
+/// Hash key for item-occurrence populations.
+const ITEM_POP_KEY: u64 = 0xF4E9;
+
+/// Configuration of the multi-path algorithm.
+#[derive(Clone, Debug)]
+pub struct MultipathConfig<F> {
+    /// Error tolerance ε (the multi-path share ε_b in a TD deployment).
+    pub eps: f64,
+    /// Threshold slack η > 1 (absorbs ⊕ estimation error).
+    pub eta: f64,
+    /// Upper bound on the total number of occurrences N (fixes the class
+    /// count `log N + 1`).
+    pub n_upper: u64,
+    /// Factory for the duplicate-insensitive counters.
+    pub factory: F,
+}
+
+impl<F> MultipathConfig<F> {
+    /// Create a config.
+    ///
+    /// # Panics
+    /// Panics unless `0 < eps < 1`, `eta > 1`, `n_upper ≥ 2`.
+    pub fn new(eps: f64, eta: f64, n_upper: u64, factory: F) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps {eps} out of (0,1)");
+        assert!(eta > 1.0, "the paper restricts η > 1, got {eta}");
+        assert!(n_upper >= 2);
+        MultipathConfig {
+            eps,
+            eta,
+            n_upper,
+            factory,
+        }
+    }
+
+    /// `log₂ N` used by the thresholds (at least 1).
+    pub fn log_n(&self) -> f64 {
+        (self.n_upper as f64).log2().max(1.0)
+    }
+}
+
+/// A class-`i` synopsis: a duplicate-insensitive count ñ of the items it
+/// represents plus per-item duplicate-insensitive counters.
+#[derive(Clone, Debug)]
+pub struct ClassSynopsis<C> {
+    /// The synopsis class `i` (ñ ≈ 2^i).
+    pub class: u32,
+    /// Duplicate-insensitive count of total represented occurrences ñ.
+    pub total: C,
+    items: BTreeMap<Item, C>,
+}
+
+impl<C: DiCounter> ClassSynopsis<C> {
+    /// Number of items carried.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Iterate `(item, estimated count)`.
+    pub fn estimates(&self) -> impl Iterator<Item = (Item, f64)> + '_ {
+        self.items.iter().map(|(&u, c)| (u, c.estimate()))
+    }
+
+    /// Wire size in 32-bit words: per class 2 header words (class, item
+    /// count) + the ñ counter + each item id with its counter.
+    pub fn wire_words(&self) -> usize {
+        2 + self.total.wire_words()
+            + self
+                .items
+                .values()
+                .map(|c| 2 + c.wire_words())
+                .sum::<usize>()
+    }
+}
+
+/// Synopsis generation (SG): build a class-`⌊log n0⌋` synopsis from
+/// `(item, count)` pairs totalling `n0` occurrences, salted by
+/// `source_salt` (the node id, or the tributary root for conversions).
+/// Items with frequency ≤ `i·n0·ε / log N` are pruned. Returns `None` for
+/// an empty collection.
+pub fn generate<F: CounterFactory>(
+    cfg: &MultipathConfig<F>,
+    source_salt: u64,
+    pairs: impl Iterator<Item = (Item, u64)>,
+    n0: u64,
+) -> Option<ClassSynopsis<F::Counter>> {
+    if n0 == 0 {
+        return None;
+    }
+    let class = (n0 as f64).log2().floor() as u32;
+    let threshold = class as f64 * n0 as f64 * cfg.eps / cfg.log_n();
+    let mut items = BTreeMap::new();
+    for (u, c) in pairs {
+        if (c as f64) > threshold {
+            let mut counter = cfg.factory.new_counter();
+            counter.add_occurrences(keyed_pair(ITEM_POP_KEY, u, source_salt), c);
+            items.insert(u, counter);
+        }
+    }
+    let mut total = cfg.factory.new_counter();
+    total.add_occurrences(source_salt, n0);
+    Some(ClassSynopsis {
+        class,
+        total,
+        items,
+    })
+}
+
+/// SG from a node's item bag.
+pub fn generate_from_bag<F: CounterFactory>(
+    cfg: &MultipathConfig<F>,
+    node: NodeId,
+    bag: &ItemBag,
+) -> Option<ClassSynopsis<F::Counter>> {
+    generate(cfg, node.0 as u64, bag.iter(), bag.total())
+}
+
+/// **Algorithm 2**: fuse two synopses of the same class. The result is of
+/// class `i` or higher (promotion re-applies the rising-threshold drop).
+pub fn fuse<F: CounterFactory>(
+    cfg: &MultipathConfig<F>,
+    mut a: ClassSynopsis<F::Counter>,
+    b: ClassSynopsis<F::Counter>,
+) -> ClassSynopsis<F::Counter> {
+    assert_eq!(a.class, b.class, "only same-class synopses fuse");
+    // Step 1: ñ := ñ1 ⊕ ñ2.
+    a.total.merge(&b.total);
+    // Step 2: per-item ⊕.
+    for (u, c) in b.items {
+        match a.items.entry(u) {
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(&c),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(c);
+            }
+        }
+    }
+    // Step 3: promote while ñ exceeds the class budget, dropping items
+    // below the rising threshold each time.
+    let n_est = a.total.estimate();
+    while n_est > 2f64.powi(a.class as i32 + 1) && (a.class as f64) < cfg.log_n() {
+        a.class += 1;
+        let log_n = cfg.log_n();
+        let eps = cfg.eps;
+        let eta = cfg.eta;
+        a.items
+            .retain(|_, c| eps * n_est / log_n < eta * c.estimate());
+    }
+    a
+}
+
+/// The collection of synopses a node holds/transmits: at most one per
+/// class after [`SynopsisSet::compact`].
+#[derive(Clone, Debug)]
+pub struct SynopsisSet<C> {
+    slots: BTreeMap<u32, Vec<ClassSynopsis<C>>>,
+}
+
+impl<C: DiCounter> Default for SynopsisSet<C> {
+    fn default() -> Self {
+        SynopsisSet {
+            slots: BTreeMap::new(),
+        }
+    }
+}
+
+impl<C: DiCounter> SynopsisSet<C> {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the set holds no synopses.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total synopses held (before compaction there may be several per
+    /// class).
+    pub fn num_synopses(&self) -> usize {
+        self.slots.values().map(Vec::len).sum()
+    }
+
+    /// Add one synopsis.
+    pub fn insert(&mut self, s: ClassSynopsis<C>) {
+        self.slots.entry(s.class).or_default().push(s);
+    }
+
+    /// Absorb all synopses of another set.
+    pub fn absorb(&mut self, other: SynopsisSet<C>) {
+        for (_, list) in other.slots {
+            for s in list {
+                self.insert(s);
+            }
+        }
+    }
+
+    /// Fuse down to at most one synopsis per class, beginning with the
+    /// smallest class (§6.2 "Synopsis Fusion").
+    pub fn compact<F: CounterFactory<Counter = C>>(&mut self, cfg: &MultipathConfig<F>) {
+        // Repeatedly fuse the smallest class holding two or more synopses.
+        while let Some((&class, _)) = self.slots.iter().find(|(_, v)| v.len() >= 2) {
+            let list = self.slots.get_mut(&class).expect("class exists");
+            let a = list.pop().expect("len >= 2");
+            let b = list.pop().expect("len >= 2");
+            if list.is_empty() {
+                self.slots.remove(&class);
+            }
+            let fused = fuse(cfg, a, b);
+            self.insert(fused);
+        }
+    }
+
+    /// Wire size in words across all synopses.
+    pub fn wire_words(&self) -> usize {
+        self.slots
+            .values()
+            .flatten()
+            .map(ClassSynopsis::wire_words)
+            .sum()
+    }
+
+    /// Synopsis evaluation (SE): ⊕-combine each item's counters across
+    /// all classes and estimate; also estimate the total N̂.
+    pub fn evaluate(&self) -> FreqEstimates {
+        let mut per_item: BTreeMap<Item, C> = BTreeMap::new();
+        let mut total: Option<C> = None;
+        for s in self.slots.values().flatten() {
+            match &mut total {
+                Some(t) => t.merge(&s.total),
+                None => total = Some(s.total.clone()),
+            }
+            for (u, c) in &s.items {
+                match per_item.entry(*u) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(c),
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(c.clone());
+                    }
+                }
+            }
+        }
+        FreqEstimates {
+            n_est: total.map_or(0.0, |t| t.estimate()),
+            counts: per_item
+                .into_iter()
+                .map(|(u, c)| (u, c.estimate()))
+                .collect(),
+        }
+    }
+}
+
+/// The output of synopsis evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct FreqEstimates {
+    /// Estimated total occurrences N̂.
+    pub n_est: f64,
+    /// Estimated per-item counts.
+    pub counts: BTreeMap<Item, f64>,
+}
+
+impl FreqEstimates {
+    /// Report items whose estimate exceeds `fraction · N̂` (callers pass
+    /// `s − ε` per the paper's reporting rule).
+    pub fn report(&self, fraction: f64) -> Vec<Item> {
+        let threshold = fraction * self.n_est;
+        self.counts
+            .iter()
+            .filter(|(_, &c)| c > threshold)
+            .map(|(&u, _)| u)
+            .collect()
+    }
+}
+
+/// Result of a rings (synopsis diffusion) frequent-items run.
+#[derive(Clone, Debug)]
+pub struct RingsRunResult {
+    /// The estimates evaluated at the base station.
+    pub estimates: FreqEstimates,
+    /// Communication accounting.
+    pub stats: CommStats,
+}
+
+/// Run the multi-path algorithm over a rings topology: level-by-level
+/// broadcasts, each receiver one ring closer folding in whatever it hears.
+pub fn run_rings<F: CounterFactory, M: LossModel, R: rand::Rng + ?Sized>(
+    net: &Network,
+    rings: &td_topology::rings::Rings,
+    cfg: &MultipathConfig<F>,
+    bags: &[ItemBag],
+    model: &M,
+    epoch: u64,
+    rng: &mut R,
+) -> RingsRunResult {
+    assert_eq!(bags.len(), net.len(), "one bag per node required");
+    let mut holding: Vec<SynopsisSet<F::Counter>> =
+        (0..net.len()).map(|_| SynopsisSet::new()).collect();
+    let mut stats = CommStats::new(net.len());
+
+    for level in (1..=rings.max_level()).rev() {
+        for u in rings.nodes_at_level(level) {
+            let set = &mut holding[u.index()];
+            if let Some(local) = generate_from_bag(cfg, u, &bags[u.index()]) {
+                set.insert(local);
+            }
+            set.compact(cfg);
+            let words = set.wire_words();
+            stats.record_send(u, words * 4, words, 1);
+            if set.is_empty() {
+                continue;
+            }
+            let receivers = broadcast(model, u, rings.receivers(u), net, epoch, rng);
+            let payload = std::mem::take(&mut holding[u.index()]);
+            for r in &receivers {
+                holding[r.index()].absorb(payload.clone());
+            }
+        }
+    }
+    let mut base = std::mem::take(&mut holding[BASE_STATION.index()]);
+    if let Some(local) = generate_from_bag(cfg, BASE_STATION, &bags[BASE_STATION.index()]) {
+        base.insert(local);
+    }
+    base.compact(cfg);
+    RingsRunResult {
+        estimates: base.evaluate(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::{count_items, true_frequent};
+    use td_netsim::loss::{Global, NoLoss};
+    use td_netsim::node::Position;
+    use td_netsim::rng::rng_from_seed;
+    use td_sketches::counter::{ExactFactory, FmFactory};
+    use td_topology::rings::Rings;
+
+    fn cfg_exact(eps: f64, n_upper: u64) -> MultipathConfig<ExactFactory> {
+        MultipathConfig::new(eps, 1.5, n_upper, ExactFactory)
+    }
+
+    #[test]
+    fn sg_prunes_rare_items_and_sets_class() {
+        let cfg = cfg_exact(0.1, 1 << 20);
+        let bag = ItemBag::from_counts([(1, 900), (2, 80), (3, 20), (4, 1)]);
+        // n0 = 1001, class = 9, threshold = 9 * 1001 * 0.1 / 20 ≈ 45.
+        let s = generate_from_bag(&cfg, NodeId(5), &bag).unwrap();
+        assert_eq!(s.class, 9);
+        let items: Vec<Item> = s.estimates().map(|(u, _)| u).collect();
+        assert_eq!(items, vec![1, 2]);
+        assert!((s.total.estimate() - 1001.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_bag_generates_nothing() {
+        let cfg = cfg_exact(0.1, 1024);
+        assert!(generate_from_bag(&cfg, NodeId(1), &ItemBag::new()).is_none());
+    }
+
+    #[test]
+    fn fuse_dedups_duplicate_populations() {
+        let cfg = cfg_exact(0.01, 1 << 16);
+        let bag = ItemBag::from_counts([(1, 500), (2, 300)]);
+        let a = generate_from_bag(&cfg, NodeId(1), &bag).unwrap();
+        let b = a.clone();
+        let fused = fuse(&cfg, a, b.clone());
+        // Fusing a synopsis with its own copy must not change estimates.
+        assert!((fused.total.estimate() - 800.0).abs() < 1e-9);
+        let est: BTreeMap<Item, f64> = fused.estimates().collect();
+        assert!((est[&1] - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fuse_promotes_class_and_drops() {
+        let cfg = cfg_exact(0.2, 1 << 10);
+        // Two nodes, each n0 = 612 (class 9): fused ñ = 1224 > 2^10 -> promote.
+        let a = generate_from_bag(
+            &cfg,
+            NodeId(1),
+            &ItemBag::from_counts([(1, 600), (2, 12)]),
+        )
+        .unwrap();
+        let b = generate_from_bag(
+            &cfg,
+            NodeId(2),
+            &ItemBag::from_counts([(1, 600), (3, 12)]),
+        )
+        .unwrap();
+        assert_eq!(a.class, b.class);
+        let fused = fuse(&cfg, a, b);
+        assert!(fused.class >= 10, "class {}", fused.class);
+        // Threshold at promotion: 0.2 * 1224 / 10 = 24.5; η = 1.5 ->
+        // items with est < 16.3 drop: items 2 and 3 (12) go, item 1 stays.
+        let items: Vec<Item> = fused.estimates().map(|(u, _)| u).collect();
+        assert_eq!(items, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same-class")]
+    fn fuse_rejects_different_classes() {
+        let cfg = cfg_exact(0.1, 1 << 10);
+        let a = generate_from_bag(&cfg, NodeId(1), &ItemBag::from_counts([(1, 4)])).unwrap();
+        let b = generate_from_bag(&cfg, NodeId(2), &ItemBag::from_counts([(1, 100)])).unwrap();
+        let _ = fuse(&cfg, a, b);
+    }
+
+    #[test]
+    fn compact_leaves_one_per_class() {
+        let cfg = cfg_exact(0.05, 1 << 16);
+        let mut set = SynopsisSet::new();
+        for node in 1..=8u32 {
+            let bag = ItemBag::from_counts([(1, 100), (node as u64 + 10, 40)]);
+            set.insert(generate_from_bag(&cfg, NodeId(node), &bag).unwrap());
+        }
+        set.compact(&cfg);
+        let mut seen = std::collections::BTreeSet::new();
+        for (class, list) in &set.slots {
+            assert!(list.len() <= 1, "class {class} has {}", list.len());
+            seen.insert(*class);
+        }
+        assert!(!seen.is_empty());
+    }
+
+    fn rings_setup(seed: u64, nodes: usize) -> (Network, Rings) {
+        let mut rng = rng_from_seed(seed);
+        let net = Network::random_connected(
+            nodes,
+            20.0,
+            20.0,
+            Position::new(10.0, 10.0),
+            4.0,
+            &mut rng,
+        );
+        let rings = Rings::build(&net);
+        (net, rings)
+    }
+
+    fn skewed_bags(net: &Network, per_node: usize, seed: u64) -> Vec<ItemBag> {
+        use rand::Rng;
+        let mut rng = rng_from_seed(seed);
+        let mut bags = vec![ItemBag::new(); net.len()];
+        for u in net.sensor_ids() {
+            for _ in 0..per_node {
+                if rng.gen_bool(0.4) {
+                    bags[u.index()].add(rng.gen_range(1u64..4), 1);
+                } else {
+                    bags[u.index()].add(rng.gen_range(100u64..5000), 1);
+                }
+            }
+        }
+        bags
+    }
+
+    #[test]
+    fn rings_lossless_exact_counters_find_frequent() {
+        let (net, rings) = rings_setup(91, 60);
+        let bags = skewed_bags(&net, 200, 92);
+        let n: u64 = bags.iter().map(|b| b.total()).sum();
+        let cfg = cfg_exact(0.002, n * 2);
+        let mut rng = rng_from_seed(93);
+        let res = run_rings(&net, &rings, &cfg, &bags, &NoLoss, 0, &mut rng);
+        // Exact counters + no loss: N̂ = N exactly.
+        assert!((res.estimates.n_est - n as f64).abs() < 1e-6);
+        let s = 0.05;
+        let reported = res.estimates.report(s - cfg.eps);
+        for item in true_frequent(&bags, s) {
+            assert!(reported.contains(&item), "missing {item}");
+        }
+        // All reported items are at least somewhat frequent (no junk).
+        let truth = count_items(&bags);
+        for item in &reported {
+            assert!(
+                truth.count(*item) as f64 > (s - cfg.eps) * n as f64 * 0.5,
+                "false positive {item} with count {}",
+                truth.count(*item)
+            );
+        }
+    }
+
+    #[test]
+    fn rings_estimates_never_exceed_truth_with_exact_counters() {
+        let (net, rings) = rings_setup(94, 50);
+        let bags = skewed_bags(&net, 100, 95);
+        let n: u64 = bags.iter().map(|b| b.total()).sum();
+        let cfg = cfg_exact(0.01, n * 2);
+        let mut rng = rng_from_seed(96);
+        let res = run_rings(&net, &rings, &cfg, &bags, &NoLoss, 0, &mut rng);
+        let truth = count_items(&bags);
+        for (&u, &est) in &res.estimates.counts {
+            assert!(
+                est <= truth.count(u) as f64 + 1e-6,
+                "item {u}: est {est} > truth {}",
+                truth.count(u)
+            );
+        }
+    }
+
+    #[test]
+    fn rings_robust_to_loss() {
+        // At 30% loss, multi-path still accounts for nearly everything.
+        let (net, rings) = rings_setup(97, 150);
+        let bags = skewed_bags(&net, 100, 98);
+        let n: u64 = bags.iter().map(|b| b.total()).sum();
+        let cfg = cfg_exact(0.01, n * 2);
+        let mut rng = rng_from_seed(99);
+        let res = run_rings(&net, &rings, &cfg, &bags, &Global::new(0.3), 0, &mut rng);
+        // Outer-ring nodes with a single receiver can still lose whole
+        // subtrees, so multi-path is not lossless — but it accounts for
+        // the large majority where a tree would lose most of the network
+        // (the tree expectation at ~6 hops and p=0.3 is ~0.7^6 ≈ 12%).
+        assert!(
+            res.estimates.n_est > 0.75 * n as f64,
+            "only {:.0}/{n} accounted for",
+            res.estimates.n_est
+        );
+    }
+
+    #[test]
+    fn rings_with_fm_counters_reports_heavy_hitters() {
+        let (net, rings) = rings_setup(101, 60);
+        let bags = skewed_bags(&net, 200, 102);
+        let n: u64 = bags.iter().map(|b| b.total()).sum();
+        let cfg = MultipathConfig::new(0.005, 2.0, n * 2, FmFactory { bitmaps: 16 });
+        let mut rng = rng_from_seed(103);
+        let res = run_rings(&net, &rings, &cfg, &bags, &NoLoss, 0, &mut rng);
+        // Items 1..3 each carry ~13% of N; report at s = 5%.
+        let reported = res.estimates.report(0.05 - cfg.eps);
+        for item in true_frequent(&bags, 0.05) {
+            assert!(reported.contains(&item), "missing heavy hitter {item}");
+        }
+    }
+
+    #[test]
+    fn multipath_message_cost_exceeds_tree_cost() {
+        // §7.4.3: a multi-path partial result spans ~3x the TinyDB
+        // messages of a tree summary. Sanity-check the direction.
+        let (net, rings) = rings_setup(104, 60);
+        let bags = skewed_bags(&net, 150, 105);
+        let n: u64 = bags.iter().map(|b| b.total()).sum();
+        let cfg = MultipathConfig::new(0.01, 2.0, n * 2, FmFactory { bitmaps: 16 });
+        let mut rng = rng_from_seed(106);
+        let res = run_rings(&net, &rings, &cfg, &bags, &NoLoss, 0, &mut rng);
+        let avg_messages =
+            res.stats.total_messages() as f64 / net.num_sensors() as f64;
+        assert!(
+            avg_messages > 1.0,
+            "expected multi-message synopses, got {avg_messages}"
+        );
+    }
+}

@@ -1,0 +1,583 @@
+//! Message-loss models and delivery primitives.
+//!
+//! Wireless sensor networks commonly see up to 30% message loss ([23] in
+//! the paper), and the evaluation sweeps loss rates from 0 to 1 under two
+//! failure models (§7.1):
+//!
+//! * [`Global`]`(p)` — every transmission is dropped independently with
+//!   probability `p`.
+//! * [`Regional`]`(p1, p2)` — transmissions *sent by* nodes inside a
+//!   rectangular failure region are dropped with probability `p1`, everyone
+//!   else with `p2`. (The paper attributes the loss rate to nodes in the
+//!   region; we interpret this as sender-side loss, which matches how the
+//!   delta region reacts in Figure 4.)
+//! * [`DistanceLoss`] — per-link loss rising with distance, used by the
+//!   LabData reconstruction where link quality was measured per pair.
+//! * [`Timeline`] — switches between models at given epochs, for the
+//!   dynamic scenario of Figure 6.
+//! * [`DeadNodes`] — failure injection: listed nodes never deliver.
+//!
+//! Loss is receiver-independent for unicast and receiver-*dependent* for
+//! broadcast: when a node broadcasts, each potential receiver flips its own
+//! coin, which is what gives multi-path its robustness (each reading must be
+//! lost on *all* paths to disappear).
+
+use crate::network::Network;
+use crate::node::{NodeId, Rect};
+use rand::Rng;
+
+/// A message-loss model: the probability that a single transmission from
+/// `from` to `to` at `epoch` is lost.
+///
+/// Implementations must be pure functions of their arguments so simulations
+/// are reproducible; all randomness happens in the delivery helpers.
+pub trait LossModel: Send + Sync {
+    /// Probability in `[0, 1]` that a transmission `from -> to` during
+    /// `epoch` is lost.
+    fn loss_rate(&self, from: NodeId, to: NodeId, net: &Network, epoch: u64) -> f64;
+
+    /// Sample whether a single transmission is delivered.
+    fn delivered<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        net: &Network,
+        epoch: u64,
+        rng: &mut R,
+    ) -> bool
+    where
+        Self: Sized,
+    {
+        let p = self.loss_rate(from, to, net, epoch);
+        debug_assert!((0.0..=1.0).contains(&p), "loss rate {p} out of range");
+        // A draw below `p` drops the message; p = 0 never drops, p = 1
+        // always drops (`gen` is in [0, 1)).
+        rng.gen::<f64>() >= p
+    }
+}
+
+/// Blanket impl so `&M` and boxed models are usable wherever a model is.
+impl<M: LossModel + ?Sized> LossModel for &M {
+    fn loss_rate(&self, from: NodeId, to: NodeId, net: &Network, epoch: u64) -> f64 {
+        (**self).loss_rate(from, to, net, epoch)
+    }
+}
+
+impl LossModel for Box<dyn LossModel> {
+    fn loss_rate(&self, from: NodeId, to: NodeId, net: &Network, epoch: u64) -> f64 {
+        (**self).loss_rate(from, to, net, epoch)
+    }
+}
+
+/// Perfect channel: nothing is ever lost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn loss_rate(&self, _: NodeId, _: NodeId, _: &Network, _: u64) -> f64 {
+        0.0
+    }
+}
+
+/// The paper's `Global(p)` failure model: uniform loss everywhere.
+#[derive(Clone, Copy, Debug)]
+pub struct Global {
+    p: f64,
+}
+
+impl Global {
+    /// Create a global loss model with rate `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss rate {p} out of [0,1]");
+        Global { p }
+    }
+
+    /// The loss rate.
+    pub fn rate(&self) -> f64 {
+        self.p
+    }
+}
+
+impl LossModel for Global {
+    fn loss_rate(&self, _: NodeId, _: NodeId, _: &Network, _: u64) -> f64 {
+        self.p
+    }
+}
+
+/// The paper's `Regional(p1, p2)` failure model: senders inside `region`
+/// lose messages at `p_inside`, all other senders at `p_outside`.
+#[derive(Clone, Copy, Debug)]
+pub struct Regional {
+    region: Rect,
+    p_inside: f64,
+    p_outside: f64,
+}
+
+impl Regional {
+    /// Create a regional loss model.
+    ///
+    /// # Panics
+    /// Panics unless both rates are in `[0, 1]`.
+    pub fn new(region: Rect, p_inside: f64, p_outside: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p_inside), "p_inside out of [0,1]");
+        assert!((0.0..=1.0).contains(&p_outside), "p_outside out of [0,1]");
+        Regional {
+            region,
+            p_inside,
+            p_outside,
+        }
+    }
+
+    /// The failure region.
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Loss rate for senders inside the region.
+    pub fn p_inside(&self) -> f64 {
+        self.p_inside
+    }
+
+    /// Loss rate for senders outside the region.
+    pub fn p_outside(&self) -> f64 {
+        self.p_outside
+    }
+}
+
+impl LossModel for Regional {
+    fn loss_rate(&self, from: NodeId, _: NodeId, net: &Network, _: u64) -> f64 {
+        if self.region.contains(net.position(from)) {
+            self.p_inside
+        } else {
+            self.p_outside
+        }
+    }
+}
+
+/// Distance-dependent link loss: `p(d) = floor + (ceiling - floor) *
+/// (d / range)^steepness`, clamped to `[floor, ceiling]`.
+///
+/// This is the standard empirical shape for mote radios (loss low in the
+/// connected region, rising sharply near the range edge [23]) and is what
+/// the LabData reconstruction uses in place of the measured per-link rates.
+#[derive(Clone, Copy, Debug)]
+pub struct DistanceLoss {
+    floor: f64,
+    ceiling: f64,
+    steepness: f64,
+}
+
+impl DistanceLoss {
+    /// Create a distance-based loss model.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= floor <= ceiling <= 1` and `steepness > 0`.
+    pub fn new(floor: f64, ceiling: f64, steepness: f64) -> Self {
+        assert!((0.0..=1.0).contains(&floor));
+        assert!((0.0..=1.0).contains(&ceiling));
+        assert!(floor <= ceiling, "floor {floor} > ceiling {ceiling}");
+        assert!(steepness > 0.0);
+        DistanceLoss {
+            floor,
+            ceiling,
+            steepness,
+        }
+    }
+}
+
+impl LossModel for DistanceLoss {
+    fn loss_rate(&self, from: NodeId, to: NodeId, net: &Network, _: u64) -> f64 {
+        let frac = (net.distance(from, to) / net.range()).clamp(0.0, 1.0);
+        self.floor + (self.ceiling - self.floor) * frac.powf(self.steepness)
+    }
+}
+
+/// A loss model that switches between phases at fixed epochs — the dynamic
+/// scenario of Figure 6 (`Global(0)` → `Regional(0.3,0)` at t=100 →
+/// `Global(0.3)` at t=200 → `Global(0)` at t=300).
+pub struct Timeline {
+    /// `(start_epoch, model)` phases, sorted by `start_epoch`; the phase in
+    /// effect at epoch `e` is the last one with `start_epoch <= e`.
+    phases: Vec<(u64, Box<dyn LossModel>)>,
+}
+
+impl Timeline {
+    /// Create a timeline from `(start_epoch, model)` phases.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty, unsorted, or does not start at epoch 0.
+    pub fn new(phases: Vec<(u64, Box<dyn LossModel>)>) -> Self {
+        assert!(!phases.is_empty(), "timeline needs at least one phase");
+        assert_eq!(phases[0].0, 0, "first phase must start at epoch 0");
+        assert!(
+            phases.windows(2).all(|w| w[0].0 < w[1].0),
+            "phases must be strictly sorted by start epoch"
+        );
+        Timeline { phases }
+    }
+
+    /// Which phase index is in effect at `epoch`.
+    pub fn phase_at(&self, epoch: u64) -> usize {
+        match self.phases.binary_search_by_key(&epoch, |p| p.0) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+}
+
+impl LossModel for Timeline {
+    fn loss_rate(&self, from: NodeId, to: NodeId, net: &Network, epoch: u64) -> f64 {
+        self.phases[self.phase_at(epoch)]
+            .1
+            .loss_rate(from, to, net, epoch)
+    }
+}
+
+/// Failure injection: the listed nodes are dead — every transmission they
+/// send is lost (receivers never hear them). Wraps an inner model for the
+/// remaining nodes.
+pub struct DeadNodes<M> {
+    dead: Vec<bool>,
+    inner: M,
+}
+
+impl<M: LossModel> DeadNodes<M> {
+    /// Mark `dead` nodes on top of `inner`.
+    pub fn new(dead_ids: &[NodeId], num_nodes: usize, inner: M) -> Self {
+        let mut dead = vec![false; num_nodes];
+        for id in dead_ids {
+            dead[id.index()] = true;
+        }
+        DeadNodes { dead, inner }
+    }
+}
+
+impl<M: LossModel> LossModel for DeadNodes<M> {
+    fn loss_rate(&self, from: NodeId, to: NodeId, net: &Network, epoch: u64) -> f64 {
+        if self.dead.get(from.index()).copied().unwrap_or(false)
+            || self.dead.get(to.index()).copied().unwrap_or(false)
+        {
+            1.0
+        } else {
+            self.inner.loss_rate(from, to, net, epoch)
+        }
+    }
+}
+
+/// Per-link loss-rate table; links not in the table fall back to `default`.
+/// Used to replay measured link-quality matrices.
+#[derive(Clone, Debug)]
+pub struct PerLink {
+    rates: std::collections::BTreeMap<(u32, u32), f64>,
+    default: f64,
+}
+
+impl PerLink {
+    /// Create a per-link table with a default rate for unlisted pairs.
+    pub fn new(default: f64) -> Self {
+        assert!((0.0..=1.0).contains(&default));
+        PerLink {
+            rates: std::collections::BTreeMap::new(),
+            default,
+        }
+    }
+
+    /// Set the loss rate of the directed link `from -> to`.
+    pub fn set(&mut self, from: NodeId, to: NodeId, rate: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.rates.insert((from.0, to.0), rate);
+        self
+    }
+
+    /// Set the loss rate in both directions.
+    pub fn set_symmetric(&mut self, a: NodeId, b: NodeId, rate: f64) -> &mut Self {
+        self.set(a, b, rate);
+        self.set(b, a, rate)
+    }
+}
+
+impl LossModel for PerLink {
+    fn loss_rate(&self, from: NodeId, to: NodeId, _: &Network, _: u64) -> f64 {
+        self.rates
+            .get(&(from.0, to.0))
+            .copied()
+            .unwrap_or(self.default)
+    }
+}
+
+/// Retransmission policy for tree links (§7.4.3): a sender retries a failed
+/// unicast up to `retries` extra times. Each retry costs a transmission and
+/// waits for an acknowledgment, so latency and channel capacity suffer
+/// (modeled by the caller via [`attempts_used`](RetransmitOutcome)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Retransmit {
+    /// Number of retries after the first attempt (0 = plain unicast).
+    pub retries: u32,
+}
+
+/// Result of a (possibly retransmitted) unicast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetransmitOutcome {
+    /// Whether any attempt succeeded.
+    pub delivered: bool,
+    /// How many transmissions were actually sent (1..=1+retries).
+    pub attempts_used: u32,
+}
+
+/// Send one message over a tree link with optional retransmissions.
+pub fn unicast<M: LossModel, R: Rng + ?Sized>(
+    model: &M,
+    policy: Retransmit,
+    from: NodeId,
+    to: NodeId,
+    net: &Network,
+    epoch: u64,
+    rng: &mut R,
+) -> RetransmitOutcome {
+    let mut attempts_used = 0;
+    for _ in 0..=policy.retries {
+        attempts_used += 1;
+        if model.delivered(from, to, net, epoch, rng) {
+            return RetransmitOutcome {
+                delivered: true,
+                attempts_used,
+            };
+        }
+    }
+    RetransmitOutcome {
+        delivered: false,
+        attempts_used,
+    }
+}
+
+/// Broadcast one message to a set of potential receivers: each receiver
+/// independently hears it or not. Returns the receivers that heard it.
+///
+/// This is the physical-layer behaviour multi-path aggregation exploits:
+/// one transmission, many chances to be heard.
+pub fn broadcast<M: LossModel, R: Rng + ?Sized>(
+    model: &M,
+    from: NodeId,
+    receivers: &[NodeId],
+    net: &Network,
+    epoch: u64,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    receivers
+        .iter()
+        .copied()
+        .filter(|&to| model.delivered(from, to, net, epoch, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Position;
+    use crate::rng::rng_from_seed;
+
+    fn line_net() -> Network {
+        Network::new(
+            vec![
+                Position::new(0.0, 0.0),
+                Position::new(1.0, 0.0),
+                Position::new(2.0, 0.0),
+                Position::new(11.0, 0.0),
+            ],
+            1.5,
+        )
+    }
+
+    #[test]
+    fn no_loss_always_delivers() {
+        let net = line_net();
+        let mut rng = rng_from_seed(0);
+        for _ in 0..100 {
+            assert!(NoLoss.delivered(NodeId(1), NodeId(0), &net, 0, &mut rng));
+        }
+    }
+
+    #[test]
+    fn global_one_never_delivers() {
+        let net = line_net();
+        let mut rng = rng_from_seed(0);
+        let m = Global::new(1.0);
+        for _ in 0..100 {
+            assert!(!m.delivered(NodeId(1), NodeId(0), &net, 0, &mut rng));
+        }
+    }
+
+    #[test]
+    fn global_rate_empirical() {
+        let net = line_net();
+        let mut rng = rng_from_seed(42);
+        let m = Global::new(0.3);
+        let trials = 20_000;
+        let delivered = (0..trials)
+            .filter(|_| m.delivered(NodeId(1), NodeId(0), &net, 0, &mut rng))
+            .count();
+        let rate = delivered as f64 / trials as f64;
+        assert!((rate - 0.7).abs() < 0.02, "delivery rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn global_rejects_bad_rate() {
+        let _ = Global::new(1.5);
+    }
+
+    #[test]
+    fn regional_rates_by_sender_position() {
+        let net = line_net();
+        let region = Rect::from_coords(0.0, -1.0, 1.5, 1.0); // contains nodes 0,1
+        let m = Regional::new(region, 0.8, 0.05);
+        assert_eq!(m.loss_rate(NodeId(1), NodeId(2), &net, 0), 0.8);
+        assert_eq!(m.loss_rate(NodeId(2), NodeId(1), &net, 0), 0.05);
+    }
+
+    #[test]
+    fn distance_loss_monotonic() {
+        let net = line_net();
+        let m = DistanceLoss::new(0.05, 0.6, 2.0);
+        let near = m.loss_rate(NodeId(0), NodeId(1), &net, 0); // d = 1.0
+        let base_adj = m.loss_rate(NodeId(1), NodeId(2), &net, 0); // d = 1.0
+        assert!((near - base_adj).abs() < 1e-12);
+        // distance 2 > range 1.5 clamps to ceiling
+        let far = m.loss_rate(NodeId(0), NodeId(2), &net, 0);
+        assert!((far - 0.6).abs() < 1e-12);
+        assert!(near < far);
+        assert!(near >= 0.05);
+    }
+
+    #[test]
+    fn timeline_switches_phases() {
+        let net = line_net();
+        let t = Timeline::new(vec![
+            (0, Box::new(NoLoss) as Box<dyn LossModel>),
+            (100, Box::new(Global::new(0.3))),
+            (200, Box::new(NoLoss)),
+        ]);
+        assert_eq!(t.loss_rate(NodeId(1), NodeId(0), &net, 0), 0.0);
+        assert_eq!(t.loss_rate(NodeId(1), NodeId(0), &net, 99), 0.0);
+        assert_eq!(t.loss_rate(NodeId(1), NodeId(0), &net, 100), 0.3);
+        assert_eq!(t.loss_rate(NodeId(1), NodeId(0), &net, 199), 0.3);
+        assert_eq!(t.loss_rate(NodeId(1), NodeId(0), &net, 200), 0.0);
+        assert_eq!(t.loss_rate(NodeId(1), NodeId(0), &net, 5000), 0.0);
+        assert_eq!(t.phase_at(150), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "first phase must start at epoch 0")]
+    fn timeline_must_start_at_zero() {
+        let _ = Timeline::new(vec![(5, Box::new(NoLoss) as Box<dyn LossModel>)]);
+    }
+
+    #[test]
+    fn dead_nodes_never_send_or_receive() {
+        let net = line_net();
+        let m = DeadNodes::new(&[NodeId(1)], net.len(), NoLoss);
+        assert_eq!(m.loss_rate(NodeId(1), NodeId(0), &net, 0), 1.0);
+        assert_eq!(m.loss_rate(NodeId(2), NodeId(1), &net, 0), 1.0);
+        assert_eq!(m.loss_rate(NodeId(2), NodeId(0), &net, 0), 0.0);
+    }
+
+    #[test]
+    fn per_link_overrides_and_default() {
+        let net = line_net();
+        let mut m = PerLink::new(0.1);
+        m.set(NodeId(1), NodeId(0), 0.5);
+        assert_eq!(m.loss_rate(NodeId(1), NodeId(0), &net, 0), 0.5);
+        assert_eq!(m.loss_rate(NodeId(0), NodeId(1), &net, 0), 0.1);
+        m.set_symmetric(NodeId(1), NodeId(2), 0.9);
+        assert_eq!(m.loss_rate(NodeId(1), NodeId(2), &net, 0), 0.9);
+        assert_eq!(m.loss_rate(NodeId(2), NodeId(1), &net, 0), 0.9);
+    }
+
+    #[test]
+    fn retransmission_improves_delivery() {
+        let net = line_net();
+        let m = Global::new(0.5);
+        let trials = 10_000;
+        let mut rng = rng_from_seed(9);
+        let mut plain = 0;
+        let mut retried = 0;
+        for _ in 0..trials {
+            if unicast(&m, Retransmit { retries: 0 }, NodeId(1), NodeId(0), &net, 0, &mut rng)
+                .delivered
+            {
+                plain += 1;
+            }
+            if unicast(&m, Retransmit { retries: 2 }, NodeId(1), NodeId(0), &net, 0, &mut rng)
+                .delivered
+            {
+                retried += 1;
+            }
+        }
+        let p_plain = plain as f64 / trials as f64;
+        let p_retried = retried as f64 / trials as f64;
+        assert!((p_plain - 0.5).abs() < 0.03, "{p_plain}");
+        // 1 - 0.5^3 = 0.875
+        assert!((p_retried - 0.875).abs() < 0.03, "{p_retried}");
+    }
+
+    #[test]
+    fn retransmit_attempts_accounting() {
+        let net = line_net();
+        let mut rng = rng_from_seed(1);
+        let all_fail = unicast(
+            &Global::new(1.0),
+            Retransmit { retries: 2 },
+            NodeId(1),
+            NodeId(0),
+            &net,
+            0,
+            &mut rng,
+        );
+        assert!(!all_fail.delivered);
+        assert_eq!(all_fail.attempts_used, 3);
+        let first_try = unicast(
+            &NoLoss,
+            Retransmit { retries: 2 },
+            NodeId(1),
+            NodeId(0),
+            &net,
+            0,
+            &mut rng,
+        );
+        assert!(first_try.delivered);
+        assert_eq!(first_try.attempts_used, 1);
+    }
+
+    #[test]
+    fn broadcast_hits_subset() {
+        let net = line_net();
+        let mut rng = rng_from_seed(5);
+        let receivers = [NodeId(0), NodeId(2)];
+        let heard = broadcast(&NoLoss, NodeId(1), &receivers, &net, 0, &mut rng);
+        assert_eq!(heard, vec![NodeId(0), NodeId(2)]);
+        let none = broadcast(&Global::new(1.0), NodeId(1), &receivers, &net, 0, &mut rng);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn broadcast_receivers_independent() {
+        // With p=0.5 and 2 receivers, P(exactly one hears) = 0.5; a
+        // correlated implementation would give 0.
+        let net = line_net();
+        let mut rng = rng_from_seed(11);
+        let m = Global::new(0.5);
+        let receivers = [NodeId(0), NodeId(2)];
+        let mut exactly_one = 0;
+        let trials = 10_000;
+        for _ in 0..trials {
+            if broadcast(&m, NodeId(1), &receivers, &net, 0, &mut rng).len() == 1 {
+                exactly_one += 1;
+            }
+        }
+        let frac = exactly_one as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.03, "{frac}");
+    }
+}

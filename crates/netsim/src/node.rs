@@ -1,0 +1,174 @@
+//! Node identifiers and 2-D positions.
+
+use std::fmt;
+
+/// Identifier of a node in the network.
+///
+/// Node `0` is always the base station ([`BASE_STATION`]); sensor motes are
+/// numbered `1..=m`. The identifier doubles as an index into the dense
+/// per-node vectors used throughout the workspace.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// The base station: the root of every aggregation topology.
+pub const BASE_STATION: NodeId = NodeId(0);
+
+impl NodeId {
+    /// The node id as a `usize` index into per-node vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this node is the base station.
+    #[inline]
+    pub fn is_base(self) -> bool {
+        self == BASE_STATION
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_base() {
+            write!(f, "base")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A position in the 2-D deployment area (units are whatever the scenario
+/// chooses: feet for the Synthetic grid, meters for LabData).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Position {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Position {
+    /// Create a position.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to another position.
+    #[inline]
+    pub fn distance(self, other: Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// An axis-aligned rectangle, used by the `Regional(p1, p2)` failure model
+/// (§7.1: the failure region `{(0,0),(10,10)}` of the 20×20 deployment).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Rect {
+    /// Lower-left corner.
+    pub min: Position,
+    /// Upper-right corner.
+    pub max: Position,
+}
+
+impl Rect {
+    /// Create a rectangle from its lower-left and upper-right corners.
+    ///
+    /// # Panics
+    /// Panics if the corners are not ordered (`min.x > max.x` etc.).
+    pub fn new(min: Position, max: Position) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y,
+            "Rect corners must be ordered: {min:?} vs {max:?}"
+        );
+        Rect { min, max }
+    }
+
+    /// Convenience constructor from scalar corner coordinates.
+    pub fn from_coords(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Rect::new(Position::new(x0, y0), Position::new(x1, y1))
+    }
+
+    /// Whether `p` lies inside the rectangle (boundaries inclusive).
+    #[inline]
+    pub fn contains(&self, p: Position) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Rectangle width.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Rectangle height.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_index_roundtrip() {
+        let id = NodeId(17);
+        assert_eq!(id.index(), 17);
+        assert_eq!(NodeId::from(17u32), id);
+    }
+
+    #[test]
+    fn base_station_is_node_zero() {
+        assert_eq!(BASE_STATION, NodeId(0));
+        assert!(BASE_STATION.is_base());
+        assert!(!NodeId(1).is_base());
+    }
+
+    #[test]
+    fn node_id_debug_formats() {
+        assert_eq!(format!("{:?}", BASE_STATION), "base");
+        assert_eq!(format!("{:?}", NodeId(5)), "n5");
+        assert_eq!(format!("{}", NodeId(5)), "n5");
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((b.distance(a) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn rect_contains_boundary_and_interior() {
+        let r = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains(Position::new(0.0, 0.0)));
+        assert!(r.contains(Position::new(10.0, 10.0)));
+        assert!(r.contains(Position::new(5.0, 5.0)));
+        assert!(!r.contains(Position::new(10.01, 5.0)));
+        assert!(!r.contains(Position::new(-0.01, 5.0)));
+        assert_eq!(r.width(), 10.0);
+        assert_eq!(r.height(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Rect corners must be ordered")]
+    fn rect_rejects_unordered_corners() {
+        let _ = Rect::from_coords(5.0, 0.0, 0.0, 10.0);
+    }
+}

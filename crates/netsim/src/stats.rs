@@ -1,0 +1,202 @@
+//! Communication and energy accounting.
+//!
+//! Battery drain in motes is dominated by radio transmissions — "the drain
+//! for sending a message between two neighboring sensors exceeds by several
+//! orders of magnitude the drain for local operations" (§1). We therefore
+//! charge energy per transmitted message and per transmitted byte and keep
+//! per-node counters so experiments can report average and maximum load
+//! (Figure 8) and total energy (Table 1's energy components).
+
+use crate::node::NodeId;
+
+/// Per-node communication counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeComm {
+    /// Radio transmissions (incl. retransmissions; a broadcast counts once).
+    pub transmissions: u64,
+    /// TinyDB messages sent (one transmission may carry one message; a
+    /// multi-message payload costs several transmissions).
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// 32-bit words (counters/items) sent — the unit of Figure 8.
+    pub words: u64,
+}
+
+/// Aggregated communication statistics for a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    per_node: Vec<NodeComm>,
+}
+
+impl CommStats {
+    /// Create counters for `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        CommStats {
+            per_node: vec![NodeComm::default(); num_nodes],
+        }
+    }
+
+    /// Record that `node` transmitted a payload of `bytes`/`words`.
+    ///
+    /// `attempts` is how many times the payload went on the air (1 for a
+    /// plain send, more under retransmission). The logical payload
+    /// (`messages`, `words`) is counted once; the physical cost
+    /// (`transmissions`, `bytes`) is multiplied by `attempts`.
+    pub fn record_send(&mut self, node: NodeId, bytes: usize, words: usize, attempts: u64) {
+        debug_assert!(attempts >= 1, "a send uses at least one attempt");
+        let msgs = crate::message::messages_for_bytes(bytes);
+        let c = &mut self.per_node[node.index()];
+        c.transmissions += msgs * attempts;
+        c.messages += msgs;
+        c.bytes += bytes as u64 * attempts;
+        c.words += words as u64;
+    }
+
+    /// Counters of one node.
+    pub fn node(&self, node: NodeId) -> NodeComm {
+        self.per_node[node.index()]
+    }
+
+    /// Total messages across all nodes.
+    pub fn total_messages(&self) -> u64 {
+        self.per_node.iter().map(|c| c.messages).sum()
+    }
+
+    /// Total transmissions across all nodes.
+    pub fn total_transmissions(&self) -> u64 {
+        self.per_node.iter().map(|c| c.transmissions).sum()
+    }
+
+    /// Total payload bytes across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_node.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Total words across all nodes (Figure 8's "total communication").
+    pub fn total_words(&self) -> u64 {
+        self.per_node.iter().map(|c| c.words).sum()
+    }
+
+    /// Average words per sensor node, excluding the base station.
+    pub fn average_words_per_sensor(&self) -> f64 {
+        let sensors = self.per_node.len().saturating_sub(1);
+        if sensors == 0 {
+            return 0.0;
+        }
+        self.per_node[1..].iter().map(|c| c.words).sum::<u64>() as f64 / sensors as f64
+    }
+
+    /// Maximum words sent by any single sensor (Figure 8's "max load").
+    pub fn max_words_per_sensor(&self) -> u64 {
+        self.per_node[1..]
+            .iter()
+            .map(|c| c.words)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Merge another stats object into this one (same node count).
+    pub fn merge(&mut self, other: &CommStats) {
+        assert_eq!(self.per_node.len(), other.per_node.len());
+        for (a, b) in self.per_node.iter_mut().zip(&other.per_node) {
+            a.transmissions += b.transmissions;
+            a.messages += b.messages;
+            a.bytes += b.bytes;
+            a.words += b.words;
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Whether the stats track zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.per_node.is_empty()
+    }
+}
+
+/// A simple radio energy model: `E = per_message * messages +
+/// per_byte * bytes`, in microjoules. Defaults follow mica2-class motes
+/// (dominated by the per-message fixed cost of preamble + MAC).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Fixed cost per transmitted message, in µJ.
+    pub per_message_uj: f64,
+    /// Cost per transmitted payload byte, in µJ.
+    pub per_byte_uj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        // Mica2 CC1000-class numbers: ~20 µJ/byte on air at 38.4 kbps,
+        // ~300 µJ fixed per packet (preamble, sync, MAC backoff).
+        EnergyModel {
+            per_message_uj: 300.0,
+            per_byte_uj: 20.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Total transmit energy for a stats object, in µJ.
+    pub fn total_uj(&self, stats: &CommStats) -> f64 {
+        self.per_message_uj * stats.total_messages() as f64
+            + self.per_byte_uj * stats.total_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = CommStats::new(3);
+        s.record_send(NodeId(1), 48, 12, 1);
+        s.record_send(NodeId(2), 96, 24, 2); // 2-message payload sent twice
+        assert_eq!(s.node(NodeId(1)).messages, 1);
+        assert_eq!(s.node(NodeId(1)).transmissions, 1);
+        assert_eq!(s.node(NodeId(1)).bytes, 48);
+        assert_eq!(s.node(NodeId(1)).words, 12);
+        assert_eq!(s.node(NodeId(2)).messages, 2);
+        assert_eq!(s.node(NodeId(2)).transmissions, 4);
+        assert_eq!(s.total_bytes(), 48 + 192);
+        assert_eq!(s.total_words(), 12 + 24);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.total_transmissions(), 5);
+    }
+
+    #[test]
+    fn sensor_load_excludes_base() {
+        let mut s = CommStats::new(3);
+        s.record_send(NodeId(0), 480, 120, 1); // base station chatter
+        s.record_send(NodeId(1), 4, 1, 1);
+        s.record_send(NodeId(2), 12, 3, 1);
+        assert_eq!(s.max_words_per_sensor(), 3);
+        assert!((s.average_words_per_sensor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CommStats::new(2);
+        a.record_send(NodeId(1), 4, 1, 1);
+        let mut b = CommStats::new(2);
+        b.record_send(NodeId(1), 8, 2, 1);
+        a.merge(&b);
+        assert_eq!(a.node(NodeId(1)).bytes, 12);
+        assert_eq!(a.node(NodeId(1)).words, 3);
+        assert_eq!(a.node(NodeId(1)).messages, 2);
+    }
+
+    #[test]
+    fn energy_model_charges_messages_and_bytes() {
+        let mut s = CommStats::new(2);
+        s.record_send(NodeId(1), 48, 12, 1);
+        let e = EnergyModel::default();
+        let expected = 300.0 + 20.0 * 48.0;
+        assert!((e.total_uj(&s) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,31 @@
+//! # td-quantiles — Greenwald–Khanna quantile summaries for sensor trees
+//!
+//! The Greenwald–Khanna (GK) summary [8] is the classic deterministic
+//! ε-approximate quantile structure, and the basis of two pieces of the
+//! paper:
+//!
+//! * the **Quantiles-based frequent-items baseline** of §7.4.2 ("frequent
+//!   items can be computed from quantiles"), and
+//! * §6.1.4's extension of the paper's precision-gradient machinery to
+//!   quantiles — "the first quantiles algorithms" with optimal total
+//!   communication on d-dominating trees.
+//!
+//! This implementation follows the *power-conserving* formulation of
+//! GK [8], which is built for sensor trees: each node builds an exact
+//! summary of its local collection, **combines** its children's summaries
+//! (absolute rank uncertainties add), then **reduces** (compresses) the
+//! result to its height's error budget before transmitting. The
+//! [`summary::GkSummary`] type tracks its own absolute uncertainty `E` so
+//! validity is checkable at every step.
+//!
+//! See [`summary`] for the data structure and [`gradient`] for the
+//! precision-gradient helpers shared with the frequent-items crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gradient;
+pub mod summary;
+
+pub use gradient::PrecisionGradient;
+pub use summary::GkSummary;

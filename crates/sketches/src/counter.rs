@@ -1,0 +1,295 @@
+//! Duplicate-insensitive counters — the ⊕ abstraction of §6.2.
+//!
+//! The multi-path frequent-items Algorithm 2 replaces ordinary addition
+//! with a duplicate-insensitive sum ⊕ in its Steps 1 and 2. This module
+//! defines the [`DiCounter`] trait those steps are generic over, plus
+//! three implementations spanning the accuracy/size spectrum:
+//!
+//! * [`ExactCounter`] — `εc = 0`, unbounded size. A reference
+//!   implementation for tests and ground truth (stores the contributing
+//!   populations explicitly).
+//! * [`FmCounter`] — the low-overhead best-effort estimator of [7] that
+//!   the paper's experiments actually use (§7.4.3): small, ~`1.1/√K`
+//!   relative error, not accuracy-preserving in the Definition 1 sense.
+//! * [`KmvCounter`] — the accuracy-preserving operator of Definition 1
+//!   (`k = O(1/εc²)`), needed for Theorem 1's guarantees.
+//!
+//! Every occurrence population is identified by a `salt` (in the frequent
+//! items algorithms: the hash of `(item, node)` or `(item, tree-root)`),
+//! so re-delivery along multiple paths dedups exactly.
+
+use crate::fm::FmSketch;
+use crate::kmv::Kmv;
+
+/// A duplicate-insensitive counter: supports adding a population of
+/// occurrences identified by a salt, ODI merging, and estimation.
+pub trait DiCounter: Clone {
+    /// Add `count` occurrences belonging to the population `salt`.
+    /// Re-adding the same `(salt, count)` population (possibly via a merged
+    /// copy) must not change the estimate.
+    fn add_occurrences(&mut self, salt: u64, count: u64);
+
+    /// ⊕: merge another counter of the same configuration.
+    fn merge(&mut self, other: &Self);
+
+    /// Estimated total count.
+    fn estimate(&self) -> f64;
+
+    /// Wire size in 32-bit words.
+    fn wire_words(&self) -> usize;
+}
+
+/// A factory producing fresh counters of a fixed configuration; the
+/// frequent-items algorithms carry one of these instead of hard-coding a
+/// counter type.
+pub trait CounterFactory: Clone {
+    /// The counter type produced.
+    type Counter: DiCounter;
+    /// Create an empty counter.
+    fn new_counter(&self) -> Self::Counter;
+}
+
+// ---------------------------------------------------------------------
+// Exact counter
+// ---------------------------------------------------------------------
+
+/// Exact duplicate-insensitive counter: remembers each `(salt, count)`
+/// population. Estimate is the exact sum over distinct salts. Size is
+/// unbounded — use only for tests/ground truth.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExactCounter {
+    populations: std::collections::BTreeMap<u64, u64>,
+}
+
+impl ExactCounter {
+    /// Create an empty exact counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DiCounter for ExactCounter {
+    fn add_occurrences(&mut self, salt: u64, count: u64) {
+        let entry = self.populations.entry(salt).or_insert(0);
+        // The same population must always carry the same count; keep the
+        // max so that a re-delivery can never shrink the estimate.
+        *entry = (*entry).max(count);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (&salt, &count) in &other.populations {
+            self.add_occurrences(salt, count);
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        self.populations.values().map(|&c| c as f64).sum()
+    }
+
+    fn wire_words(&self) -> usize {
+        self.populations.len() * 4 // 64-bit salt + 64-bit count
+    }
+}
+
+/// Factory for [`ExactCounter`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactFactory;
+
+impl CounterFactory for ExactFactory {
+    type Counter = ExactCounter;
+    fn new_counter(&self) -> ExactCounter {
+        ExactCounter::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// FM counter
+// ---------------------------------------------------------------------
+
+/// Best-effort FM counter ([7], as used in the paper's experiments).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FmCounter {
+    sketch: FmSketch,
+}
+
+impl FmCounter {
+    /// Create an FM counter with `bitmaps` bitmaps.
+    pub fn new(bitmaps: usize) -> Self {
+        FmCounter {
+            sketch: FmSketch::new(bitmaps),
+        }
+    }
+
+    /// Access the underlying sketch.
+    pub fn sketch(&self) -> &FmSketch {
+        &self.sketch
+    }
+}
+
+impl DiCounter for FmCounter {
+    fn add_occurrences(&mut self, salt: u64, count: u64) {
+        self.sketch.insert_value(salt, count);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.sketch.merge(&other.sketch);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.sketch.estimate()
+    }
+
+    fn wire_words(&self) -> usize {
+        crate::rle::encoded_size_bytes(&self.sketch).div_ceil(4)
+    }
+}
+
+/// Factory for [`FmCounter`].
+#[derive(Clone, Copy, Debug)]
+pub struct FmFactory {
+    /// Bitmaps per counter.
+    pub bitmaps: usize,
+}
+
+impl Default for FmFactory {
+    fn default() -> Self {
+        // Small counters: per-item counts ride alongside many other items
+        // in a synopsis, so we use fewer bitmaps than the headline Count
+        // aggregate (trade accuracy for message size, as the paper does).
+        FmFactory { bitmaps: 16 }
+    }
+}
+
+impl CounterFactory for FmFactory {
+    type Counter = FmCounter;
+    fn new_counter(&self) -> FmCounter {
+        FmCounter::new(self.bitmaps)
+    }
+}
+
+// ---------------------------------------------------------------------
+// KMV counter
+// ---------------------------------------------------------------------
+
+/// Accuracy-preserving counter (Definition 1) backed by a KMV sketch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KmvCounter {
+    kmv: Kmv,
+}
+
+impl KmvCounter {
+    /// Create a KMV counter with parameter `k` (`εc ≈ 1/√(k−2)`).
+    pub fn new(k: usize) -> Self {
+        KmvCounter { kmv: Kmv::new(k) }
+    }
+
+    /// Create a counter achieving relative error `eps_c`.
+    pub fn with_error(eps_c: f64) -> Self {
+        KmvCounter {
+            kmv: Kmv::new(Kmv::k_for_error(eps_c)),
+        }
+    }
+}
+
+impl DiCounter for KmvCounter {
+    fn add_occurrences(&mut self, salt: u64, count: u64) {
+        self.kmv.add_occurrences(salt, count);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.kmv.merge(&other.kmv);
+    }
+
+    fn estimate(&self) -> f64 {
+        self.kmv.estimate()
+    }
+
+    fn wire_words(&self) -> usize {
+        self.kmv.wire_words()
+    }
+}
+
+/// Factory for [`KmvCounter`].
+#[derive(Clone, Copy, Debug)]
+pub struct KmvFactory {
+    /// KMV parameter `k`.
+    pub k: usize,
+}
+
+impl CounterFactory for KmvFactory {
+    type Counter = KmvCounter;
+    fn new_counter(&self) -> KmvCounter {
+        KmvCounter::new(self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn behaves_like_counter<F: CounterFactory>(factory: &F, tolerance: f64) {
+        // Three populations summed, delivered redundantly along two paths.
+        let mut a = factory.new_counter();
+        a.add_occurrences(1, 1000);
+        a.add_occurrences(2, 2000);
+        let mut b = factory.new_counter();
+        b.add_occurrences(2, 2000); // duplicate of population 2
+        b.add_occurrences(3, 3000);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let est = merged.estimate();
+        let rel = (est - 6000.0).abs() / 6000.0;
+        assert!(rel <= tolerance, "estimate {est} rel {rel}");
+
+        // Idempotence of ⊕.
+        let mut twice = merged.clone();
+        twice.merge(&merged);
+        assert!((twice.estimate() - est).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_counter_is_exact() {
+        behaves_like_counter(&ExactFactory, 0.0);
+    }
+
+    #[test]
+    fn fm_counter_within_tolerance() {
+        behaves_like_counter(&FmFactory { bitmaps: 40 }, 0.45);
+    }
+
+    #[test]
+    fn kmv_counter_within_tolerance() {
+        behaves_like_counter(&KmvFactory { k: 512 }, 0.25);
+    }
+
+    #[test]
+    fn exact_counter_max_semantics() {
+        let mut c = ExactCounter::new();
+        c.add_occurrences(1, 10);
+        c.add_occurrences(1, 10);
+        assert_eq!(c.estimate(), 10.0);
+    }
+
+    #[test]
+    fn wire_words_scale() {
+        let mut exact = ExactCounter::new();
+        let mut fm = FmCounter::new(16);
+        let mut kmv = KmvCounter::new(16);
+        for salt in 0..100u64 {
+            exact.add_occurrences(salt, 5);
+            fm.add_occurrences(salt, 5);
+            kmv.add_occurrences(salt, 5);
+        }
+        // Exact grows linearly; sketches stay bounded.
+        assert_eq!(exact.wire_words(), 400);
+        assert!(fm.wire_words() <= 16 + 4);
+        assert!(kmv.wire_words() <= 32);
+    }
+
+    #[test]
+    fn empty_counters_estimate_zero() {
+        assert_eq!(ExactFactory.new_counter().estimate(), 0.0);
+        assert_eq!(FmFactory::default().new_counter().estimate(), 0.0);
+        assert_eq!(KmvFactory { k: 8 }.new_counter().estimate(), 0.0);
+    }
+}

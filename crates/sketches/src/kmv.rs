@@ -1,0 +1,344 @@
+//! K-minimum-values (KMV) distinct-count sketches.
+//!
+//! The multi-path frequent-items algorithm needs an *accuracy-preserving
+//! duplicate-insensitive sum operator* ⊕ (Definition 1): an `(εc, δc)`
+//! estimate of `X` combined with an `(εc, δc)` estimate of `Y` must yield
+//! an `(εc, δc)` estimate of `X + Y`. Distinct-element sketches in the
+//! style of Bar-Yossef et al. [3] have exactly this property; KMV is the
+//! standard representative. A KMV sketch keeps the `k` smallest hash
+//! values ever inserted (hashes are uniform in `[0, 2^64)`); merging takes
+//! the union and re-truncates; the estimate is `(k−1) / v_k` where `v_k`
+//! is the `k`-th smallest hash as a fraction of the hash space. Relative
+//! error is `≈ 1/√(k−2)` with high probability, so `k = O(1/εc²)` — the
+//! cost Theorem 1 charges per counter.
+//!
+//! Counts are added by inserting "occurrence" sub-elements. For large
+//! counts we insert the exact `k` smallest *order statistics* of `v`
+//! uniform draws, generated deterministically from the insertion salt, so
+//! adding a count of one million costs `O(k)` rather than `O(v)` — and the
+//! same `(salt, v)` always produces identical entries (the ODI property).
+
+use crate::hash::{keyed_pair, SplitMix};
+
+/// A k-minimum-values sketch.
+///
+/// ```
+/// use td_sketches::kmv::Kmv;
+///
+/// // An accuracy-preserving duplicate-insensitive sum: X ⊕ Y ≈ X + Y.
+/// let mut x = Kmv::new(256);
+/// x.add_occurrences(1, 40_000);
+/// let mut y = Kmv::new(256);
+/// y.add_occurrences(2, 60_000);
+/// x.merge(&y);
+/// let est = x.estimate();
+/// assert!((est - 100_000.0).abs() / 100_000.0 < 0.3, "estimate {est}");
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Kmv {
+    k: usize,
+    /// Sorted, deduplicated, at most `k` smallest hashes seen.
+    vals: Vec<u64>,
+}
+
+impl Kmv {
+    /// Create an empty sketch keeping the `k` smallest hashes.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` (the estimator needs at least two values).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2, "KMV needs k >= 2");
+        Kmv {
+            k,
+            vals: Vec::new(),
+        }
+    }
+
+    /// The `k` parameter.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The `k` needed for a target relative error `eps_c` (`k ≈ 2 + 1/εc²`).
+    pub fn k_for_error(eps_c: f64) -> usize {
+        assert!(eps_c > 0.0 && eps_c < 1.0);
+        (2.0 + eps_c.powi(-2)).ceil() as usize
+    }
+
+    /// Number of stored hashes.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Whether the sketch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Insert a single element by its hash.
+    pub fn insert_hash(&mut self, h: u64) {
+        if self.vals.len() == self.k && h >= *self.vals.last().unwrap() {
+            return;
+        }
+        match self.vals.binary_search(&h) {
+            Ok(_) => {} // duplicate: idempotent
+            Err(pos) => {
+                self.vals.insert(pos, h);
+                self.vals.truncate(self.k);
+            }
+        }
+    }
+
+    /// Add `count` occurrences identified by `salt`: semantically inserts
+    /// the hashes of sub-elements `(salt, 0..count)`. Deterministic in
+    /// `(salt, count)`; costs `O(k + min(count, k) log k)`.
+    pub fn add_occurrences(&mut self, salt: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if count <= self.k as u64 {
+            for i in 0..count {
+                self.insert_hash(keyed_pair(0x04D357A7, salt, i));
+            }
+            return;
+        }
+        // k smallest order statistics of `count` uniforms, sequentially:
+        // with U_(0) = 0, U_(i) = 1 - (1 - U_(i-1)) * (1 - u_i)^(1/(v-i+1)).
+        let mut stream = SplitMix::new(keyed_pair(0x04D357A7, salt, count));
+        let mut prev = 0.0f64;
+        let v = count as f64;
+        for i in 0..self.k {
+            let u = stream.next_f64();
+            let remaining = v - i as f64;
+            let next = 1.0 - (1.0 - prev) * (1.0 - u).powf(1.0 / remaining);
+            prev = next.min(1.0);
+            let h = (prev * (u64::MAX as f64)) as u64;
+            self.insert_hash(h);
+        }
+    }
+
+    /// ⊕: union of the stored hashes, keeping the `k` smallest.
+    ///
+    /// # Panics
+    /// Panics if the sketches have different `k`.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.k, other.k, "cannot merge KMV sketches with different k");
+        let mut merged = Vec::with_capacity(self.k.min(self.vals.len() + other.vals.len()));
+        let (mut i, mut j) = (0, 0);
+        while merged.len() < self.k && (i < self.vals.len() || j < other.vals.len()) {
+            let take_self = match (self.vals.get(i), other.vals.get(j)) {
+                (Some(a), Some(b)) => a <= b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_self {
+                let v = self.vals[i];
+                i += 1;
+                if j < other.vals.len() && other.vals[j] == v {
+                    j += 1; // dedup
+                }
+                merged.push(v);
+            } else {
+                merged.push(other.vals[j]);
+                j += 1;
+            }
+        }
+        self.vals = merged;
+    }
+
+    /// Estimate the number of distinct elements inserted. Exact while the
+    /// sketch holds fewer than `k` values.
+    pub fn estimate(&self) -> f64 {
+        if self.vals.len() < self.k {
+            return self.vals.len() as f64;
+        }
+        let vk = *self.vals.last().unwrap();
+        let frac = (vk as f64 + 1.0) / (u64::MAX as f64 + 1.0);
+        (self.k as f64 - 1.0) / frac
+    }
+
+    /// Wire size in 32-bit words: each stored hash is two words.
+    pub fn wire_words(&self) -> usize {
+        self.vals.len() * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::keyed;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_below_k() {
+        let mut s = Kmv::new(32);
+        for i in 0..10u64 {
+            s.insert_hash(keyed(1, i));
+        }
+        assert_eq!(s.estimate(), 10.0);
+    }
+
+    #[test]
+    fn idempotent_insertion() {
+        let mut s = Kmv::new(8);
+        s.insert_hash(42);
+        let snap = s.clone();
+        s.insert_hash(42);
+        assert_eq!(s, snap);
+    }
+
+    #[test]
+    fn estimate_accuracy_large() {
+        let k = 256; // eps_c ~ 1/sqrt(254) ~ 6%
+        let mut s = Kmv::new(k);
+        let n = 100_000u64;
+        for i in 0..n {
+            s.insert_hash(keyed(2, i));
+        }
+        let est = s.estimate();
+        let rel = (est - n as f64).abs() / n as f64;
+        assert!(rel < 0.2, "estimate {est} rel {rel}");
+    }
+
+    #[test]
+    fn k_for_error_inverse() {
+        assert_eq!(Kmv::k_for_error(0.5), 6);
+        assert!(Kmv::k_for_error(0.1) >= 102);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Kmv::new(16);
+        let mut b = Kmv::new(16);
+        let mut both = Kmv::new(16);
+        for i in 0..200u64 {
+            let h = keyed(3, i);
+            if i % 2 == 0 {
+                a.insert_hash(h);
+            } else {
+                b.insert_hash(h);
+            }
+            both.insert_hash(h);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, both);
+    }
+
+    #[test]
+    fn merge_overlapping_populations_dedups() {
+        let mut a = Kmv::new(16);
+        let mut b = Kmv::new(16);
+        for i in 0..100u64 {
+            let h = keyed(4, i);
+            a.insert_hash(h);
+            b.insert_hash(h);
+        }
+        let ea = a.estimate();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.estimate(), ea, "duplicates inflated the estimate");
+    }
+
+    #[test]
+    fn add_occurrences_deterministic() {
+        let mut a = Kmv::new(32);
+        a.add_occurrences(7, 1_000_000);
+        let mut b = Kmv::new(32);
+        b.add_occurrences(7, 1_000_000);
+        assert_eq!(a, b);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m, a, "re-adding the same occurrences must be a no-op");
+    }
+
+    #[test]
+    fn add_occurrences_estimate_scale() {
+        let k = 512;
+        let mut s = Kmv::new(k);
+        s.add_occurrences(9, 50_000);
+        let est = s.estimate();
+        let rel = (est - 50_000.0).abs() / 50_000.0;
+        assert!(rel < 0.25, "estimate {est} rel {rel}");
+    }
+
+    #[test]
+    fn accuracy_preserving_sum() {
+        // Definition 1: X ⊕ Y must estimate X + Y at the same error level.
+        let k = 512;
+        let mut x = Kmv::new(k);
+        x.add_occurrences(100, 30_000);
+        let mut y = Kmv::new(k);
+        y.add_occurrences(200, 70_000);
+        let mut sum = x.clone();
+        sum.merge(&y);
+        let est = sum.estimate();
+        let rel = (est - 100_000.0).abs() / 100_000.0;
+        assert!(rel < 0.25, "estimate {est} rel {rel}");
+    }
+
+    #[test]
+    fn small_count_path_exact() {
+        let mut s = Kmv::new(64);
+        s.add_occurrences(5, 10);
+        assert_eq!(s.estimate(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different k")]
+    fn merge_k_mismatch_panics() {
+        let mut a = Kmv::new(4);
+        let b = Kmv::new(8);
+        a.merge(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_commutative(xs in proptest::collection::vec(any::<u64>(), 0..100),
+                                  ys in proptest::collection::vec(any::<u64>(), 0..100)) {
+            let mk = |els: &[u64]| {
+                let mut s = Kmv::new(8);
+                for &e in els { s.insert_hash(e); }
+                s
+            };
+            let (a, b) = (mk(&xs), mk(&ys));
+            let mut ab = a.clone(); ab.merge(&b);
+            let mut ba = b.clone(); ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn prop_merge_associative(xs in proptest::collection::vec(any::<u64>(), 0..60),
+                                  ys in proptest::collection::vec(any::<u64>(), 0..60),
+                                  zs in proptest::collection::vec(any::<u64>(), 0..60)) {
+            let mk = |els: &[u64]| {
+                let mut s = Kmv::new(8);
+                for &e in els { s.insert_hash(e); }
+                s
+            };
+            let (a, b, c) = (mk(&xs), mk(&ys), mk(&zs));
+            let mut l = a.clone(); l.merge(&b); l.merge(&c);
+            let mut bc = b.clone(); bc.merge(&c);
+            let mut r = a.clone(); r.merge(&bc);
+            prop_assert_eq!(l, r);
+        }
+
+        #[test]
+        fn prop_merge_idempotent(xs in proptest::collection::vec(any::<u64>(), 0..100)) {
+            let mut a = Kmv::new(8);
+            for &e in &xs { a.insert_hash(e); }
+            let mut aa = a.clone();
+            aa.merge(&a);
+            prop_assert_eq!(aa, a);
+        }
+
+        #[test]
+        fn prop_sorted_and_bounded(xs in proptest::collection::vec(any::<u64>(), 0..200)) {
+            let mut a = Kmv::new(16);
+            for &e in &xs { a.insert_hash(e); }
+            prop_assert!(a.len() <= 16);
+            prop_assert!(a.vals.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

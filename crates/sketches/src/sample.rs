@@ -1,0 +1,279 @@
+//! Duplicate-insensitive uniform sampling via min-hash.
+//!
+//! §5 notes that a Uniform-sample synopsis computes many other aggregates
+//! (quantiles, statistical moments) in the Tributary-Delta framework. The
+//! classic ODI construction: every element gets a uniform priority from a
+//! fixed hash of its identity; a sample of size `k` keeps the `k` elements
+//! of smallest priority. Because priorities are deterministic, the same
+//! element sampled along many paths dedups exactly, and the union of two
+//! samples re-truncated to `k` equals the sample of the union — merging is
+//! commutative, associative, and idempotent.
+//!
+//! Entries carry a 64-bit payload (e.g. an `f64` reading's bits), keeping
+//! the structure `Ord`-friendly and byte-stable.
+
+/// A fixed-size min-hash (bottom-k) sample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinHashSample {
+    k: usize,
+    /// Sorted by `(priority, payload)`, deduplicated, at most `k` entries.
+    entries: Vec<(u64, u64)>,
+}
+
+impl MinHashSample {
+    /// Create an empty sample of capacity `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "sample capacity must be positive");
+        MinHashSample {
+            k,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Sample capacity.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of sampled elements currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the sample holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert an element with its hash-derived `priority` and a 64-bit
+    /// `payload`. The priority must be a deterministic hash of the element
+    /// identity for the ODI property to hold.
+    pub fn insert(&mut self, priority: u64, payload: u64) {
+        let entry = (priority, payload);
+        if self.entries.len() == self.k && entry >= *self.entries.last().unwrap() {
+            return;
+        }
+        match self.entries.binary_search(&entry) {
+            Ok(_) => {}
+            Err(pos) => {
+                self.entries.insert(pos, entry);
+                self.entries.truncate(self.k);
+            }
+        }
+    }
+
+    /// Insert an `f64` payload (stored as its bit pattern).
+    pub fn insert_f64(&mut self, priority: u64, value: f64) {
+        self.insert(priority, value.to_bits());
+    }
+
+    /// ⊕: union of entries, keeping the `k` of smallest priority.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.k, other.k, "cannot merge samples of different capacity");
+        let mut merged = Vec::with_capacity(self.k);
+        let (mut i, mut j) = (0, 0);
+        while merged.len() < self.k && (i < self.entries.len() || j < other.entries.len()) {
+            let next = match (self.entries.get(i), other.entries.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    if a <= b {
+                        i += 1;
+                        if a == b {
+                            j += 1;
+                        }
+                        a
+                    } else {
+                        j += 1;
+                        b
+                    }
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => break,
+            };
+            merged.push(next);
+        }
+        self.entries = merged;
+    }
+
+    /// The sampled payloads (in priority order).
+    pub fn payloads(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|&(_, p)| p)
+    }
+
+    /// The sampled payloads decoded as `f64`.
+    pub fn values_f64(&self) -> Vec<f64> {
+        self.entries.iter().map(|&(_, p)| f64::from_bits(p)).collect()
+    }
+
+    /// Estimate the `q`-quantile (0 ≤ q ≤ 1) of the sampled population.
+    /// Returns `None` on an empty sample.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let mut vals = self.values_f64();
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((q.clamp(0.0, 1.0) * (vals.len() - 1) as f64).round()) as usize;
+        Some(vals[idx])
+    }
+
+    /// Estimate the `p`-th raw statistical moment of the population.
+    pub fn moment(&self, p: u32) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let vals = self.values_f64();
+        Some(vals.iter().map(|v| v.powi(p as i32)).sum::<f64>() / vals.len() as f64)
+    }
+
+    /// Wire size in 32-bit words: 4 per entry (priority + payload).
+    pub fn wire_words(&self) -> usize {
+        self.entries.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::keyed;
+    use proptest::prelude::*;
+
+    fn sample_of(k: usize, ids: impl Iterator<Item = u64>) -> MinHashSample {
+        let mut s = MinHashSample::new(k);
+        for id in ids {
+            s.insert_f64(keyed(1, id), id as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn holds_everything_below_capacity() {
+        let s = sample_of(100, 0..50);
+        assert_eq!(s.len(), 50);
+    }
+
+    #[test]
+    fn truncates_to_capacity() {
+        let s = sample_of(10, 0..1000);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn duplicate_insertion_is_noop() {
+        let mut s = MinHashSample::new(8);
+        s.insert(5, 100);
+        let snap = s.clone();
+        s.insert(5, 100);
+        assert_eq!(s, snap);
+    }
+
+    #[test]
+    fn merge_equals_sample_of_union() {
+        let a = sample_of(16, 0..300);
+        let b = sample_of(16, 150..450); // overlap 150..300
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let direct = sample_of(16, 0..450);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn sample_is_uniform_ish() {
+        // Sample 64 of 0..10_000; the mean of sampled ids should be near
+        // 5000 across many hash keys.
+        let mut total = 0.0;
+        let trials = 40;
+        for t in 0..trials {
+            let mut s = MinHashSample::new(64);
+            for id in 0..10_000u64 {
+                s.insert_f64(keyed(100 + t, id), id as f64);
+            }
+            total += s.values_f64().iter().sum::<f64>() / 64.0;
+        }
+        let mean = total / trials as f64;
+        assert!((mean - 5000.0).abs() < 400.0, "mean {mean}");
+    }
+
+    #[test]
+    fn quantile_estimates() {
+        let mut s = MinHashSample::new(500);
+        for id in 0..5_000u64 {
+            s.insert_f64(keyed(7, id), id as f64);
+        }
+        let median = s.quantile(0.5).unwrap();
+        assert!((median - 2500.0).abs() < 500.0, "median {median}");
+        let min = s.quantile(0.0).unwrap();
+        assert!(min < 200.0);
+    }
+
+    #[test]
+    fn moment_estimates() {
+        let mut s = MinHashSample::new(1000);
+        for id in 0..2_000u64 {
+            s.insert_f64(keyed(8, id), 2.0);
+        }
+        assert!((s.moment(1).unwrap() - 2.0).abs() < 1e-12);
+        assert!((s.moment(2).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sample_queries() {
+        let s = MinHashSample::new(4);
+        assert!(s.quantile(0.5).is_none());
+        assert!(s.moment(1).is_none());
+        assert_eq!(s.wire_words(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_merge_commutative(xs in proptest::collection::vec(any::<u64>(), 0..100),
+                                  ys in proptest::collection::vec(any::<u64>(), 0..100)) {
+            let mk = |els: &[u64]| {
+                let mut s = MinHashSample::new(8);
+                for &e in els { s.insert(keyed(2, e), e); }
+                s
+            };
+            let (a, b) = (mk(&xs), mk(&ys));
+            let mut ab = a.clone(); ab.merge(&b);
+            let mut ba = b.clone(); ba.merge(&a);
+            prop_assert_eq!(ab, ba);
+        }
+
+        #[test]
+        fn prop_merge_associative(xs in proptest::collection::vec(any::<u64>(), 0..60),
+                                  ys in proptest::collection::vec(any::<u64>(), 0..60),
+                                  zs in proptest::collection::vec(any::<u64>(), 0..60)) {
+            let mk = |els: &[u64]| {
+                let mut s = MinHashSample::new(8);
+                for &e in els { s.insert(keyed(2, e), e); }
+                s
+            };
+            let (a, b, c) = (mk(&xs), mk(&ys), mk(&zs));
+            let mut l = a.clone(); l.merge(&b); l.merge(&c);
+            let mut bc = b.clone(); bc.merge(&c);
+            let mut r = a.clone(); r.merge(&bc);
+            prop_assert_eq!(l, r);
+        }
+
+        #[test]
+        fn prop_merge_idempotent(xs in proptest::collection::vec(any::<u64>(), 0..100)) {
+            let mut a = MinHashSample::new(8);
+            for &e in &xs { a.insert(keyed(2, e), e); }
+            let mut aa = a.clone();
+            aa.merge(&a);
+            prop_assert_eq!(aa, a);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The paper's tree-construction algorithm (§6.1.3).
+//!
+//! Two modifications to the standard TAG construction:
+//!
+//! 1. **Level restriction**: a node in ring level *i* selects (and switches
+//!    to) parents only from ring level *i−1*. This makes every tree link a
+//!    ring link, so nodes switching between tree and multi-path modes keep
+//!    their sending/listening epochs (§4.1), and it removes the stringy
+//!    same-level chains that hurt TAG's domination factor.
+//! 2. **Opportunistic parent switching**: a pin/flag local search that
+//!    drives the tree toward 2-domination (motivated by Lemma 2: a tree
+//!    where each internal node of height *i* has ≥ 2 children of height
+//!    *i−1* is 2-dominating). A node of height *j+1* with two or more
+//!    children of height *j* *pins* two of them (they can no longer switch
+//!    parents) and *flags* itself; non-pinned nodes then switch parents
+//!    randomly to reachable non-flagged level-(*i−1*) nodes; whenever a
+//!    non-flagged node accumulates two flagged children of the same height
+//!    it pins them and flags itself. Height-1 nodes (leaves) are trivially
+//!    flagged — they need no children.
+//!
+//! The search runs for a bounded number of rounds and keeps the best tree
+//! seen (by domination factor), so it can only improve on the initial
+//! restricted tree.
+
+use crate::domination::DominationProfile;
+use crate::rings::Rings;
+use crate::tree::Tree;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use td_netsim::network::Network;
+use td_netsim::node::{NodeId, BASE_STATION};
+
+/// Options for [`build_bushy_tree`].
+#[derive(Clone, Copy, Debug)]
+pub struct BushyOptions {
+    /// Maximum pin/flag/switch rounds (each round is O(edges)).
+    pub max_rounds: usize,
+    /// Granularity used when tracking the best domination factor.
+    pub granularity: f64,
+}
+
+impl Default for BushyOptions {
+    fn default() -> Self {
+        BushyOptions {
+            max_rounds: 12,
+            granularity: 0.05,
+        }
+    }
+}
+
+/// Build the restricted tree (parents strictly one ring level down) without
+/// the opportunistic-switching optimization. This is the starting point of
+/// the local search and also the tree used when the search is disabled.
+pub fn build_restricted_tree<R: Rng + ?Sized>(
+    net: &Network,
+    rings: &Rings,
+    rng: &mut R,
+) -> Tree {
+    let mut parent: Vec<Option<NodeId>> = vec![None; net.len()];
+    for u in rings.connected_nodes() {
+        if u == BASE_STATION {
+            continue;
+        }
+        let candidates = rings.receivers(u);
+        debug_assert!(!candidates.is_empty(), "connected node without receivers");
+        parent[u.index()] = candidates.choose(rng).copied();
+    }
+    Tree::from_parents(parent)
+}
+
+/// Build the paper's bushy tree (§6.1.3): restricted parents plus
+/// opportunistic parent switching to raise the domination factor.
+pub fn build_bushy_tree<R: Rng + ?Sized>(
+    net: &Network,
+    rings: &Rings,
+    options: BushyOptions,
+    rng: &mut R,
+) -> Tree {
+    let mut parent: Vec<Option<NodeId>> = {
+        let t = build_restricted_tree(net, rings, rng);
+        (0..net.len() as u32).map(|i| t.parent(NodeId(i))).collect()
+    };
+    let n = net.len();
+    let mut pinned = vec![false; n];
+    let mut flagged = vec![false; n];
+
+    let mut best_parent = parent.clone();
+    let mut best_factor = DominationProfile::from_tree(&Tree::from_parents(parent.clone()))
+        .domination_factor(options.granularity);
+
+    for _round in 0..options.max_rounds {
+        let tree = Tree::from_parents(parent.clone());
+        let heights = tree.heights();
+
+        // Flag pass: leaves are trivially flagged; an unflagged node that
+        // has two flagged children of the same height pins two of them and
+        // flags itself. Process bottom-up so flags propagate within a pass.
+        let mut order = tree.bottom_up_order();
+        for &u in &order {
+            if heights[u.index()] == 1 {
+                flagged[u.index()] = true;
+            }
+        }
+        for &u in &order {
+            if flagged[u.index()] {
+                continue;
+            }
+            // Group flagged children by height, largest height first so the
+            // pinned pair contributes to u's own height.
+            let mut by_height: std::collections::BTreeMap<u32, Vec<NodeId>> =
+                std::collections::BTreeMap::new();
+            for &c in tree.children(u) {
+                if flagged[c.index()] {
+                    by_height.entry(heights[c.index()]).or_default().push(c);
+                }
+            }
+            if let Some((_, group)) = by_height.iter().rev().find(|(_, g)| g.len() >= 2) {
+                pinned[group[0].index()] = true;
+                pinned[group[1].index()] = true;
+                flagged[u.index()] = true;
+            }
+        }
+
+        // Switch pass: non-pinned nodes move to a random reachable
+        // non-flagged node in the level below (keeping their parent when no
+        // such candidate exists). Randomized order avoids systematic bias.
+        order.shuffle(rng);
+        let mut changed = false;
+        for u in order {
+            if u == BASE_STATION || pinned[u.index()] {
+                continue;
+            }
+            let candidates: Vec<NodeId> = rings
+                .receivers(u)
+                .iter()
+                .copied()
+                .filter(|v| !flagged[v.index()])
+                .collect();
+            if let Some(&new_parent) = candidates.choose(rng) {
+                if parent[u.index()] != Some(new_parent) {
+                    parent[u.index()] = Some(new_parent);
+                    changed = true;
+                }
+            }
+        }
+
+        let factor = DominationProfile::from_tree(&Tree::from_parents(parent.clone()))
+            .domination_factor(options.granularity);
+        if factor > best_factor {
+            best_factor = factor;
+            best_parent = parent.clone();
+        }
+        if !changed {
+            break;
+        }
+    }
+    Tree::from_parents(best_parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domination::domination_factor;
+    use crate::tree::{build_tag_tree, ParentSelection};
+    use td_netsim::node::Position;
+    use td_netsim::rng::{rng_from_seed, substream};
+
+    fn synthetic(n: usize, seed: u64, range: f64) -> (Network, Rings) {
+        let mut rng = rng_from_seed(seed);
+        let net =
+            Network::random_in_rect(n, 20.0, 20.0, Position::new(10.0, 10.0), range, &mut rng);
+        let rings = Rings::build(&net);
+        (net, rings)
+    }
+
+    #[test]
+    fn restricted_tree_links_are_ring_links() {
+        let (net, rings) = synthetic(300, 41, 2.0);
+        let mut rng = rng_from_seed(42);
+        let tree = build_restricted_tree(&net, &rings, &mut rng);
+        assert_eq!(tree.tree_size(), rings.connected_count());
+        let level_of = |id: NodeId| rings.level(id);
+        assert!(tree.respects_links(&net, Some(&level_of)));
+    }
+
+    #[test]
+    fn bushy_tree_preserves_restriction() {
+        let (net, rings) = synthetic(300, 43, 2.0);
+        let mut rng = rng_from_seed(44);
+        let tree = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
+        assert_eq!(tree.tree_size(), rings.connected_count());
+        let level_of = |id: NodeId| rings.level(id);
+        assert!(tree.respects_links(&net, Some(&level_of)));
+    }
+
+    #[test]
+    fn bushy_beats_or_matches_tag_on_average() {
+        // Figure 7's headline: our construction improves the domination
+        // factor over TAG trees. Average over several seeds to avoid
+        // flakiness from any single draw.
+        let mut tag_sum = 0.0;
+        let mut bushy_sum = 0.0;
+        let trials = 5;
+        for s in 0..trials {
+            let (net, rings) = synthetic(250, 100 + s, 2.0);
+            let mut rng = substream(200, s);
+            let tag = build_tag_tree(&net, ParentSelection::Random, None, true, &mut rng);
+            let bushy = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
+            tag_sum += domination_factor(&tag, 0.05);
+            bushy_sum += domination_factor(&bushy, 0.05);
+        }
+        assert!(
+            bushy_sum >= tag_sum,
+            "bushy avg {} < tag avg {}",
+            bushy_sum / trials as f64,
+            tag_sum / trials as f64
+        );
+    }
+
+    #[test]
+    fn bushy_never_worse_than_restricted_start() {
+        // The search keeps the best tree seen, so it cannot regress below
+        // the plain restricted tree built from the same RNG stream.
+        let (net, rings) = synthetic(200, 45, 2.0);
+        let mut rng_a = rng_from_seed(46);
+        let restricted = build_restricted_tree(&net, &rings, &mut rng_a);
+        let mut rng_b = rng_from_seed(46);
+        let bushy = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng_b);
+        assert!(
+            domination_factor(&bushy, 0.05) >= domination_factor(&restricted, 0.05) - 1e-9
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (net, rings) = synthetic(150, 47, 2.0);
+        let t1 = build_bushy_tree(
+            &net,
+            &rings,
+            BushyOptions::default(),
+            &mut rng_from_seed(48),
+        );
+        let t2 = build_bushy_tree(
+            &net,
+            &rings,
+            BushyOptions::default(),
+            &mut rng_from_seed(48),
+        );
+        for u in net.node_ids() {
+            assert_eq!(t1.parent(u), t2.parent(u));
+        }
+    }
+
+    #[test]
+    fn handles_chain_topology() {
+        // A chain has no opportunity for bushiness; the algorithm must
+        // still terminate and return the only possible tree.
+        let positions = (0..6).map(|i| Position::new(i as f64, 0.0)).collect();
+        let net = Network::new(positions, 1.0);
+        let rings = Rings::build(&net);
+        let mut rng = rng_from_seed(49);
+        let tree = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
+        for i in 1..6 {
+            assert_eq!(tree.parent(NodeId(i)), Some(NodeId(i - 1)));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! d-dominating trees and domination factors (§6.1.2).
+//!
+//! For a tree, let `h(i)` be the number of nodes at height `i` (leaf = 1)
+//! and `H(i) = (1/m) Σ_{j≤i} h(j)` the fraction of nodes of height at most
+//! `i`. The paper defines a tree to be **d-dominating** if for every
+//! `i ≥ 1`:
+//!
+//! ```text
+//! H(i) ≥ (d−1)/d · (1 + 1/d + … + 1/d^{i−1})   =   1 − d^{−i}
+//! ```
+//!
+//! The **domination factor** is the largest `d` (on a granularity grid,
+//! 0.05 in the paper) for which the tree is d-dominating. Higher factors
+//! mean bushier trees and directly shrink the `(1 + 2/(√d−1))·m/ε` total
+//! communication bound of `Min Total-load` (Lemma 3).
+//!
+//! Every tree is 1-dominating; Lemma 2 shows a tree in which each internal
+//! node of height `i` has at least `d` children of height `i−1` is
+//! d-dominating.
+
+use crate::tree::Tree;
+
+/// Upper cap for reported domination factors: a star (every node height ≤ 2)
+/// dominates for arbitrarily large `d`, and unbounded values are useless in
+/// plots, so factors are clamped here.
+pub const MAX_DOMINATION_FACTOR: f64 = 16.0;
+
+/// The height profile of a tree: `h(i)` counts and `H(i)` cumulative
+/// fractions, over all in-tree nodes (root included).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DominationProfile {
+    /// `counts[i]` is `h(i+1)`, the number of nodes at height `i+1`.
+    counts: Vec<usize>,
+    /// Total nodes `m`.
+    m: usize,
+}
+
+impl DominationProfile {
+    /// Profile of a concrete tree.
+    pub fn from_tree(tree: &Tree) -> Self {
+        let heights = tree.heights();
+        let max_h = heights.iter().copied().max().unwrap_or(0) as usize;
+        let mut counts = vec![0usize; max_h];
+        let mut m = 0usize;
+        for &h in &heights {
+            if h > 0 {
+                counts[(h - 1) as usize] += 1;
+                m += 1;
+            }
+        }
+        DominationProfile { counts, m }
+    }
+
+    /// Profile from explicit height counts, `counts[i] = h(i+1)`. Used for
+    /// the paper's Table 2 example trees.
+    ///
+    /// # Panics
+    /// Panics if the counts are empty or sum to zero.
+    pub fn from_height_counts(counts: Vec<usize>) -> Self {
+        let m: usize = counts.iter().sum();
+        assert!(m > 0, "height profile needs at least one node");
+        DominationProfile { counts, m }
+    }
+
+    /// Number of nodes `m`.
+    pub fn num_nodes(&self) -> usize {
+        self.m
+    }
+
+    /// Tree height (maximum node height).
+    pub fn height(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `h(i)`: number of nodes at height `i` (1-based).
+    pub fn h(&self, i: usize) -> usize {
+        if i == 0 || i > self.counts.len() {
+            0
+        } else {
+            self.counts[i - 1]
+        }
+    }
+
+    /// `H(i)`: fraction of nodes with height at most `i` (1-based).
+    pub fn cumulative(&self, i: usize) -> f64 {
+        let capped = i.min(self.counts.len());
+        let sum: usize = self.counts[..capped].iter().sum();
+        sum as f64 / self.m as f64
+    }
+
+    /// Whether the tree is d-dominating: `H(i) ≥ 1 − d^{−i}` for all `i`.
+    ///
+    /// A small epsilon absorbs floating-point error so that, e.g., a
+    /// perfectly regular degree-d tree tests as d-dominating.
+    pub fn is_d_dominating(&self, d: f64) -> bool {
+        if d < 1.0 {
+            return false;
+        }
+        for i in 1..=self.counts.len() {
+            let bound = 1.0 - d.powi(-(i as i32));
+            if self.cumulative(i) + 1e-9 < bound {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The exact (continuous) domination factor: `min_i (1 − H(i))^{−1/i}`
+    /// over levels with `H(i) < 1`, clamped to
+    /// `[1, MAX_DOMINATION_FACTOR]`.
+    pub fn exact_domination_factor(&self) -> f64 {
+        let mut d = MAX_DOMINATION_FACTOR;
+        for i in 1..=self.counts.len() {
+            let hi = self.cumulative(i);
+            if hi < 1.0 {
+                let di = (1.0 / (1.0 - hi)).powf(1.0 / i as f64);
+                d = d.min(di);
+            }
+        }
+        d.max(1.0)
+    }
+
+    /// The domination factor on a granularity grid (the paper uses 0.05):
+    /// the largest grid value `1 + k·granularity` that still dominates.
+    pub fn domination_factor(&self, granularity: f64) -> f64 {
+        assert!(granularity > 0.0);
+        let exact = self.exact_domination_factor();
+        let steps = ((exact - 1.0) / granularity).floor();
+        let snapped = 1.0 + steps * granularity;
+        // Guard against floating-point snapping above the true factor.
+        if self.is_d_dominating(snapped) {
+            snapped
+        } else {
+            (snapped - granularity).max(1.0)
+        }
+    }
+}
+
+/// Convenience: domination factor of a tree at the given granularity.
+pub fn domination_factor(tree: &Tree, granularity: f64) -> f64 {
+    DominationProfile::from_tree(tree).domination_factor(granularity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_netsim::node::NodeId;
+
+    /// The paper's Table 2 example tree Te: h = (37, 10, 6, 1), m = 54.
+    fn table2_te() -> DominationProfile {
+        DominationProfile::from_height_counts(vec![37, 10, 6, 1])
+    }
+
+    /// The paper's Table 2 regular binary tree T2: h = (8, 4, 2, 1), m = 15.
+    fn table2_t2() -> DominationProfile {
+        DominationProfile::from_height_counts(vec![8, 4, 2, 1])
+    }
+
+    #[test]
+    fn table2_cumulative_fractions() {
+        let te = table2_te();
+        assert_eq!(te.num_nodes(), 54);
+        assert!((te.cumulative(1) - 37.0 / 54.0).abs() < 1e-12);
+        assert!((te.cumulative(2) - 47.0 / 54.0).abs() < 1e-12);
+        assert!((te.cumulative(3) - 53.0 / 54.0).abs() < 1e-12);
+        assert!((te.cumulative(4) - 1.0).abs() < 1e-12);
+        let t2 = table2_t2();
+        assert!((t2.cumulative(1) - 8.0 / 15.0).abs() < 1e-12);
+        assert!((t2.cumulative(2) - 12.0 / 15.0).abs() < 1e-12);
+        assert!((t2.cumulative(3) - 14.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table2_te_dominates_t2_pointwise() {
+        // The paper's argument: for all i, H(i) of Te ≥ H(i) of T2, and T2
+        // is 2-dominating, so Te is 2-dominating.
+        let te = table2_te();
+        let t2 = table2_t2();
+        for i in 1..=4 {
+            assert!(te.cumulative(i) >= t2.cumulative(i) - 1e-12, "level {i}");
+        }
+        assert!(t2.is_d_dominating(2.0));
+        assert!(te.is_d_dominating(2.0));
+    }
+
+    #[test]
+    fn regular_binary_tree_is_2_dominating_not_2_25(){
+        let t2 = table2_t2();
+        assert!(t2.is_d_dominating(2.0));
+        // H(1) = 8/15 = 0.5333 < 1 - 1/2.25 = 0.5555
+        assert!(!t2.is_d_dominating(2.25));
+    }
+
+    #[test]
+    fn lemma2_regular_trees() {
+        // A complete d-ary tree of height h has each internal node with
+        // exactly d children of one smaller height, so it is d-dominating.
+        for d in 2..=4usize {
+            for h in 2..=5usize {
+                let counts: Vec<usize> = (0..h).map(|i| d.pow((h - 1 - i) as u32)).collect();
+                let p = DominationProfile::from_height_counts(counts);
+                assert!(p.is_d_dominating(d as f64), "d={d} h={h}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_tree_is_1_dominating() {
+        let degenerate = DominationProfile::from_height_counts(vec![1, 1, 1, 1, 1]);
+        assert!(degenerate.is_d_dominating(1.0));
+        assert!(degenerate.domination_factor(0.05) >= 1.0);
+    }
+
+    #[test]
+    fn chain_has_factor_near_one() {
+        // Chain of n nodes: H(i) = i/n, which forces d -> small.
+        let chain = DominationProfile::from_height_counts(vec![1; 20]);
+        let f = chain.domination_factor(0.05);
+        assert!(f < 1.3, "chain factor {f}");
+    }
+
+    #[test]
+    fn star_hits_the_cap() {
+        let star = DominationProfile::from_height_counts(vec![99, 1]);
+        assert!(star.exact_domination_factor() > 10.0);
+    }
+
+    #[test]
+    fn monotone_in_d() {
+        let te = table2_te();
+        // (d + δ)-dominating implies d-dominating.
+        let mut d = 1.0;
+        let mut last = true;
+        while d < 6.0 {
+            let now = te.is_d_dominating(d);
+            assert!(last || !now, "domination not downward closed at {d}");
+            last = now;
+            d += 0.05;
+        }
+    }
+
+    #[test]
+    fn granularity_snapping_is_consistent() {
+        let te = table2_te();
+        let f = te.domination_factor(0.05);
+        assert!(te.is_d_dominating(f));
+        assert!(!te.is_d_dominating(f + 0.05 + 1e-6));
+        // Grid alignment
+        let steps = (f - 1.0) / 0.05;
+        assert!((steps - steps.round()).abs() < 1e-6, "{f} off-grid");
+    }
+
+    #[test]
+    fn from_tree_matches_height_counts() {
+        // base <- {1,2}; 1 <- {3,4}: heights: base 3, n1 2, n2 1, n3 1, n4 1
+        let tree = Tree::from_parents(vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            Some(NodeId(1)),
+        ]);
+        let p = DominationProfile::from_tree(&tree);
+        assert_eq!(p.h(1), 3);
+        assert_eq!(p.h(2), 1);
+        assert_eq!(p.h(3), 1);
+        assert_eq!(p.num_nodes(), 5);
+        assert_eq!(p.height(), 3);
+    }
+
+    #[test]
+    fn h_out_of_range_is_zero() {
+        let p = table2_te();
+        assert_eq!(p.h(0), 0);
+        assert_eq!(p.h(5), 0);
+        assert_eq!(p.h(4), 1);
+    }
+}

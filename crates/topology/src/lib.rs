@@ -1,0 +1,39 @@
+//! # td-topology — aggregation topologies for sensor networks
+//!
+//! Builds and analyzes the routing structures the paper's aggregation
+//! schemes run over:
+//!
+//! * [`rings`] — the multi-path **Rings** topology of synopsis diffusion
+//!   ([5,16] in the paper; §2): BFS levels outward from the base station;
+//!   level *i+1* nodes broadcast while level *i* nodes listen.
+//! * [`tree`] — spanning **aggregation trees**: the `Tree` structure
+//!   (parents, children, levels, heights, subtree sizes) plus the standard
+//!   TAG construction [10] with optional link-quality-aware parent choice.
+//! * [`bushy`] — the paper's tree-construction algorithm (§6.1.3):
+//!   parents restricted to ring level *i−1* (so tree links are a subset of
+//!   ring links and switching nodes never re-synchronizes epochs, §4.1)
+//!   plus *opportunistic parent switching* (pin/flag local search) that
+//!   drives the tree toward 2-domination.
+//! * [`domination`] — heights, height histograms `h(i)`, cumulative
+//!   fractions `H(i)`, and the **domination factor** of §6.1.2 that
+//!   controls the `Min Total-load` communication bound (Lemma 3).
+//! * [`td`] — the labeled **Tributary-Delta graph** of §3: per-node
+//!   tree/multi-path modes, the edge/path correctness properties, the
+//!   switchable-vertex rules, and the expand/shrink primitives used by the
+//!   adaptation strategies of §4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bushy;
+pub mod domination;
+pub mod maintenance;
+pub mod rings;
+pub mod td;
+pub mod tree;
+
+pub use bushy::build_bushy_tree;
+pub use domination::{domination_factor, DominationProfile};
+pub use rings::Rings;
+pub use td::{Mode, TdTopology};
+pub use tree::{build_tag_tree, Tree};

@@ -1,0 +1,83 @@
+//! Failure scenarios (§7.1–§7.3).
+
+use td_netsim::loss::{Global, LossModel, NoLoss, Regional, Timeline};
+use td_netsim::node::Rect;
+
+/// The Regional failure rectangle of §7.1: `{(0,0),(10,10)}` of the 20×20
+/// deployment area.
+pub fn paper_failure_region() -> Rect {
+    Rect::from_coords(0.0, 0.0, 10.0, 10.0)
+}
+
+/// `Global(p)` (§7.1).
+pub fn global(p: f64) -> Global {
+    Global::new(p)
+}
+
+/// `Regional(p1, p2)` over the paper's quadrant (§7.1).
+pub fn regional(p1: f64, p2: f64) -> Regional {
+    Regional::new(paper_failure_region(), p1, p2)
+}
+
+/// The failure quadrant scaled to a `width × height` deployment — used so
+/// smoke-scale (smaller-area) runs keep the paper's one-quadrant geometry.
+pub fn failure_region_for(width: f64, height: f64) -> Rect {
+    Rect::from_coords(0.0, 0.0, width / 2.0, height / 2.0)
+}
+
+/// `Regional(p1, p2)` over the scaled quadrant.
+pub fn regional_for(width: f64, height: f64, p1: f64, p2: f64) -> Regional {
+    Regional::new(failure_region_for(width, height), p1, p2)
+}
+
+/// The dynamic scenario of Figure 6: `Global(0)` → `Regional(0.3, 0)` at
+/// t = 100 → `Global(0.3)` at t = 200 → `Global(0)` at t = 300.
+pub fn figure6_timeline() -> Timeline {
+    Timeline::new(vec![
+        (0, Box::new(NoLoss) as Box<dyn LossModel>),
+        (100, Box::new(regional(0.3, 0.0))),
+        (200, Box::new(global(0.3))),
+        (300, Box::new(NoLoss)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use td_netsim::network::Network;
+    use td_netsim::node::{NodeId, Position};
+
+    fn probe_net() -> Network {
+        Network::new(
+            vec![
+                Position::new(10.0, 10.0), // base
+                Position::new(5.0, 5.0),   // inside failure region
+                Position::new(15.0, 15.0), // outside
+            ],
+            20.0,
+        )
+    }
+
+    #[test]
+    fn regional_uses_paper_quadrant() {
+        let net = probe_net();
+        let m = regional(0.8, 0.05);
+        assert_eq!(m.loss_rate(NodeId(1), NodeId(0), &net, 0), 0.8);
+        assert_eq!(m.loss_rate(NodeId(2), NodeId(0), &net, 0), 0.05);
+    }
+
+    #[test]
+    fn figure6_phases() {
+        let net = probe_net();
+        let t = figure6_timeline();
+        // t in [0,100): lossless everywhere.
+        assert_eq!(t.loss_rate(NodeId(1), NodeId(0), &net, 50), 0.0);
+        // t in [100,200): regional 0.3 inside, 0 outside.
+        assert_eq!(t.loss_rate(NodeId(1), NodeId(0), &net, 150), 0.3);
+        assert_eq!(t.loss_rate(NodeId(2), NodeId(0), &net, 150), 0.0);
+        // t in [200,300): global 0.3.
+        assert_eq!(t.loss_rate(NodeId(2), NodeId(0), &net, 250), 0.3);
+        // t >= 300: restored.
+        assert_eq!(t.loss_rate(NodeId(1), NodeId(0), &net, 350), 0.0);
+    }
+}

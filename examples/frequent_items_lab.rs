@@ -1,0 +1,75 @@
+//! Frequent items over the LabData reconstruction: find the light levels
+//! that dominate the lab's readings, comparing the paper's three schemes
+//! under realistic loss (§6 + §7.4).
+//!
+//! ```sh
+//! cargo run --release --example frequent_items_lab
+//! ```
+
+use td_suite::core::metrics::{false_negative_rate, false_positive_rate};
+use td_suite::frequent::items::true_frequent;
+use td_suite::frequent::multipath::{run_rings, MultipathConfig};
+use td_suite::frequent::tree::{run_tree, GradientKind, TreeFrequentConfig};
+use td_suite::netsim::rng::rng_from_seed;
+use td_suite::sketches::counter::FmFactory;
+use td_suite::topology::bushy::{build_bushy_tree, BushyOptions};
+use td_suite::topology::rings::Rings;
+use td_suite::workloads::items::labdata_bags;
+use td_suite::workloads::labdata::LabData;
+
+fn main() {
+    let eps = 0.001; // ε = 0.1%
+    let support = 0.01; // s = 1%
+
+    let lab = LabData::new(3);
+    let bags = labdata_bags(&lab, 500);
+    let n_total: u64 = bags.iter().map(|b| b.total()).sum();
+    let truth = true_frequent(&bags, support);
+    println!(
+        "54 motes, {n_total} discretized light readings, {} truly frequent buckets (s = 1%)",
+        truth.len()
+    );
+
+    let net = lab.network();
+    let model = lab.loss_model();
+    let mut rng = rng_from_seed(4);
+
+    // Tree scheme: Algorithm 1 under the Min Total-load precision gradient
+    // over the bushy tree of §6.1.3.
+    let rings = Rings::build(net);
+    let tree = build_bushy_tree(net, &rings, BushyOptions::default(), &mut rng);
+    let cfg = TreeFrequentConfig::new(eps).with_gradient(GradientKind::MinTotalLoad);
+    let res = run_tree(net, &tree, &cfg, &bags, &model, 0, &mut rng);
+    report(
+        "tree (Min Total-load)",
+        &res.summary.report_frequent(support),
+        &truth,
+        res.stats.total_words(),
+    );
+
+    // Multi-path scheme: Algorithm 2 with best-effort FM counters.
+    let mp_cfg = MultipathConfig::new(eps, 2.0, n_total * 2, FmFactory { bitmaps: 16 });
+    let res = run_rings(net, &rings, &mp_cfg, &bags, &model, 0, &mut rng);
+    report(
+        "multi-path (rings)",
+        &res.estimates.report(support - eps),
+        &truth,
+        res.stats.total_words(),
+    );
+
+    println!(
+        "\nThe tree spends an order of magnitude fewer counters but loses whole\n\
+         subtrees to the lab's lossy links; the rings survive the loss at the\n\
+         cost of duplicate-insensitive counters. Tributary-Delta (see the\n\
+         fig09_freq_loss bench) combines them with ε split across the halves."
+    );
+}
+
+fn report(name: &str, reported: &[u64], truth: &[u64], words: u64) {
+    println!(
+        "{name:>22}: reported {:>2} items | FN {:>4.1}% FP {:>4.1}% | {words} counter-words sent",
+        reported.len(),
+        100.0 * false_negative_rate(reported, truth),
+        100.0 * false_positive_rate(reported, truth),
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run a Count query over a lossy sensor network with every
+//! aggregation scheme and compare the answers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use td_suite::core::protocol::ScalarProtocol;
+use td_suite::core::session::{Scheme, Session};
+use td_suite::netsim::loss::Global;
+use td_suite::netsim::network::Network;
+use td_suite::netsim::node::Position;
+use td_suite::netsim::rng::rng_from_seed;
+
+fn main() {
+    // 1. Deploy 300 sensors uniformly in a 20x20 area, base station at the
+    //    center, radio range 2.5 — the paper's Synthetic scenario, smaller.
+    let mut rng = rng_from_seed(42);
+    let net = Network::random_connected(300, 20.0, 20.0, Position::new(10.0, 10.0), 2.5, &mut rng);
+    println!(
+        "deployed {} sensors, {} radio links/node on average, {} ring levels deep",
+        net.num_sensors(),
+        net.average_degree(),
+        net.hop_counts().iter().max().unwrap()
+    );
+
+    // 2. A harsh channel: every transmission drops with probability 25%.
+    let channel = Global::new(0.25);
+
+    // 3. Run a continuous Count query ("how many sensors are alive?") for
+    //    120 epochs under each scheme. TD schemes adapt their delta region
+    //    every 10 epochs toward 90% of nodes contributing.
+    let values = vec![1u64; net.len()];
+    println!("\n{:>10}  {:>10} {:>14} {:>12}", "scheme", "answer", "contributing", "delta size");
+    for scheme in Scheme::all() {
+        let mut session = Session::with_paper_defaults(scheme, &net, &mut rng);
+        let mut last = None;
+        for epoch in 0..120 {
+            let proto = ScalarProtocol::new(
+                td_suite::aggregates::count::Count::default(),
+                &values,
+            );
+            last = Some(session.run_epoch(&proto, &channel, epoch, &mut rng));
+        }
+        let rec = last.unwrap();
+        println!(
+            "{:>10}  {:>10.1} {:>13.1}% {:>12}",
+            scheme.name(),
+            rec.output,
+            rec.pct_contributing * 100.0,
+            rec.delta_size
+        );
+    }
+    println!(
+        "\ntruth: {} — the tree (TAG) loses whole subtrees to the lossy channel,\n\
+         rings (SD) pay a ~12% sketch error, and Tributary-Delta lands in between\n\
+         by running trees where the channel allows and multi-path where it doesn't.",
+        net.num_sensors()
+    );
+}

@@ -1,0 +1,23 @@
+//! # td-suite — umbrella crate for the Tributary-Delta reproduction
+//!
+//! Re-exports every crate in the workspace under one roof so examples and
+//! integration tests can use a single dependency. See the individual crates
+//! for documentation:
+//!
+//! - [`netsim`] — the sensor-network simulator substrate
+//! - [`topology`] — TAG trees, rings, bushy trees, labeled TD graphs
+//! - [`sketches`] — duplicate-insensitive synopses (FM, KMV, min-hash)
+//! - [`aggregates`] — Count/Sum/Min/Max/Average/samples in the SG/SF/SE framework
+//! - [`quantiles`] — Greenwald–Khanna summaries with precision gradients
+//! - [`frequent`] — the paper's frequent-items algorithms (§6)
+//! - [`core`] — the Tributary-Delta framework and adaptation strategies (§3–4)
+//! - [`workloads`] — LabData / Synthetic scenarios and failure models (§7.1)
+
+pub use td_aggregates as aggregates;
+pub use td_frequent as frequent;
+pub use td_netsim as netsim;
+pub use td_quantiles as quantiles;
+pub use td_sketches as sketches;
+pub use td_topology as topology;
+pub use td_workloads as workloads;
+pub use tributary_delta as core;

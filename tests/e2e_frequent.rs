@@ -1,0 +1,115 @@
+//! End-to-end frequent-items runs through the Tributary-Delta protocol
+//! (§6.3): tree tributaries running Algorithm 1, delta running
+//! Algorithm 2, conversion at the boundary, ε split across the halves.
+
+use td_suite::core::protocol::FreqProtocol;
+use td_suite::core::session::{Scheme, Session, SessionConfig};
+use td_suite::frequent::items::{count_items, true_frequent, ItemBag};
+use td_suite::frequent::multipath::MultipathConfig;
+use td_suite::netsim::loss::{Global, NoLoss};
+use td_suite::netsim::network::Network;
+use td_suite::netsim::node::Position;
+use td_suite::netsim::rng::rng_from_seed;
+use td_suite::quantiles::gradient::MinTotalLoad;
+use td_suite::sketches::counter::{ExactFactory, FmFactory};
+
+fn fixture(seed: u64) -> (Network, Vec<ItemBag>) {
+    let mut rng = rng_from_seed(seed);
+    let net = Network::random_connected(100, 10.0, 10.0, Position::new(5.0, 5.0), 2.5, &mut rng);
+    use rand::Rng;
+    let mut bags = vec![ItemBag::new(); net.len()];
+    for u in net.sensor_ids() {
+        for _ in 0..200 {
+            if rng.gen_bool(0.35) {
+                bags[u.index()].add(rng.gen_range(1u64..5), 1);
+            } else {
+                bags[u.index()].add(rng.gen_range(100u64..3000), 1);
+            }
+        }
+    }
+    (net, bags)
+}
+
+#[test]
+fn td_frequent_lossless_exact_counters() {
+    let (net, bags) = fixture(11);
+    let n: u64 = bags.iter().map(|b| b.total()).sum();
+    let support = 0.05;
+    let mp_cfg = MultipathConfig::new(0.005, 1.5, n * 2, ExactFactory);
+    let gradient = MinTotalLoad::new(0.005, 2.0);
+    let mut rng = rng_from_seed(12);
+    let mut session = Session::new(SessionConfig::paper_defaults(Scheme::Td), &net, &mut rng);
+    let mut out = None;
+    for epoch in 0..25 {
+        let proto = FreqProtocol::new(mp_cfg.clone(), gradient, support, &bags);
+        out = Some(session.run_epoch(&proto, &NoLoss, epoch, &mut rng));
+    }
+    let rec = out.unwrap();
+    assert_eq!(rec.contributing, net.num_sensors());
+    let output = rec.output;
+    // N̂ exact with exact counters + no loss.
+    assert!(
+        (output.n_est - n as f64).abs() < 1e-6,
+        "n_est {} vs {n}",
+        output.n_est
+    );
+    for item in true_frequent(&bags, support) {
+        assert!(
+            output.reported.contains(&item),
+            "missing frequent item {item}"
+        );
+    }
+    // No absurd false positives: everything reported has real support
+    // above (s − ε) · N.
+    let truth = count_items(&bags);
+    for item in &output.reported {
+        assert!(
+            truth.count(*item) as f64 > (support - 0.011) * n as f64,
+            "false positive {item}"
+        );
+    }
+}
+
+#[test]
+fn td_frequent_lossy_fm_counters_keeps_heavy_hitters() {
+    let (net, bags) = fixture(13);
+    let n: u64 = bags.iter().map(|b| b.total()).sum();
+    let support = 0.05;
+    let mp_cfg = MultipathConfig::new(0.005, 2.0, n * 2, FmFactory { bitmaps: 16 });
+    let gradient = MinTotalLoad::new(0.005, 2.0);
+    let mut rng = rng_from_seed(14);
+    let mut session = Session::new(SessionConfig::paper_defaults(Scheme::Td), &net, &mut rng);
+    let model = Global::new(0.2);
+    let mut out = None;
+    for epoch in 0..60 {
+        let proto = FreqProtocol::new(mp_cfg.clone(), gradient, support, &bags);
+        out = Some(session.run_epoch(&proto, &model, epoch, &mut rng));
+    }
+    let output = out.unwrap().output;
+    // The four heavy hitters carry ~8-9% each; under 20% loss with an
+    // adapted delta they must all be reported.
+    for item in true_frequent(&bags, support) {
+        assert!(
+            output.reported.contains(&item),
+            "missing heavy hitter {item} (reported {:?})",
+            output.reported
+        );
+    }
+}
+
+#[test]
+fn pure_tree_freq_protocol_via_session() {
+    // The FreqProtocol also runs on the all-tree extreme (TAG scheme).
+    let (net, bags) = fixture(15);
+    let n: u64 = bags.iter().map(|b| b.total()).sum();
+    let mp_cfg = MultipathConfig::new(0.005, 1.5, n * 2, ExactFactory);
+    let gradient = MinTotalLoad::new(0.005, 2.0);
+    let mut rng = rng_from_seed(16);
+    let mut session = Session::with_paper_defaults(Scheme::Tag, &net, &mut rng);
+    let proto = FreqProtocol::new(mp_cfg, gradient, 0.05, &bags);
+    let rec = session.run_epoch(&proto, &NoLoss, 0, &mut rng);
+    assert_eq!(rec.output.n_est, n as f64);
+    for item in true_frequent(&bags, 0.05) {
+        assert!(rec.output.reported.contains(&item));
+    }
+}

@@ -1,0 +1,138 @@
+//! Cross-crate invariant tests: the paper's structural properties hold
+//! through adversarial, multi-epoch, adapting executions.
+
+use proptest::prelude::*;
+use td_suite::aggregates::count::Count;
+use td_suite::core::protocol::ScalarProtocol;
+use td_suite::core::session::{Scheme, Session, SessionConfig};
+use td_suite::netsim::loss::{DeadNodes, Global};
+use td_suite::netsim::network::Network;
+use td_suite::netsim::node::{NodeId, Position};
+use td_suite::netsim::rng::rng_from_seed;
+use td_suite::topology::bushy::{build_bushy_tree, BushyOptions};
+use td_suite::topology::rings::Rings;
+use td_suite::topology::td::TdTopology;
+
+fn net(seed: u64, sensors: usize) -> Network {
+    let mut rng = rng_from_seed(seed);
+    Network::random_connected(sensors, 12.0, 12.0, Position::new(6.0, 6.0), 2.5, &mut rng)
+}
+
+/// Edge/path correctness (Properties 1–2) must hold after every epoch of
+/// an adapting session under chaotic loss.
+#[test]
+fn correctness_properties_hold_through_adaptation() {
+    let net = net(21, 200);
+    let values = vec![1u64; net.len()];
+    for scheme in [Scheme::TdCoarse, Scheme::Td] {
+        let mut rng = rng_from_seed(22);
+        let mut session = Session::new(SessionConfig::paper_defaults(scheme), &net, &mut rng);
+        for epoch in 0..120u64 {
+            // Loss oscillates to provoke both expansion and shrinking.
+            let p = if (epoch / 30) % 2 == 0 { 0.35 } else { 0.02 };
+            let proto = ScalarProtocol::new(Count::default(), &values);
+            session.run_epoch(&proto, &Global::new(p), epoch, &mut rng);
+            let topo = session.topology().expect("TD scheme has a topology");
+            topo.validate().unwrap_or_else(|e| {
+                panic!("{} violated invariants at epoch {epoch}: {e}", scheme.name())
+            });
+            assert!(topo.check_path_correctness(), "path correctness broken");
+        }
+    }
+}
+
+/// Lemma 1: while both vertex classes exist, both switchable sets are
+/// non-empty — checked across the delta sizes an adapting session visits.
+#[test]
+fn lemma1_through_adaptation() {
+    let net = net(23, 150);
+    let values = vec![1u64; net.len()];
+    let mut rng = rng_from_seed(24);
+    let mut session = Session::with_paper_defaults(Scheme::TdCoarse, &net, &mut rng);
+    for epoch in 0..80u64 {
+        let p = if (epoch / 20) % 2 == 0 { 0.4 } else { 0.0 };
+        let proto = ScalarProtocol::new(Count::default(), &values);
+        session.run_epoch(&proto, &Global::new(p), epoch, &mut rng);
+        let topo = session.topology().unwrap();
+        if topo.tributary_size() > 0 {
+            assert!(!topo.switchable_t_nodes().is_empty());
+        }
+        if topo.delta_size() > 0 {
+            assert!(!topo.switchable_m_nodes().is_empty());
+        }
+    }
+}
+
+/// Dead nodes (failure injection) never corrupt answers — they only
+/// reduce the contributing set.
+#[test]
+fn dead_nodes_reduce_but_never_corrupt() {
+    let net = net(25, 150);
+    let values = vec![1u64; net.len()];
+    let dead: Vec<NodeId> = (1..=20).map(NodeId).collect();
+    let model = DeadNodes::new(&dead, net.len(), Global::new(0.05));
+    let mut rng = rng_from_seed(26);
+    let mut session = Session::with_paper_defaults(Scheme::Td, &net, &mut rng);
+    for epoch in 0..40 {
+        let proto = ScalarProtocol::new(Count::default(), &values);
+        let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
+        assert!(rec.contributing <= net.num_sensors() - dead.len());
+        // The estimate never exceeds a sane bound over the live population.
+        assert!(rec.output <= net.num_sensors() as f64 * 1.6);
+    }
+}
+
+/// The §4.1 synchronization constraint: every session-built TD topology
+/// keeps tree links inside ring links, parents exactly one level down.
+#[test]
+fn tree_links_subset_of_ring_links() {
+    for seed in [31u64, 32, 33] {
+        let net = net(seed, 120);
+        let rings = Rings::build(&net);
+        let mut rng = rng_from_seed(seed ^ 0xF);
+        let tree = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
+        let td = TdTopology::new(rings, tree, 1);
+        for u in td.rings().connected_nodes() {
+            if let Some(p) = td.tree().parent(u) {
+                assert!(net.in_range(u, p), "tree link {u}->{p} not a radio link");
+                assert_eq!(
+                    td.rings().level(p).unwrap() + 1,
+                    td.rings().level(u).unwrap(),
+                    "parent not one ring level down"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random expand/shrink walks over random deployments preserve the
+    /// topology invariants (fuzzing the switchability machinery from
+    /// outside the crate that implements it).
+    #[test]
+    fn prop_random_walks_preserve_invariants(seed in 0u64..500, steps in 1usize..60) {
+        let mut rng = rng_from_seed(seed);
+        let net = Network::random_connected(80, 9.0, 9.0, Position::new(4.5, 4.5), 2.5, &mut rng);
+        let rings = Rings::build(&net);
+        let tree = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
+        let mut td = TdTopology::new(rings, tree, 1);
+        use rand::Rng;
+        for _ in 0..steps {
+            if rng.gen_bool(0.5) {
+                let ts = td.switchable_t_nodes();
+                if let Some(&u) = ts.get(rng.gen_range(0..ts.len().max(1)).min(ts.len().saturating_sub(1))) {
+                    let _ = td.switch_to_m(u);
+                }
+            } else {
+                let ms = td.switchable_m_nodes();
+                if let Some(&u) = ms.get(rng.gen_range(0..ms.len().max(1)).min(ms.len().saturating_sub(1))) {
+                    let _ = td.switch_to_t(u);
+                }
+            }
+            prop_assert!(td.validate().is_ok());
+            prop_assert!(td.check_path_correctness());
+        }
+    }
+}
