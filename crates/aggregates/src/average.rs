@@ -11,13 +11,11 @@ use crate::traits::{Aggregate, Wire};
 use td_sketches::fm::FmSketch;
 
 /// Average reading across contributing nodes.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Average {
     sum: Sum,
     count: Count,
 }
-
 
 impl Average {
     /// Average with custom bitmap counts for its two component sketches.
@@ -130,8 +128,7 @@ mod tests {
     fn tree_average_exact() {
         let agg = Average::default();
         let rs = readings();
-        let expect =
-            rs.iter().map(|&(_, v)| v as f64).sum::<f64>() / rs.len() as f64;
+        let expect = rs.iter().map(|&(_, v)| v as f64).sum::<f64>() / rs.len() as f64;
         let p = merge_all(&agg, &rs).unwrap();
         assert!((agg.evaluate_tree(&p) - expect).abs() < 1e-9);
     }
@@ -140,8 +137,7 @@ mod tests {
     fn synopsis_average_close() {
         let agg = Average::default();
         let rs = readings();
-        let expect =
-            rs.iter().map(|&(_, v)| v as f64).sum::<f64>() / rs.len() as f64;
+        let expect = rs.iter().map(|&(_, v)| v as f64).sum::<f64>() / rs.len() as f64;
         let s = fuse_all(&agg, &rs).unwrap();
         let est = agg.evaluate_synopsis(&s);
         let rel = (est - expect).abs() / expect;

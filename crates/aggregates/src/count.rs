@@ -34,10 +34,7 @@ impl Default for Count {
 impl Count {
     /// Count with a custom number of FM bitmaps (accuracy/size knob).
     pub fn with_bitmaps(bitmaps: usize) -> Self {
-        Count {
-            bitmaps,
-            salt: 0,
-        }
+        Count { bitmaps, salt: 0 }
     }
 
     /// Count with a per-query salt: different salts draw independent
@@ -151,10 +148,7 @@ mod tests {
             .chain(readings(1..101))
             .collect();
         let twice = fuse_all(&agg, &twice_readings).unwrap();
-        assert_eq!(
-            agg.evaluate_synopsis(&once),
-            agg.evaluate_synopsis(&twice)
-        );
+        assert_eq!(agg.evaluate_synopsis(&once), agg.evaluate_synopsis(&twice));
     }
 
     #[test]
@@ -162,7 +156,14 @@ mod tests {
         // Figure 3: M3 fuses two multi-path bit vectors with a converted
         // tree count of 3. Larger version: 300 tree nodes + 300 mp nodes.
         let agg = Count::default();
-        assert_conversion_sound(&agg, 7, &readings(1..301), &readings(301..601), 0.4, Some(600.0));
+        assert_conversion_sound(
+            &agg,
+            7,
+            &readings(1..301),
+            &readings(301..601),
+            0.4,
+            Some(600.0),
+        );
     }
 
     #[test]

@@ -134,17 +134,25 @@ mod tests {
         let once = fuse_all(&agg, &rs).unwrap();
         let mut twice = once.clone();
         agg.fuse(&mut twice, &once);
-        assert_eq!(
-            agg.evaluate_synopsis(&once),
-            agg.evaluate_synopsis(&twice)
-        );
+        assert_eq!(agg.evaluate_synopsis(&once), agg.evaluate_synopsis(&twice));
     }
 
     #[test]
     fn conversion_sound() {
         let agg = Sum::default();
-        let truth: u64 = readings(150, 30).iter().chain(readings(150, 60).iter()).map(|&(_, v)| v).sum();
-        assert_conversion_sound(&agg, 9, &readings(150, 30), &readings(150, 60), 0.4, Some(truth as f64));
+        let truth: u64 = readings(150, 30)
+            .iter()
+            .chain(readings(150, 60).iter())
+            .map(|&(_, v)| v)
+            .sum();
+        assert_conversion_sound(
+            &agg,
+            9,
+            &readings(150, 30),
+            &readings(150, 60),
+            0.4,
+            Some(truth as f64),
+        );
     }
 
     #[test]

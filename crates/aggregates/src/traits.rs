@@ -39,10 +39,12 @@ impl Wire {
 /// guarantees each tributary root is the root of a unique subtree, §4.2
 /// footnote 3).
 pub trait Aggregate: Clone {
-    /// Partial result used by tree (tributary) nodes.
-    type TreePartial: Clone + std::fmt::Debug;
+    /// Partial result used by tree (tributary) nodes. (`'static` so
+    /// partials can ride in the type-erased multi-query bundles of the
+    /// session engine.)
+    type TreePartial: Clone + std::fmt::Debug + 'static;
     /// Duplicate-insensitive partial result used by delta nodes.
-    type Synopsis: Clone + std::fmt::Debug;
+    type Synopsis: Clone + std::fmt::Debug + 'static;
 
     /// Human-readable aggregate name (for reports).
     fn name(&self) -> &'static str;

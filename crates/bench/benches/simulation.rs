@@ -22,7 +22,13 @@ fn bench_topology(c: &mut Criterion) {
     g.bench_function("tag_tree", |b| {
         b.iter(|| {
             let mut rng = rng_from_seed(2);
-            build_tag_tree(black_box(&net), ParentSelection::Random, None, false, &mut rng)
+            build_tag_tree(
+                black_box(&net),
+                ParentSelection::Random,
+                None,
+                false,
+                &mut rng,
+            )
         })
     });
     g.bench_function("bushy_tree", |b| {
@@ -68,8 +74,7 @@ fn bench_epoch(c: &mut Criterion) {
             let mut session = Session::with_paper_defaults(Scheme::Td, &net, &mut rng);
             let counts = Synthetic::count_readings(&net);
             for epoch in 0..10 {
-                let proto =
-                    ScalarProtocol::new(td_aggregates::count::Count::default(), &counts);
+                let proto = ScalarProtocol::new(td_aggregates::count::Count::default(), &counts);
                 session.run_epoch(&proto, &model, epoch, &mut rng);
             }
             session

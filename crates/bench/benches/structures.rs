@@ -94,18 +94,12 @@ fn bench_minhash(c: &mut Criterion) {
 fn bench_freq_summary(c: &mut Criterion) {
     let mut g = c.benchmark_group("freq_summary");
     let bags: Vec<ItemBag> = (0..8)
-        .map(|k| {
-            ItemBag::from_counts((0..200u64).map(|i| (i * 8 + k, 1 + i % 5)))
-        })
+        .map(|k| ItemBag::from_counts((0..200u64).map(|i| (i * 8 + k, 1 + i % 5))))
         .collect();
     let children: Vec<FreqSummary> = bags.iter().map(FreqSummary::local).collect();
     g.bench_function("algorithm1_combine_8x200", |b| {
         b.iter(|| {
-            FreqSummary::combine(
-                black_box(&children),
-                &FreqSummary::empty(),
-                black_box(0.01),
-            )
+            FreqSummary::combine(black_box(&children), &FreqSummary::empty(), black_box(0.01))
         })
     });
     g.finish();
@@ -131,7 +125,9 @@ fn bench_gk(c: &mut Criterion) {
     let vals_b: Vec<u64> = (0..2000).map(|i| i * 13 % 1000).collect();
     let a = GkSummary::exact(&vals_a);
     let b2 = GkSummary::exact(&vals_b);
-    g.bench_function("combine_2k", |b| b.iter(|| black_box(&a).combine(black_box(&b2))));
+    g.bench_function("combine_2k", |b| {
+        b.iter(|| black_box(&a).combine(black_box(&b2)))
+    });
     g.bench_function("reduce_2k", |b| {
         b.iter(|| {
             let mut s = a.clone();

@@ -26,15 +26,9 @@ fn main() {
         if snap.scheme != "TD" {
             continue;
         }
-        println!(
-            "\n--- TD delta under Regional({}, 0.05) ---",
-            snap.p1
-        );
+        println!("\n--- TD delta under Regional({}, 0.05) ---", snap.p1);
         println!("{}", fig04::ascii_map(&net, &snap.delta, region));
-        let mut t = Table::new(
-            format!("delta coordinates p1={}", snap.p1),
-            &["x", "y"],
-        );
+        let mut t = Table::new(format!("delta coordinates p1={}", snap.p1), &["x", "y"]);
         for &(x, y) in &snap.delta {
             t.row(vec![format!("{x:.2}"), format!("{y:.2}")]);
         }

@@ -1,7 +1,9 @@
 //! Runs every regenerator in sequence (the full §7 evaluation). Respects
 //! `TD_SCALE=smoke|paper`; paper scale takes several minutes.
 
-use td_bench::experiments::{ablation, fig04, fig06, fig07, fig08, fig09, labdata_sum, rms, tab01, tab02};
+use td_bench::experiments::{
+    ablation, fig04, fig06, fig07, fig08, fig09, labdata_sum, rms, tab01, tab02,
+};
 use td_bench::Scale;
 
 fn main() {
@@ -23,12 +25,10 @@ fn main() {
     t.write_csv("fig02_count_rms");
 
     let a = rms::figure5a(scale, 0xF1605A);
-    rms::table("Figure 5(a): Sum RMS under Global(p)", &a)
-        .write_csv("fig05a_sum_global");
+    rms::table("Figure 5(a): Sum RMS under Global(p)", &a).write_csv("fig05a_sum_global");
     rms::table("Figure 5(a): Sum RMS under Global(p)", &a).print();
     let b = rms::figure5b(scale, 0xF1605B);
-    rms::table("Figure 5(b): Sum RMS under Regional(p, 0.05)", &b)
-        .write_csv("fig05b_sum_regional");
+    rms::table("Figure 5(b): Sum RMS under Regional(p, 0.05)", &b).write_csv("fig05b_sum_regional");
     rms::table("Figure 5(b): Sum RMS under Regional(p, 0.05)", &b).print();
 
     let snaps = fig04::run(scale, 0xF1604);
@@ -43,8 +43,7 @@ fn main() {
     let trials = (scale.runs * 3).max(3);
     let d = fig07::density_sweep(trials, 0xF1607A);
     fig07::table("Figure 7(a): domination vs density", "density", &d).print();
-    fig07::table("Figure 7(a): domination vs density", "density", &d)
-        .write_csv("fig07a_density");
+    fig07::table("Figure 7(a): domination vs density", "density", &d).write_csv("fig07a_density");
     let w = fig07::width_sweep(trials, 0xF1607B);
     fig07::table("Figure 7(b): domination vs width", "width", &w).print();
     fig07::table("Figure 7(b): domination vs width", "width", &w).write_csv("fig07b_width");
@@ -80,5 +79,8 @@ fn main() {
     ablation::tree_construction_ablation(scale, 0xAB1B).print();
     ablation::damping_ablation(scale, 0xAB1C).print();
 
-    println!("\nAll experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nAll experiments done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -20,10 +20,9 @@ use td_topology::domination::domination_factor;
 use td_topology::rings::Rings;
 use td_workloads::items::zipf_bags;
 use td_workloads::synthetic::Synthetic;
-use tributary_delta::adapt::AdaptAction;
+use tributary_delta::driver::Driver;
 use tributary_delta::metrics::rms_error_series;
-use tributary_delta::protocol::ScalarProtocol;
-use tributary_delta::session::{Scheme, Session, SessionConfig};
+use tributary_delta::session::{Scheme, SessionBuilder};
 
 /// Ablation 1: exact vs in-band adaptation signal at `Global(0.3)`.
 pub fn signal_ablation(scale: Scale, seed: u64) -> Table {
@@ -31,33 +30,33 @@ pub fn signal_ablation(scale: Scale, seed: u64) -> Table {
     let model = Global::new(0.3);
     let mut t = Table::new(
         "Ablation: adaptation signal (TD-Coarse, Global(0.3))",
-        &["signal", "rms", "final_pct_contributing", "final_delta_size"],
+        &[
+            "signal",
+            "rms",
+            "final_pct_contributing",
+            "final_delta_size",
+        ],
     );
     for (name, exact) in [("exact (instrumented)", true), ("in-band sketch", false)] {
-        let mut cfg = SessionConfig::paper_defaults(Scheme::TdCoarse);
-        cfg.use_exact_contrib_signal = exact;
-        let mut rng = substream(seed, 0xAB1);
-        let mut session = Session::new(cfg, &net, &mut rng);
-        let values = Synthetic::count_readings(&net);
-        let mut estimates = Vec::new();
-        let mut actuals = Vec::new();
-        let mut last_pct = 0.0;
-        let mut last_delta = 0;
-        for epoch in 0..(scale.warmup + scale.epochs) {
-            let proto = ScalarProtocol::new(td_aggregates::count::Count::default(), &values);
-            let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
-            if epoch >= scale.warmup {
-                estimates.push(rec.output);
-                actuals.push(net.num_sensors() as f64);
-            }
-            last_pct = rec.pct_contributing;
-            last_delta = rec.delta_size;
+        let mut builder = SessionBuilder::new(Scheme::TdCoarse);
+        if !exact {
+            builder = builder.in_band_signal();
         }
+        let mut rng = substream(seed, 0xAB1);
+        let mut driver = Driver::new(builder.build(&net, &mut rng), scale.warmup);
+        let result = driver.run_scalar(
+            &td_aggregates::count::Count::default(),
+            &Synthetic::count_workload(&net),
+            &model,
+            scale.epochs,
+            |_| net.num_sensors() as f64,
+            &mut rng,
+        );
         t.row(vec![
             name.to_string(),
-            f(rms_error_series(&estimates, &actuals)),
-            f(last_pct),
-            last_delta.to_string(),
+            f(rms_error_series(&result.estimates, &result.actuals)),
+            f(result.last_pct_contributing),
+            result.last_delta_size.to_string(),
         ]);
     }
     t
@@ -106,7 +105,7 @@ pub fn damping_ablation(scale: Scale, seed: u64) -> Table {
         &["damping", "adapt_actions", "final_interval_multiplier"],
     );
     for (name, enabled) in [("on", true), ("off", false)] {
-        let mut cfg = SessionConfig::paper_defaults(Scheme::TdCoarse);
+        let mut cfg = *SessionBuilder::new(Scheme::TdCoarse).config();
         // A zero-width band guarantees every adaptation epoch acts, so the
         // system flaps around the threshold; damping's job is to slow the
         // flapping down.
@@ -115,23 +114,21 @@ pub fn damping_ablation(scale: Scale, seed: u64) -> Table {
             cfg.adapter.damping_after = u32::MAX; // never engages
         }
         let mut rng = substream(seed, 0xAB4);
-        let mut session = Session::new(cfg, &net, &mut rng);
-        let values = Synthetic::count_readings(&net);
-        let mut actions = 0u64;
-        for epoch in 0..(scale.warmup + scale.epochs * 2) {
-            let proto = ScalarProtocol::new(td_aggregates::count::Count::default(), &values);
-            let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
-            if matches!(
-                rec.action,
-                AdaptAction::Expanded { .. } | AdaptAction::Shrunk { .. }
-            ) {
-                actions += 1;
-            }
-        }
+        let session = SessionBuilder::from_config(cfg).build(&net, &mut rng);
+        let mut driver = Driver::new(session, scale.warmup);
+        let result = driver.run_scalar(
+            &td_aggregates::count::Count::default(),
+            &Synthetic::count_workload(&net),
+            &model,
+            scale.epochs * 2,
+            |_| net.num_sensors() as f64,
+            &mut rng,
+        );
         t.row(vec![
             name.to_string(),
-            actions.to_string(),
-            session
+            result.adapt_moves.to_string(),
+            driver
+                .session()
                 .adapter_damping()
                 .map(|d| d.to_string())
                 .unwrap_or_default(),

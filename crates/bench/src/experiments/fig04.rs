@@ -14,8 +14,8 @@ use td_netsim::node::Rect;
 use td_netsim::rng::substream;
 use td_workloads::scenario;
 use td_workloads::synthetic::Synthetic;
-use tributary_delta::protocol::ScalarProtocol;
-use tributary_delta::session::{Scheme, Session, SessionConfig};
+use tributary_delta::driver::Driver;
+use tributary_delta::session::{Scheme, SessionBuilder};
 
 /// One converged snapshot.
 #[derive(Clone, Debug)]
@@ -48,13 +48,18 @@ fn converge(
 ) -> Vec<(f64, f64)> {
     let model = td_netsim::loss::Regional::new(region, p1, p2);
     let mut rng = substream(seed, 0xF04);
-    let mut session = Session::new(SessionConfig::paper_defaults(scheme), net, &mut rng);
-    let values = Synthetic::count_readings(net);
-    for epoch in 0..(scale.warmup + scale.epochs) {
-        let proto = ScalarProtocol::new(td_aggregates::count::Count::default(), &values);
-        session.run_epoch(&proto, &model, epoch, &mut rng);
-    }
-    session
+    let session = SessionBuilder::new(scheme).build(net, &mut rng);
+    let mut driver = Driver::new(session, scale.warmup);
+    driver.run_scalar(
+        &td_aggregates::count::Count::default(),
+        &Synthetic::count_workload(net),
+        &model,
+        scale.epochs,
+        |_| net.num_sensors() as f64,
+        &mut rng,
+    );
+    driver
+        .session()
         .delta_nodes()
         .into_iter()
         .map(|n| {
@@ -110,9 +115,10 @@ pub fn run(scale: Scale, seed: u64) -> Vec<DeltaSnapshot> {
 pub fn ascii_map(net: &Network, delta: &[(f64, f64)], region: Rect) -> String {
     const W: usize = 40;
     const H: usize = 20;
-    let (max_x, max_y) = net.positions().iter().fold((1.0f64, 1.0f64), |(mx, my), p| {
-        (mx.max(p.x), my.max(p.y))
-    });
+    let (max_x, max_y) = net
+        .positions()
+        .iter()
+        .fold((1.0f64, 1.0f64), |(mx, my), p| (mx.max(p.x), my.max(p.y)));
     let mut grid = vec![vec![' '; W]; H];
     let cell = move |x: f64, y: f64| {
         let cx = ((x / max_x) * (W as f64 - 1.0)).round() as usize;

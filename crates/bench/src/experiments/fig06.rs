@@ -13,9 +13,11 @@ use std::collections::BTreeMap;
 use td_netsim::rng::substream;
 use td_workloads::scenario::figure6_timeline;
 use td_workloads::synthetic::Synthetic;
+use tributary_delta::driver::{Driver, EpochView};
 use tributary_delta::metrics::relative_error;
 use tributary_delta::protocol::ScalarProtocol;
-use tributary_delta::session::{Scheme, Session};
+use tributary_delta::query::QuerySet;
+use tributary_delta::session::{Scheme, SessionBuilder};
 
 /// Per-epoch relative errors for every scheme.
 #[derive(Clone, Debug)]
@@ -48,17 +50,28 @@ pub fn run(scale: Scale, seed: u64) -> TimelineResult {
             handles.push((
                 scheme.name(),
                 s.spawn(move || {
-                    let mut rng = substream(seed, 0xF06 ^ scheme.name().len() as u64);
-                    let mut session = Session::with_paper_defaults(scheme, net, &mut rng);
+                    let mut rng = substream(seed, 0xF06 + 0x100 * scheme.index());
+                    let session = SessionBuilder::new(scheme).build(net, &mut rng);
+                    // The timeline is the experiment: every epoch is
+                    // plotted, so the driver runs with zero warmup.
+                    let mut driver = Driver::new(session, 0);
                     let mut errors = Vec::with_capacity(epochs as usize);
-                    for epoch in 0..epochs {
-                        let values = Synthetic::sum_readings(net, seed, epoch);
-                        let actual: f64 = values[1..].iter().sum::<u64>() as f64;
-                        let proto =
-                            ScalarProtocol::new(td_aggregates::sum::Sum::default(), &values);
-                        let rec = session.run_epoch(&proto, model, epoch, &mut rng);
-                        errors.push(relative_error(rec.output, actual));
-                    }
+                    driver.run(
+                        &Synthetic::sum_workload(net, seed),
+                        model,
+                        epochs,
+                        |set: &mut QuerySet<'_>, values| {
+                            set.register(ScalarProtocol::new(
+                                td_aggregates::sum::Sum::default(),
+                                values,
+                            ))
+                        },
+                        |view: EpochView<'_>, handle| {
+                            let actual: f64 = view.readings[1..].iter().sum::<u64>() as f64;
+                            errors.push(relative_error(*view.record.answers.get(handle), actual));
+                        },
+                        &mut rng,
+                    );
                     errors
                 }),
             ));

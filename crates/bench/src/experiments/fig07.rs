@@ -80,7 +80,13 @@ pub fn labdata_factor(trials: u64, seed: u64) -> (f64, f64) {
     let mut ours_sum = 0.0;
     for t in 0..trials {
         let mut rng = substream(seed, 0x1AB + t);
-        let tag = build_tag_tree(lab.network(), ParentSelection::Random, None, false, &mut rng);
+        let tag = build_tag_tree(
+            lab.network(),
+            ParentSelection::Random,
+            None,
+            false,
+            &mut rng,
+        );
         let rings = Rings::build(lab.network());
         let ours = build_bushy_tree(lab.network(), &rings, BushyOptions::default(), &mut rng);
         tag_sum += domination_factor(&tag, 0.05);

@@ -22,9 +22,10 @@ use td_topology::rings::Rings;
 use td_topology::tree::{build_tag_tree, ParentSelection};
 use td_workloads::items::labdata_bags;
 use td_workloads::labdata::LabData;
+use tributary_delta::driver::Driver;
 use tributary_delta::metrics::{false_negative_rate, false_positive_rate};
 use tributary_delta::protocol::FreqProtocol;
-use tributary_delta::session::{Scheme, Session, SessionConfig};
+use tributary_delta::session::{Scheme, SessionBuilder};
 
 /// ε = 0.1 % and s = 1 % (§7.4.3).
 pub const EPS: f64 = 0.001;
@@ -74,10 +75,7 @@ fn rates(reported: &[u64], truth: &[u64]) -> (f64, f64) {
 /// the query's total N (the deployment knows its own data volume), so
 /// loss-induced undercounting produces false negatives — exactly what
 /// Figure 9 measures.
-fn report_against_total(
-    estimates: impl Iterator<Item = (u64, f64)>,
-    n_true: u64,
-) -> Vec<u64> {
+fn report_against_total(estimates: impl Iterator<Item = (u64, f64)>, n_true: u64) -> Vec<u64> {
     let threshold = (SUPPORT - EPS) * n_true as f64;
     estimates
         .filter(|&(_, c)| c > threshold)
@@ -103,10 +101,8 @@ fn tag_rates_with<M: td_netsim::loss::LossModel>(
         let tree = build_tag_tree(net, ParentSelection::Random, None, false, &mut rng);
         let cfg = TreeFrequentConfig::new(EPS).with_retransmit(retries);
         let res = run_tree(net, &tree, &cfg, &fx.bags, model, run, &mut rng);
-        let reported = report_against_total(
-            res.summary.iter().map(|(u, c)| (u, c as f64)),
-            fx.n_total,
-        );
+        let reported =
+            report_against_total(res.summary.iter().map(|(u, c)| (u, c as f64)), fx.n_total);
         let (fnr, fpr) = rates(&reported, &fx.truth);
         fn_sum += fnr;
         fp_sum += fpr;
@@ -157,9 +153,9 @@ fn td_rates_with<M: td_netsim::loss::LossModel>(
     let (mut fn_sum, mut fp_sum) = (0.0, 0.0);
     for run in 0..scale.runs {
         let mut rng = substream(seed, 0x7D0 + run);
-        let mut cfg = SessionConfig::paper_defaults(Scheme::Td);
-        cfg.runner.tree_retransmit = td_netsim::loss::Retransmit { retries };
-        let mut session = Session::new(cfg, net, &mut rng);
+        let session = SessionBuilder::new(Scheme::Td)
+            .tree_retransmit(retries)
+            .build(net, &mut rng);
         // Split ε between the tree and multi-path parts (§6.3).
         let d = session
             .topology()
@@ -169,12 +165,15 @@ fn td_rates_with<M: td_netsim::loss::LossModel>(
         let gradient = MinTotalLoad::new(EPS / 2.0, d);
         let mp_cfg =
             MultipathConfig::new(EPS / 2.0, 2.0, fx.n_total * 2, FmFactory { bitmaps: 16 });
-        let mut last = None;
-        for epoch in 0..(scale.warmup / 2 + 5) {
-            let proto = FreqProtocol::new(mp_cfg.clone(), gradient, SUPPORT, &fx.bags);
-            last = Some(session.run_epoch(&proto, model, epoch, &mut rng));
-        }
-        let out = last.expect("ran at least one epoch").output;
+        let mut driver = Driver::new(session, 0);
+        let out = driver
+            .run_protocol(
+                |_epoch| FreqProtocol::new(mp_cfg.clone(), gradient, SUPPORT, &fx.bags),
+                model,
+                scale.warmup / 2 + 5,
+                &mut rng,
+            )
+            .expect("ran at least one epoch");
         let reported = report_against_total(
             out.estimates.counts.iter().map(|(&u, &c)| (u, c)),
             fx.n_total,

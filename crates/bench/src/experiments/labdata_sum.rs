@@ -10,9 +10,9 @@ use crate::Scale;
 use std::collections::BTreeMap;
 use td_netsim::rng::substream;
 use td_workloads::labdata::LabData;
+use tributary_delta::driver::Driver;
 use tributary_delta::metrics::rms_error_series;
-use tributary_delta::protocol::ScalarProtocol;
-use tributary_delta::session::{Scheme, Session};
+use tributary_delta::session::{Scheme, SessionBuilder};
 
 /// RMS per scheme plus the paper's reported values.
 #[derive(Clone, Debug)]
@@ -35,22 +35,20 @@ pub fn run(scale: Scale, seed: u64) -> LabSumResult {
         let mut total = 0.0;
         let mut delta_frac_acc = 0.0;
         for run in 0..scale.runs {
-            let mut rng = substream(seed, 0x1ab5 + run * 131 + scheme.name().len() as u64);
-            let mut session = Session::with_paper_defaults(scheme, net, &mut rng);
-            let mut estimates = Vec::new();
-            let mut actuals = Vec::new();
-            for epoch in 0..(scale.warmup + scale.epochs) {
-                let values = lab.readings(epoch);
-                let actual: f64 = values[1..].iter().sum::<u64>() as f64;
-                let proto = ScalarProtocol::new(td_aggregates::sum::Sum::default(), &values);
-                let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
-                if epoch >= scale.warmup {
-                    estimates.push(rec.output);
-                    actuals.push(actual);
-                }
-            }
-            total += rms_error_series(&estimates, &actuals);
-            delta_frac_acc += session.delta_nodes().len() as f64 / net.num_sensors() as f64;
+            let mut rng = substream(seed, 0x1ab5 + run * 131 + scheme.index() * 104_729);
+            let session = SessionBuilder::new(scheme).build(net, &mut rng);
+            let mut driver = Driver::new(session, scale.warmup);
+            let result = driver.run_scalar(
+                &td_aggregates::sum::Sum::default(),
+                &lab,
+                &model,
+                scale.epochs,
+                |readings| readings[1..].iter().sum::<u64>() as f64,
+                &mut rng,
+            );
+            total += rms_error_series(&result.estimates, &result.actuals);
+            delta_frac_acc +=
+                driver.session().delta_nodes().len() as f64 / net.num_sensors() as f64;
         }
         rms.insert(scheme.name(), total / scale.runs as f64);
         if scheme == Scheme::Td {
@@ -65,14 +63,9 @@ pub fn run(scale: Scale, seed: u64) -> LabSumResult {
 
 /// Render against the paper's numbers.
 pub fn table(result: &LabSumResult) -> Table {
-    let paper: BTreeMap<&str, f64> = [
-        ("TAG", 0.5),
-        ("SD", 0.12),
-        ("TD-Coarse", 0.1),
-        ("TD", 0.1),
-    ]
-    .into_iter()
-    .collect();
+    let paper: BTreeMap<&str, f64> = [("TAG", 0.5), ("SD", 0.12), ("TD-Coarse", 0.1), ("TD", 0.1)]
+        .into_iter()
+        .collect();
     let mut t = Table::new(
         "LabData Sum RMS (§7.3)",
         &["scheme", "measured_rms", "paper_rms"],
@@ -148,75 +141,83 @@ mod calibration {
         let lab = LabData::new(21);
         let base_positions = td_workloads::labdata::mote_positions();
         for range in [13.0f64] {
-        let owned_net = td_netsim::network::Network::new(base_positions.clone(), range);
-        let net = &owned_net;
-        println!("--- range {range} ---");
-        {
-            // Topology context for interpreting the numbers.
-            let rings = td_topology::rings::Rings::build(net);
-            let mut recv = 0usize;
-            let mut cnt = 0usize;
-            for u in rings.connected_nodes() {
-                if u != td_netsim::node::BASE_STATION {
-                    recv += rings.receivers(u).len();
-                    cnt += 1;
-                }
-            }
-            println!(
-                "mean receivers/node: {:.2}, depth {}",
-                recv as f64 / cnt as f64,
-                rings.max_level()
-            );
-        }
-        for (floor, ceil, steep) in [(0.05, 0.6, 3.0)] {
+            let owned_net = td_netsim::network::Network::new(base_positions.clone(), range);
+            let net = &owned_net;
+            println!("--- range {range} ---");
             {
-                use td_netsim::loss::LossModel;
-                let m = DistanceLoss::new(floor, ceil, steep);
-                let mut tot = 0.0;
-                let mut links = 0;
-                for u in net.node_ids() {
-                    for &v in net.neighbors(u) {
-                        tot += m.loss_rate(u, v, net, 0);
-                        links += 1;
+                // Topology context for interpreting the numbers.
+                let rings = td_topology::rings::Rings::build(net);
+                let mut recv = 0usize;
+                let mut cnt = 0usize;
+                for u in rings.connected_nodes() {
+                    if u != td_netsim::node::BASE_STATION {
+                        recv += rings.receivers(u).len();
+                        cnt += 1;
                     }
                 }
-                print!("mean link loss {:.3} | ", tot / links as f64);
+                println!(
+                    "mean receivers/node: {:.2}, depth {}",
+                    recv as f64 / cnt as f64,
+                    rings.max_level()
+                );
             }
-            let model = DistanceLoss::new(floor, ceil, steep);
-            let mut rms = std::collections::BTreeMap::new();
-            let mut pcts = std::collections::BTreeMap::new();
-            for scheme in [Scheme::Tag, Scheme::Sd, Scheme::TdCoarse, Scheme::Td] {
-                let mut total = 0.0;
-                for run in 0..scale.runs {
-                    let mut rng = substream(99, 0xCA1 + run * 7 + scheme.name().len() as u64);
-                    let mut session = Session::with_paper_defaults(scheme, net, &mut rng);
-                    let mut est = Vec::new();
-                    let mut act = Vec::new();
-                    let mut pct_acc = 0.0;
-                    for epoch in 0..(scale.warmup + scale.epochs) {
-                        let values = lab.readings(epoch);
-                        let actual: f64 = values[1..].iter().sum::<u64>() as f64;
-                        let proto =
-                            ScalarProtocol::new(td_aggregates::sum::Sum::default(), &values);
-                        let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
-                        if epoch >= scale.warmup {
-                            est.push(rec.output);
-                            act.push(actual);
-                            pct_acc += rec.pct_contributing;
+            for (floor, ceil, steep) in [(0.05, 0.6, 3.0)] {
+                {
+                    use td_netsim::loss::LossModel;
+                    let m = DistanceLoss::new(floor, ceil, steep);
+                    let mut tot = 0.0;
+                    let mut links = 0;
+                    for u in net.node_ids() {
+                        for &v in net.neighbors(u) {
+                            tot += m.loss_rate(u, v, net, 0);
+                            links += 1;
                         }
                     }
-                    total += rms_error_series(&est, &act);
-                    *pcts.entry(scheme.name()).or_insert(0.0) +=
-                        pct_acc / scale.epochs as f64 / scale.runs as f64;
+                    print!("mean link loss {:.3} | ", tot / links as f64);
                 }
-                rms.insert(scheme.name(), total / scale.runs as f64);
-            }
-            println!(
+                let model = DistanceLoss::new(floor, ceil, steep);
+                let mut rms = std::collections::BTreeMap::new();
+                let mut pcts = std::collections::BTreeMap::new();
+                for scheme in [Scheme::Tag, Scheme::Sd, Scheme::TdCoarse, Scheme::Td] {
+                    let mut total = 0.0;
+                    for run in 0..scale.runs {
+                        let mut rng = substream(99, 0xCA1 + run * 7 + scheme.index() * 104_729);
+                        let session = SessionBuilder::new(scheme).build(net, &mut rng);
+                        let mut driver = Driver::new(session, scale.warmup);
+                        let mut pct_acc = 0.0;
+                        let mut est = Vec::new();
+                        let mut act = Vec::new();
+                        driver.run(
+                            &lab,
+                            &model,
+                            scale.epochs,
+                            |set: &mut tributary_delta::query::QuerySet<'_>, values| {
+                                set.register(tributary_delta::protocol::ScalarProtocol::new(
+                                    td_aggregates::sum::Sum::default(),
+                                    values,
+                                ))
+                            },
+                            |view: tributary_delta::driver::EpochView<'_>, handle| {
+                                if view.measured {
+                                    est.push(*view.record.answers.get(handle));
+                                    act.push(view.readings[1..].iter().sum::<u64>() as f64);
+                                    pct_acc += view.record.pct_contributing;
+                                }
+                            },
+                            &mut rng,
+                        );
+                        total += rms_error_series(&est, &act);
+                        *pcts.entry(scheme.name()).or_insert(0.0) +=
+                            pct_acc / scale.epochs as f64 / scale.runs as f64;
+                    }
+                    rms.insert(scheme.name(), total / scale.runs as f64);
+                }
+                println!(
                 "floor {floor} ceil {ceil} steep {steep}: TAG {:.3} SD {:.3} TDC {:.3} TD {:.3} | pct TAG {:.2} SD {:.2} TDC {:.2} TD {:.2}",
                 rms["TAG"], rms["SD"], rms["TD-Coarse"], rms["TD"],
                 pcts["TAG"], pcts["SD"], pcts["TD-Coarse"], pcts["TD"]
             );
-        }
+            }
         }
     }
 }

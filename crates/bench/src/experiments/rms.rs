@@ -12,13 +12,12 @@ use crate::report::{f, Table};
 use crate::Scale;
 use std::collections::BTreeMap;
 use td_netsim::loss::LossModel;
-use td_netsim::network::Network;
 use td_netsim::rng::substream;
 use td_workloads::scenario;
 use td_workloads::synthetic::Synthetic;
+use tributary_delta::driver::Driver;
 use tributary_delta::metrics::rms_error_series;
-use tributary_delta::protocol::ScalarProtocol;
-use tributary_delta::session::{Scheme, Session};
+use tributary_delta::session::{Scheme, SessionBuilder};
 
 /// Which aggregate the sweep runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,22 +46,9 @@ pub struct RmsPoint {
     pub rms: BTreeMap<&'static str, f64>,
 }
 
-fn readings(agg: SweepAggregate, net: &Network, seed: u64, epoch: u64) -> Vec<u64> {
-    match agg {
-        SweepAggregate::Count => Synthetic::count_readings(net),
-        SweepAggregate::Sum => Synthetic::sum_readings(net, seed, epoch),
-    }
-}
-
-fn truth(agg: SweepAggregate, net: &Network, values: &[u64]) -> f64 {
-    match agg {
-        SweepAggregate::Count => net.num_sensors() as f64,
-        SweepAggregate::Sum => values[1..].iter().sum::<u64>() as f64,
-    }
-}
-
 /// RMS error of one scheme over `scale.epochs` measured epochs, averaged
-/// over `scale.runs` seeds.
+/// over `scale.runs` seeds. Each run is one [`Driver`] pass: the driver
+/// owns the warmup/measure loop the experiments used to hand-roll.
 fn rms_one<M: LossModel>(
     agg: SweepAggregate,
     scheme: Scheme,
@@ -74,30 +60,29 @@ fn rms_one<M: LossModel>(
     for run in 0..scale.runs {
         let net = Synthetic::sized(scale.sensors).build(seed ^ (run + 1));
         let mut topo_rng = substream(seed, 0xA0 + run);
-        let mut session = Session::with_paper_defaults(scheme, &net, &mut topo_rng);
+        let session = SessionBuilder::new(scheme).build(&net, &mut topo_rng);
+        let mut driver = Driver::new(session, scale.warmup);
         let mut rng = substream(seed, 0xB0 + run);
-        let mut estimates = Vec::with_capacity(scale.epochs as usize);
-        let mut actuals = Vec::with_capacity(scale.epochs as usize);
-        for epoch in 0..(scale.warmup + scale.epochs) {
-            let values = readings(agg, &net, seed ^ run, epoch);
-            let rec = match agg {
-                SweepAggregate::Count => {
-                    // Per-run salt: runs sample independent sketch draws.
-                    let agg = td_aggregates::count::Count::default().with_salt(seed ^ (run * 7 + 1));
-                    let proto = ScalarProtocol::new(agg, &values);
-                    session.run_epoch(&proto, model, epoch, &mut rng)
-                }
-                SweepAggregate::Sum => {
-                    let proto = ScalarProtocol::new(td_aggregates::sum::Sum::default(), &values);
-                    session.run_epoch(&proto, model, epoch, &mut rng)
-                }
-            };
-            if epoch >= scale.warmup {
-                estimates.push(rec.output);
-                actuals.push(truth(agg, &net, &values));
-            }
-        }
-        total += rms_error_series(&estimates, &actuals);
+        let result = match agg {
+            SweepAggregate::Count => driver.run_scalar(
+                // Per-run salt: runs sample independent sketch draws.
+                &td_aggregates::count::Count::default().with_salt(seed ^ (run * 7 + 1)),
+                &Synthetic::count_workload(&net),
+                model,
+                scale.epochs,
+                |_| net.num_sensors() as f64,
+                &mut rng,
+            ),
+            SweepAggregate::Sum => driver.run_scalar(
+                &td_aggregates::sum::Sum::default(),
+                &Synthetic::sum_workload(&net, seed ^ run),
+                model,
+                scale.epochs,
+                |readings| readings[1..].iter().sum::<u64>() as f64,
+                &mut rng,
+            ),
+        };
+        total += rms_error_series(&result.estimates, &result.actuals);
     }
     total / scale.runs as f64
 }
@@ -164,7 +149,13 @@ pub fn table(title: &str, points: &[RmsPoint]) -> Table {
 /// Figure 2: Count under `Global(p)`, `p ∈ {0, 0.05, …, 0.4}`.
 pub fn figure2(scale: Scale, seed: u64) -> Vec<RmsPoint> {
     let ps: Vec<f64> = (0..=8).map(|i| i as f64 * 0.05).collect();
-    sweep(SweepAggregate::Count, SweepFailure::Global, &ps, scale, seed)
+    sweep(
+        SweepAggregate::Count,
+        SweepFailure::Global,
+        &ps,
+        scale,
+        seed,
+    )
 }
 
 /// Figure 5(a): Sum under `Global(p)`, `p ∈ {0, 0.125, …, 1.0}`.
@@ -176,7 +167,13 @@ pub fn figure5a(scale: Scale, seed: u64) -> Vec<RmsPoint> {
 /// Figure 5(b): Sum under `Regional(p, 0.05)`.
 pub fn figure5b(scale: Scale, seed: u64) -> Vec<RmsPoint> {
     let ps: Vec<f64> = (0..=8).map(|i| i as f64 * 0.125).collect();
-    sweep(SweepAggregate::Sum, SweepFailure::Regional, &ps, scale, seed)
+    sweep(
+        SweepAggregate::Sum,
+        SweepFailure::Regional,
+        &ps,
+        scale,
+        seed,
+    )
 }
 
 #[cfg(test)]
@@ -203,7 +200,11 @@ mod tests {
             77,
         );
         let p0 = &points[0].rms;
-        assert!(p0["TAG"] < 0.02, "TAG at p=0 should be near-exact: {}", p0["TAG"]);
+        assert!(
+            p0["TAG"] < 0.02,
+            "TAG at p=0 should be near-exact: {}",
+            p0["TAG"]
+        );
         assert!(
             p0["SD"] > 0.03 && p0["SD"] < 0.35,
             "SD approximation error out of band: {}",

@@ -17,9 +17,9 @@ use td_sketches::counter::FmFactory;
 use td_topology::rings::Rings;
 use td_topology::tree::{build_tag_tree, ParentSelection};
 use td_workloads::synthetic::Synthetic;
+use tributary_delta::driver::Driver;
 use tributary_delta::metrics::{false_negative_rate, rms_error_series};
-use tributary_delta::protocol::ScalarProtocol;
-use tributary_delta::session::{Scheme, Session};
+use tributary_delta::session::{Scheme, SessionBuilder};
 
 /// One measured row.
 #[derive(Clone, Debug)]
@@ -49,18 +49,17 @@ fn count_metrics(scheme: Scheme, p: f64, scale: Scale, seed: u64) -> (f64, f64, 
     let net = Synthetic::sized(scale.sensors).build(seed);
     let model = Global::new(p);
     let mut rng = substream(seed, 0x7AB1);
-    let mut session = Session::with_paper_defaults(scheme, &net, &mut rng);
-    let values = Synthetic::count_readings(&net);
-    let mut estimates = Vec::new();
-    let mut actuals = Vec::new();
-    for epoch in 0..(scale.warmup + scale.epochs) {
-        let proto = ScalarProtocol::new(td_aggregates::count::Count::default(), &values);
-        let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
-        if epoch >= scale.warmup {
-            estimates.push(rec.output);
-            actuals.push(net.num_sensors() as f64);
-        }
-    }
+    let session = SessionBuilder::new(scheme).build(&net, &mut rng);
+    let mut driver = Driver::new(session, scale.warmup);
+    let result = driver.run_scalar(
+        &td_aggregates::count::Count::default(),
+        &Synthetic::count_workload(&net),
+        &model,
+        scale.epochs,
+        |_| net.num_sensors() as f64,
+        &mut rng,
+    );
+    let session = driver.into_session();
     let epochs_total = (scale.warmup + scale.epochs) as f64;
     let msgs = session.stats().total_messages() as f64 / net.num_sensors() as f64 / epochs_total;
     let bytes = session.stats().total_bytes() as f64 / net.num_sensors() as f64 / epochs_total;
@@ -82,7 +81,12 @@ fn count_metrics(scheme: Scheme, p: f64, scale: Scale, seed: u64) -> (f64, f64, 
         retransmissions: 0,
     }
     .epoch_latency_ms(depth);
-    (rms_error_series(&estimates, &actuals), msgs, bytes, latency)
+    (
+        rms_error_series(&result.estimates, &result.actuals),
+        msgs,
+        bytes,
+        latency,
+    )
 }
 
 fn freq_metrics(scheme: Scheme, p: f64, scale: Scale, seed: u64) -> (f64, f64) {

@@ -21,7 +21,14 @@ pub fn table() -> Table {
     let t2 = t2();
     let mut t = Table::new(
         "Table 2: example of a 2-dominating tree",
-        &["i", "Te_h(i)", "Te_H(i)", "T2_h(i)", "T2_H(i)", "bound_1-2^-i"],
+        &[
+            "i",
+            "Te_h(i)",
+            "Te_H(i)",
+            "T2_h(i)",
+            "T2_H(i)",
+            "bound_1-2^-i",
+        ],
     );
     for i in 1..=4usize {
         t.row(vec![

@@ -66,12 +66,33 @@ impl Scale {
     }
 
     /// Scale selected by the `TD_SCALE` environment variable
-    /// (`paper` | `smoke`; default `paper` for binaries).
+    /// (`paper` | `smoke`; unset falls back to `default`).
+    ///
+    /// An unrecognized value is almost always a typo that would silently
+    /// run a multi-minute paper-scale job (or publish smoke-scale
+    /// numbers as if they were full-scale), so it is reported on stderr
+    /// before falling back.
     pub fn from_env_or(default: Scale) -> Scale {
-        match std::env::var("TD_SCALE").as_deref() {
-            Ok("smoke") => Scale::smoke(),
-            Ok("paper") => Scale::paper(),
-            _ => default,
+        Scale::from_setting(std::env::var("TD_SCALE").ok().as_deref(), default)
+    }
+
+    /// [`Scale::from_env_or`] with the setting passed in (`None` = the
+    /// variable is unset) — the pure core, separated so it can be tested
+    /// without mutating process environment (a data race under the
+    /// parallel test harness).
+    fn from_setting(setting: Option<&str>, default: Scale) -> Scale {
+        match setting {
+            Some("smoke") => Scale::smoke(),
+            Some("paper") => Scale::paper(),
+            Some(other) => {
+                eprintln!(
+                    "warning: unrecognized TD_SCALE={other:?} (expected \"smoke\" or \"paper\"); \
+                     falling back to the default scale (sensors={}, epochs={}, runs={})",
+                    default.sensors, default.epochs, default.runs
+                );
+                default
+            }
+            None => default,
         }
     }
 }
@@ -87,5 +108,24 @@ mod tests {
         assert_eq!(p.epochs, 100);
         let s = Scale::smoke();
         assert!(s.sensors < p.sensors);
+    }
+
+    #[test]
+    fn scale_setting_selects_and_survives_typos() {
+        let default = Scale::smoke();
+        assert_eq!(
+            Scale::from_setting(Some("paper"), default).sensors,
+            Scale::paper().sensors
+        );
+        assert_eq!(
+            Scale::from_setting(Some("smoke"), Scale::paper()).sensors,
+            Scale::smoke().sensors
+        );
+        // A typo falls back to the default (and warns on stderr).
+        assert_eq!(
+            Scale::from_setting(Some("papr"), Scale::paper()).sensors,
+            Scale::paper().sensors
+        );
+        assert_eq!(Scale::from_setting(None, default).sensors, default.sensors);
     }
 }

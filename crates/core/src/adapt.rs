@@ -149,7 +149,6 @@ impl Adapter {
         }
         self.last_adapt_epoch = Some(epoch);
 
-        
         if pct_contributing < self.config.threshold {
             let escalate = self.config.strategy == Strategy::Td
                 && pct_contributing < self.config.threshold - self.config.escalation_gap;
@@ -304,14 +303,8 @@ mod tests {
 
     fn topo(seed: u64) -> TdTopology {
         let mut rng = rng_from_seed(seed);
-        let net = Network::random_connected(
-            200,
-            20.0,
-            20.0,
-            Position::new(10.0, 10.0),
-            3.0,
-            &mut rng,
-        );
+        let net =
+            Network::random_connected(200, 20.0, 20.0, Position::new(10.0, 10.0), 3.0, &mut rng);
         let rings = Rings::build(&net);
         let tree = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
         TdTopology::new(rings, tree, 1)
@@ -353,10 +346,22 @@ mod tests {
             adapt_every: 1,
             ..Default::default()
         });
-        let a = adapter.step(&mut td, 0, 0.5, &ExtremaSet::largest(), &ExtremaSet::smallest());
+        let a = adapter.step(
+            &mut td,
+            0,
+            0.5,
+            &ExtremaSet::largest(),
+            &ExtremaSet::smallest(),
+        );
         assert!(matches!(a, AdaptAction::Expanded { switched } if switched > 0));
         assert!(td.delta_size() > before);
-        let b = adapter.step(&mut td, 1, 0.999, &ExtremaSet::largest(), &ExtremaSet::smallest());
+        let b = adapter.step(
+            &mut td,
+            1,
+            0.999,
+            &ExtremaSet::largest(),
+            &ExtremaSet::smallest(),
+        );
         assert!(matches!(b, AdaptAction::Shrunk { switched } if switched > 0));
         assert_eq!(td.delta_size(), before);
         assert!(td.validate().is_ok());
@@ -424,7 +429,13 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(
-            adapter.step(&mut td, 0, 0.93, &ExtremaSet::largest(), &ExtremaSet::smallest()),
+            adapter.step(
+                &mut td,
+                0,
+                0.93,
+                &ExtremaSet::largest(),
+                &ExtremaSet::smallest()
+            ),
             AdaptAction::Satisfied
         );
     }
@@ -443,8 +454,13 @@ mod tests {
         for i in 0..6 {
             let pct = if i % 2 == 0 { 0.2 } else { 0.999 };
             loop {
-                let action =
-                    adapter.step(&mut td, epoch, pct, &ExtremaSet::largest(), &ExtremaSet::smallest());
+                let action = adapter.step(
+                    &mut td,
+                    epoch,
+                    pct,
+                    &ExtremaSet::largest(),
+                    &ExtremaSet::smallest(),
+                );
                 epoch += 1;
                 if action != AdaptAction::Idle {
                     break;
@@ -454,8 +470,13 @@ mod tests {
         assert!(adapter.damping() > 1, "damping did not engage");
         // A stable in-band reading resets damping.
         loop {
-            let action =
-                adapter.step(&mut td, epoch, 0.93, &ExtremaSet::largest(), &ExtremaSet::smallest());
+            let action = adapter.step(
+                &mut td,
+                epoch,
+                0.93,
+                &ExtremaSet::largest(),
+                &ExtremaSet::smallest(),
+            );
             epoch += 1;
             if action != AdaptAction::Idle {
                 break;
@@ -474,9 +495,19 @@ mod tests {
             ..Default::default()
         });
         for epoch in 0..50 {
-            adapter.step(&mut td, epoch, 0.1, &ExtremaSet::largest(), &ExtremaSet::smallest());
+            adapter.step(
+                &mut td,
+                epoch,
+                0.1,
+                &ExtremaSet::largest(),
+                &ExtremaSet::smallest(),
+            );
         }
-        assert_eq!(td.delta_size(), total, "delta did not reach the whole network");
+        assert_eq!(
+            td.delta_size(),
+            total,
+            "delta did not reach the whole network"
+        );
         assert!(td.validate().is_ok());
     }
 

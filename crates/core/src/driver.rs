@@ -1,0 +1,340 @@
+//! The scenario driver: one owner for the warmup → measure → adapt loop
+//! that every experiment, example, and deployment entry point used to
+//! hand-roll.
+//!
+//! A [`Driver`] wraps a [`Session`] plus the warmup discipline of §7.1
+//! ("data collection begins only after the aggregation topologies become
+//! stable"). Each epoch it asks a [`Workload`] for that epoch's
+//! readings, lets the caller register this epoch's queries on a fresh
+//! [`QuerySet`] (protocols borrow the readings, so the set is rebuilt
+//! per epoch — handles stay valid because registration order is stable),
+//! runs the single bundled traversal, and hands the answers to an
+//! observer along with whether the epoch counts as measured.
+//!
+//! [`Driver::run_scalar`] is the one-scalar-aggregate convenience that
+//! covers the common "estimate vs truth series" experiment shape
+//! directly.
+
+use crate::protocol::{Protocol, ScalarProtocol};
+use crate::query::{QueryHandle, QuerySet};
+use crate::session::{QueryRecord, Session};
+use td_aggregates::traits::Aggregate;
+use td_netsim::loss::LossModel;
+
+/// A source of per-epoch scalar readings (`readings()[0]` belongs to the
+/// base station and is ignored by aggregates).
+///
+/// Unifies the Synthetic and LabData scenarios — and anything else that
+/// can produce a reading per node per epoch — behind the one interface
+/// the [`Driver`] consumes.
+pub trait Workload {
+    /// The readings for `epoch`, one per node.
+    fn readings(&self, epoch: u64) -> Vec<u64>;
+}
+
+/// The trivial workload: the same readings every epoch. Covers constant
+/// Count-style queries and item-stream experiments where the protocol
+/// carries its own (epoch-independent) data.
+#[derive(Clone, Debug)]
+pub struct FixedReadings(pub Vec<u64>);
+
+impl Workload for FixedReadings {
+    fn readings(&self, _epoch: u64) -> Vec<u64> {
+        self.0.clone()
+    }
+}
+
+impl<W: Workload + ?Sized> Workload for &W {
+    fn readings(&self, epoch: u64) -> Vec<u64> {
+        (**self).readings(epoch)
+    }
+}
+
+/// What the driver shows the observer after each epoch.
+pub struct EpochView<'a> {
+    /// The absolute epoch number (warmup epochs included).
+    pub epoch: u64,
+    /// Whether this epoch is past warmup (a "measured" epoch).
+    pub measured: bool,
+    /// The readings this epoch ran over.
+    pub readings: &'a [u64],
+    /// The epoch's answers and shared instrumentation.
+    pub record: QueryRecord,
+    /// The session, for topology/stats introspection.
+    pub session: &'a Session,
+}
+
+/// The collected result of a [`Driver::run_scalar`] run.
+#[derive(Clone, Debug, Default)]
+pub struct ScalarRun {
+    /// Estimates from each measured epoch.
+    pub estimates: Vec<f64>,
+    /// Ground-truth values from each measured epoch.
+    pub actuals: Vec<f64>,
+    /// `pct_contributing` of the final epoch.
+    pub last_pct_contributing: f64,
+    /// Delta size after the final epoch.
+    pub last_delta_size: usize,
+    /// Number of adaptation moves (expansions + shrinks) over the whole
+    /// run, warmup included.
+    pub adapt_moves: u64,
+}
+
+/// Owns a session's warmup/epoch/adaptation loop.
+pub struct Driver {
+    session: Session,
+    warmup: u64,
+    next_epoch: u64,
+}
+
+impl Driver {
+    /// Wrap `session` with `warmup` unmeasured epochs.
+    pub fn new(session: Session, warmup: u64) -> Self {
+        Driver {
+            session,
+            warmup,
+            next_epoch: 0,
+        }
+    }
+
+    /// The wrapped session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Unwrap the session (keeps its topology and statistics).
+    pub fn into_session(self) -> Session {
+        self.session
+    }
+
+    /// The next epoch number the driver will run (epochs accumulate
+    /// across `run*` calls, so a driver can be driven in phases).
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Run `warmup + epochs` epochs (continuing the epoch clock).
+    ///
+    /// Per epoch: `register` places this epoch's queries on a fresh set
+    /// over the workload's readings and returns whatever handles the
+    /// observer needs; `observe` then receives the [`EpochView`] and
+    /// those handles. Warmup applies only to the driver's first run —
+    /// once past it, every epoch is measured.
+    pub fn run<W, M, R, H, Reg, Obs>(
+        &mut self,
+        workload: &W,
+        model: &M,
+        epochs: u64,
+        mut register: Reg,
+        mut observe: Obs,
+        rng: &mut R,
+    ) where
+        W: Workload + ?Sized,
+        M: LossModel,
+        R: rand::Rng + ?Sized,
+        Reg: for<'e> FnMut(&mut QuerySet<'e>, &'e [u64]) -> H,
+        Obs: FnMut(EpochView<'_>, H),
+    {
+        let remaining_warmup = self.warmup.saturating_sub(self.next_epoch);
+        for _ in 0..remaining_warmup + epochs {
+            let epoch = self.next_epoch;
+            let readings = workload.readings(epoch);
+            let mut set = QuerySet::new();
+            let handles = register(&mut set, &readings);
+            let record = self.session.run_set(&set, model, epoch, rng);
+            drop(set);
+            observe(
+                EpochView {
+                    epoch,
+                    measured: epoch >= self.warmup,
+                    readings: &readings,
+                    record,
+                    session: &self.session,
+                },
+                handles,
+            );
+            self.next_epoch += 1;
+        }
+    }
+
+    /// Run a single scalar aggregate over the workload, collecting the
+    /// measured estimate/truth series (`truth` maps an epoch's readings
+    /// to the exact answer).
+    pub fn run_scalar<A, W, M, R, T>(
+        &mut self,
+        agg: &A,
+        workload: &W,
+        model: &M,
+        epochs: u64,
+        truth: T,
+        rng: &mut R,
+    ) -> ScalarRun
+    where
+        A: Aggregate + 'static,
+        W: Workload + ?Sized,
+        M: LossModel,
+        R: rand::Rng + ?Sized,
+        T: Fn(&[u64]) -> f64,
+    {
+        let mut out = ScalarRun::default();
+        self.run(
+            workload,
+            model,
+            epochs,
+            |set: &mut QuerySet<'_>, readings| {
+                set.register(ScalarProtocol::new(agg.clone(), readings))
+            },
+            |view: EpochView<'_>, handle: QueryHandle<f64>| {
+                if view.measured {
+                    out.estimates.push(*view.record.answers.get(handle));
+                    out.actuals.push(truth(view.readings));
+                }
+                out.last_pct_contributing = view.record.pct_contributing;
+                out.last_delta_size = view.record.delta_size;
+                if matches!(
+                    view.record.action,
+                    crate::adapt::AdaptAction::Expanded { .. }
+                        | crate::adapt::AdaptAction::Shrunk { .. }
+                ) {
+                    out.adapt_moves += 1;
+                }
+            },
+            rng,
+        );
+        out
+    }
+
+    /// Run a caller-built protocol per epoch (the non-scalar convenience:
+    /// frequent items and custom protocols carrying their own data),
+    /// returning the final epoch's output.
+    ///
+    /// Unlike [`run`](Self::run), the per-epoch protocol may borrow data
+    /// outside the driver (item bags, readings tables): `make` is called
+    /// once per epoch and the protocol only needs to outlive that epoch.
+    /// That is also why this repeats [`run`](Self::run)'s small epoch
+    /// loop instead of delegating to it: `run`'s register callback is
+    /// higher-ranked over the set lifetime (`for<'e>`), which a closure
+    /// registering a protocol that captures outer borrows cannot
+    /// satisfy — here the loop body gives the set a concrete lifetime.
+    pub fn run_protocol<P, M, R, F>(
+        &mut self,
+        mut make: F,
+        model: &M,
+        epochs: u64,
+        rng: &mut R,
+    ) -> Option<P::Output>
+    where
+        P: Protocol,
+        M: LossModel,
+        R: rand::Rng + ?Sized,
+        F: FnMut(u64) -> P,
+    {
+        let mut last = None;
+        let remaining_warmup = self.warmup.saturating_sub(self.next_epoch);
+        for _ in 0..remaining_warmup + epochs {
+            let epoch = self.next_epoch;
+            let proto = make(epoch);
+            let mut set = QuerySet::new();
+            let handle = set.register(&proto);
+            let mut rec = self.session.run_set(&set, model, epoch, rng);
+            last = Some(rec.answers.take(handle));
+            self.next_epoch += 1;
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{Scheme, SessionBuilder};
+    use td_aggregates::count::Count;
+    use td_aggregates::sum::Sum;
+    use td_netsim::loss::NoLoss;
+    use td_netsim::network::Network;
+    use td_netsim::node::Position;
+    use td_netsim::rng::rng_from_seed;
+
+    fn net(seed: u64) -> Network {
+        let mut rng = rng_from_seed(seed);
+        Network::random_connected(120, 12.0, 12.0, Position::new(6.0, 6.0), 2.5, &mut rng)
+    }
+
+    #[test]
+    fn warmup_epochs_are_not_measured() {
+        let net = net(201);
+        let mut rng = rng_from_seed(202);
+        let session = SessionBuilder::new(Scheme::Tag).build(&net, &mut rng);
+        let mut driver = Driver::new(session, 5);
+        let workload = FixedReadings(vec![1; net.len()]);
+        let run = driver.run_scalar(
+            &Count::default(),
+            &workload,
+            &NoLoss,
+            7,
+            |_| net.num_sensors() as f64,
+            &mut rng,
+        );
+        assert_eq!(run.estimates.len(), 7);
+        assert_eq!(driver.next_epoch(), 12);
+        // Lossless TAG: exact every measured epoch.
+        assert_eq!(run.estimates, run.actuals);
+    }
+
+    #[test]
+    fn driver_matches_hand_rolled_loop() {
+        let net = net(203);
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| 3 + i % 20).collect();
+        let truth: f64 = values[1..].iter().sum::<u64>() as f64;
+        let model = td_netsim::loss::Global::new(0.2);
+
+        // Hand-rolled.
+        let mut rng = rng_from_seed(204);
+        let mut session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+        let mut manual = Vec::new();
+        for epoch in 0..12u64 {
+            let proto = ScalarProtocol::new(Sum::default(), &values);
+            manual.push(session.run_epoch(&proto, &model, epoch, &mut rng).output);
+        }
+
+        // Driver, same seed, warmup 4 → the measured tail must match.
+        let mut rng = rng_from_seed(204);
+        let session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+        let mut driver = Driver::new(session, 4);
+        let run = driver.run_scalar(
+            &Sum::default(),
+            &FixedReadings(values.clone()),
+            &model,
+            8,
+            |readings| readings[1..].iter().sum::<u64>() as f64,
+            &mut rng,
+        );
+        assert_eq!(run.estimates, manual[4..].to_vec());
+        assert!(run.actuals.iter().all(|&a| a == truth));
+    }
+
+    #[test]
+    fn phased_runs_continue_the_epoch_clock() {
+        let net = net(205);
+        let mut rng = rng_from_seed(206);
+        let session = SessionBuilder::new(Scheme::Sd).build(&net, &mut rng);
+        let mut driver = Driver::new(session, 3);
+        let workload = FixedReadings(vec![1; net.len()]);
+        let mut epochs_seen = Vec::new();
+        for _ in 0..2 {
+            driver.run(
+                &workload,
+                &NoLoss,
+                2,
+                |set: &mut QuerySet<'_>, readings| {
+                    set.register(ScalarProtocol::new(Count::default(), readings))
+                },
+                |view: EpochView<'_>, _h| epochs_seen.push((view.epoch, view.measured)),
+                &mut rng,
+            );
+        }
+        // First run: 3 warmup + 2 measured; second: warmup already spent.
+        let expect: Vec<(u64, bool)> = (0..7u64).map(|e| (e, e >= 3)).collect();
+        assert_eq!(epochs_seen, expect);
+    }
+}

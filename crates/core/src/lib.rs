@@ -6,40 +6,85 @@
 //! region around the base station, adjusting the boundary dynamically to
 //! hold a user-specified fraction of nodes contributing to each answer.
 //!
+//! ## The multi-query session engine
+//!
+//! Real deployments run many simultaneous aggregates over the same radio
+//! traffic, so the execution engine is built around a **query set**, not
+//! a single query: build a session with [`SessionBuilder`], register any
+//! number of heterogeneous queries on a [`query::QuerySet`] (Count next
+//! to Sum next to frequent-items), and one call to
+//! [`session::Session::run_set`] answers all of them with a **single
+//! topology traversal** — one unicast/broadcast per node carrying a
+//! per-link message bundle, one contributor envelope, one in-band count
+//! sketch, one adaptation decision. Registering a query costs a bundle
+//! slot, not a network round. Typed [`query::QueryHandle`]s fetch each
+//! answer without downcasting at the call site.
+//!
+//! ```ignore
+//! let mut session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+//! let count = ScalarProtocol::new(Count::default(), &values);
+//! let sum = ScalarProtocol::new(Sum::default(), &values);
+//! let mut set = QuerySet::new();
+//! let h_count = set.register(&count);
+//! let h_sum = set.register(&sum);
+//! let mut rec = session.run_set(&set, &channel, epoch, &mut rng);
+//! let n_alive: f64 = *rec.answers.get(h_count);
+//! let total: f64 = *rec.answers.get(h_sum);
+//! ```
+//!
+//! [`driver::Driver`] owns the §7.1 warmup/measure/adapt loop on top,
+//! fed by a [`driver::Workload`] (Synthetic, LabData, or anything that
+//! yields per-epoch readings).
+//!
 //! Crate layout:
 //!
-//! * [`protocol`] — the [`protocol::Protocol`] abstraction an aggregate
-//!   implements to run under Tributary-Delta: tree messages, multi-path
-//!   synopses, and the conversion function between them (§5). Adapters
-//!   are provided for every scalar aggregate in `td-aggregates`
+//! * [`protocol`] — the typed [`protocol::Protocol`] abstraction an
+//!   aggregate implements to run under Tributary-Delta: tree messages,
+//!   multi-path synopses, and the conversion function between them (§5).
+//!   Adapters are provided for every scalar aggregate in `td-aggregates`
 //!   ([`protocol::ScalarProtocol`]) and for the §6 frequent-items
 //!   algorithms ([`protocol::FreqProtocol`]).
-//! * [`envelope`] — instrumentation wrappers the runner adds around
-//!   protocol messages: exact contributor sets (ground truth), the
+//! * [`query`] — the object-safe layer: [`query::DynProtocol`] (every
+//!   `Protocol` blanket-erased behind [`query::ErasedMsg`]), the
+//!   [`query::QuerySet`] registry, and typed [`query::QueryHandle`]s.
+//! * [`envelope`] — instrumentation wrappers the runner adds around each
+//!   link's message bundle: exact contributor sets (ground truth), the
 //!   in-band approximate Count of §4.2, and the per-subtree
 //!   non-contribution extrema that drive the fine-grained TD strategy.
+//!   Shared by every query in the bundle.
 //! * [`runner`] — one epoch of level-synchronized execution over a
-//!   [`td_topology::TdTopology`] (plus the pure-TAG baseline runner).
-//!   Synopsis-diffusion (SD) is the special case of an all-multipath
-//!   topology; TAG is the all-tree special case on an unrestricted tree.
+//!   [`td_topology::TdTopology`] (plus the pure-TAG baseline runner),
+//!   carrying the whole query set per link. Synopsis-diffusion (SD) is
+//!   the special case of an all-multipath topology; TAG is the all-tree
+//!   special case on an unrestricted tree.
 //! * [`adapt`] — the §4.2 adaptation strategies **TD-Coarse** (grow or
 //!   shrink the delta by a whole level) and **TD** (target the subtrees
 //!   with the most non-contributing nodes), with oscillation damping.
-//! * [`session`] — multi-epoch drivers tying runner + adapter together:
-//!   the experiment entry points used by the bench crate.
+//! * [`session`] — the multi-epoch engine tying runner + adapter
+//!   together: [`SessionBuilder`], [`session::Session::run_set`], and
+//!   the single-query convenience [`session::Session::run_epoch`].
+//! * [`driver`] — the scenario driver owning the warmup/epoch loop, fed
+//!   by [`driver::Workload`] readings.
 //! * [`metrics`] — RMS/relative error and false-positive/negative rates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adapt;
+pub mod driver;
 pub mod envelope;
 pub mod metrics;
 pub mod protocol;
+pub mod query;
 pub mod runner;
 pub mod session;
 
 pub use adapt::{AdaptAction, Adapter, AdapterConfig, Strategy};
+pub use driver::{Driver, EpochView, FixedReadings, ScalarRun, Workload};
 pub use protocol::{FreqProtocol, Protocol, ScalarProtocol};
-pub use runner::{run_tag_epoch, run_td_epoch, EpochOutput, RunnerConfig};
-pub use session::{Scheme, Session, SessionConfig};
+pub use query::{Answers, DynProtocol, ErasedMsg, QueryHandle, QuerySet};
+pub use runner::{
+    run_tag_epoch, run_tag_epoch_set, run_td_epoch, run_td_epoch_set, EpochOutput, RunnerConfig,
+    SetEpochOutput,
+};
+pub use session::{QueryRecord, Scheme, Session, SessionBuilder, SessionConfig};

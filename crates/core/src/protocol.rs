@@ -20,12 +20,14 @@ use td_sketches::counter::CounterFactory;
 /// lets height-dependent algorithms (the §6.1 precision gradients) apply
 /// their per-level budget after a node has merged its children.
 pub trait Protocol {
-    /// Partial result used in tributaries.
-    type TreeMsg: Clone;
+    /// Partial result used in tributaries. (`'static` so messages can be
+    /// type-erased into a [`crate::query::QuerySet`] bundle; protocol
+    /// *instances* may still borrow their epoch's readings.)
+    type TreeMsg: Clone + 'static;
     /// Duplicate-insensitive partial result used in the delta.
-    type MpMsg: Clone;
+    type MpMsg: Clone + 'static;
     /// The query answer produced at the base station.
-    type Output;
+    type Output: 'static;
 
     /// The local tree contribution of a node (`None` if the node has no
     /// data, e.g. the base station).
@@ -66,6 +68,55 @@ pub trait Protocol {
         mp: Option<&Self::MpMsg>,
         base_height: u32,
     ) -> Self::Output;
+}
+
+/// Protocols pass through shared references, so per-epoch instances can
+/// be registered in a query set without giving up ownership.
+impl<P: Protocol> Protocol for &P {
+    type TreeMsg = P::TreeMsg;
+    type MpMsg = P::MpMsg;
+    type Output = P::Output;
+
+    fn local_tree(&self, node: NodeId) -> Option<Self::TreeMsg> {
+        (**self).local_tree(node)
+    }
+
+    fn merge_tree(&self, into: &mut Self::TreeMsg, from: &Self::TreeMsg) {
+        (**self).merge_tree(into, from)
+    }
+
+    fn finalize_tree(&self, node: NodeId, height: u32, msg: Self::TreeMsg) -> Self::TreeMsg {
+        (**self).finalize_tree(node, height, msg)
+    }
+
+    fn local_mp(&self, node: NodeId) -> Option<Self::MpMsg> {
+        (**self).local_mp(node)
+    }
+
+    fn fuse(&self, into: &mut Self::MpMsg, from: &Self::MpMsg) {
+        (**self).fuse(into, from)
+    }
+
+    fn convert(&self, root: NodeId, msg: &Self::TreeMsg) -> Self::MpMsg {
+        (**self).convert(root, msg)
+    }
+
+    fn tree_wire(&self, msg: &Self::TreeMsg) -> WireSize {
+        (**self).tree_wire(msg)
+    }
+
+    fn mp_wire(&self, msg: &Self::MpMsg) -> WireSize {
+        (**self).mp_wire(msg)
+    }
+
+    fn evaluate(
+        &self,
+        tree_parts: &[Self::TreeMsg],
+        mp: Option<&Self::MpMsg>,
+        base_height: u32,
+    ) -> Self::Output {
+        (**self).evaluate(tree_parts, mp, base_height)
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -1,6 +1,6 @@
 //! One epoch of level-synchronized aggregation.
 //!
-//! [`run_td_epoch`] executes a query epoch over a labeled
+//! [`run_td_epoch_set`] executes a query epoch over a labeled
 //! [`TdTopology`]: ring levels are processed outermost-first; tributary
 //! (`T`) vertices merge their children's tree messages, finalize at their
 //! height, and unicast to their tree parent (with the configured
@@ -9,12 +9,27 @@
 //! `M`-labeled ring neighbor one level down that hears the broadcast
 //! folds it in. The base station evaluates whatever reaches it.
 //!
+//! The runner is **multi-query**: every link carries one *bundle*
+//! holding a message slot per query registered in the epoch's
+//! [`QuerySet`], so N concurrent aggregates cost one topology traversal
+//! — one unicast/broadcast per node, one contributor envelope, one
+//! in-band count sketch, one set of adaptation extrema — instead of N.
+//! Message payload accounting sums the per-query wire sizes; the
+//! envelope overhead is charged once per link, not once per query.
+//!
 //! Synopsis diffusion (SD) is exactly this runner on an all-multipath
-//! labeling; the pure-TAG baseline [`run_tag_epoch`] runs the tree side
-//! alone on an arbitrary (unrestricted) TAG tree.
+//! labeling; the pure-TAG baseline [`run_tag_epoch_set`] runs the tree
+//! side alone on an arbitrary (unrestricted) TAG tree. The
+//! single-query entry points [`run_td_epoch`] / [`run_tag_epoch`] are
+//! thin typed wrappers that register one protocol and unwrap its
+//! answer, so a dedicated session and a bundled session produce
+//! bit-identical per-query results by construction.
+
+use std::any::Any;
 
 use crate::envelope::{MpEnvelope, TreeEnvelope, TREE_OVERHEAD_WORDS};
 use crate::protocol::Protocol;
+use crate::query::{ErasedMsg, QuerySet};
 use td_netsim::loss::{broadcast, unicast, LossModel, Retransmit};
 use td_netsim::network::Network;
 use td_netsim::node::{NodeId, BASE_STATION};
@@ -45,7 +60,7 @@ impl Default for RunnerConfig {
     }
 }
 
-/// What one epoch produced at the base station.
+/// What one epoch produced at the base station for a single query.
 #[derive(Clone, Debug)]
 pub struct EpochOutput<O> {
     /// The evaluated answer.
@@ -63,14 +78,169 @@ pub struct EpochOutput<O> {
     pub min_noncontrib: crate::envelope::ExtremaSet,
 }
 
-/// Run one Tributary-Delta epoch. `stats` accumulates communication
-/// accounting across epochs.
+/// What one epoch produced at the base station for a whole query set.
+/// `outputs[i]` is query `i`'s erased answer (in registration order);
+/// the instrumentation fields are shared by every query — that sharing
+/// is the point of the bundled traversal.
+pub struct SetEpochOutput {
+    /// Per-query answers, in registration order.
+    pub outputs: Vec<Box<dyn Any>>,
+    /// Exact number of contributing sensors (shared across queries).
+    pub contributing: usize,
+    /// In-band estimate of the contributing count.
+    pub contributing_est: f64,
+    /// Largest per-subtree non-contribution reports (TD expand signal).
+    pub max_noncontrib: crate::envelope::ExtremaSet,
+    /// Smallest such reports (TD shrink signal).
+    pub min_noncontrib: crate::envelope::ExtremaSet,
+}
+
+impl std::fmt::Debug for SetEpochOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SetEpochOutput")
+            .field("queries", &self.outputs.len())
+            .field("contributing", &self.contributing)
+            .field("contributing_est", &self.contributing_est)
+            .finish()
+    }
+}
+
+/// One query's slot per link message: `bundle[i]` belongs to query `i`.
+type Bundle = Vec<Option<ErasedMsg>>;
+
+fn local_tree_bundle(set: &QuerySet<'_>, u: NodeId) -> Bundle {
+    set.queries().map(|q| q.local_tree(u)).collect()
+}
+
+fn local_mp_bundle(set: &QuerySet<'_>, u: NodeId) -> Bundle {
+    set.queries().map(|q| q.local_mp(u)).collect()
+}
+
+fn bundle_tree_words(set: &QuerySet<'_>, bundle: &Bundle) -> usize {
+    bundle
+        .iter()
+        .enumerate()
+        .filter_map(|(i, slot)| slot.as_ref().map(|m| set.query(i).tree_wire(m).words))
+        .sum()
+}
+
+fn bundle_mp_wire(set: &QuerySet<'_>, bundle: &Bundle) -> (usize, usize) {
+    bundle
+        .iter()
+        .enumerate()
+        .filter_map(|(i, slot)| slot.as_ref().map(|m| set.query(i).mp_wire(m)))
+        .fold((0, 0), |(b, w), wire| (b + wire.bytes, w + wire.words))
+}
+
+/// Merge children + own local data into a tree envelope and finalize it.
+fn build_tree_envelope_set(
+    set: &QuerySet<'_>,
+    u: NodeId,
+    height: u32,
+    capacity: usize,
+    children: Vec<TreeEnvelope<Bundle>>,
+) -> TreeEnvelope<Bundle> {
+    let mut env = TreeEnvelope::local(capacity, u, Some(local_tree_bundle(set, u)));
+    for child in children {
+        env.absorb_counts(&child);
+        let child_bundle = child.msg.expect("bundle envelopes always carry a bundle");
+        let own = env.msg.as_mut().expect("just constructed with a bundle");
+        for (i, from) in child_bundle.into_iter().enumerate() {
+            let Some(from) = from else { continue };
+            match &mut own[i] {
+                Some(acc) => set.query(i).merge_tree(acc, &from),
+                slot @ None => *slot = Some(from),
+            }
+        }
+    }
+    let own = env.msg.as_mut().expect("constructed with a bundle");
+    for (i, slot) in own.iter_mut().enumerate() {
+        if let Some(m) = slot.take() {
+            *slot = Some(set.query(i).finalize_tree(u, height, m));
+        }
+    }
+    env.root = u;
+    env
+}
+
+/// Convert + fuse everything an M vertex holds into one envelope,
+/// reporting its subtree non-contribution when switchable.
+fn build_mp_envelope_set(
+    set: &QuerySet<'_>,
+    topo: &TdTopology,
+    u: NodeId,
+    capacity: usize,
+    subtree_size: u64,
+    tree_msgs: Vec<TreeEnvelope<Bundle>>,
+    mp_msgs: Vec<MpEnvelope<Bundle>>,
+) -> MpEnvelope<Bundle> {
+    let mut env = MpEnvelope::local(capacity, u, Some(local_mp_bundle(set, u)));
+    // §4.2: a switchable M vertex is the root of a unique (all-tree)
+    // subtree; it reports how many of its subtree's nodes are missing.
+    if topo.is_switchable_m(u) {
+        // Expected contributors below u: its whole static subtree minus u
+        // itself (u's own contribution is in the local envelope already).
+        let expected = subtree_size.saturating_sub(1);
+        let received: u64 = tree_msgs.iter().map(|e| e.count).sum();
+        env.report_noncontrib(u, expected.saturating_sub(received));
+    }
+    for te in tree_msgs {
+        env.absorb_tree_counts(&te);
+        let bundle = te.msg.as_ref().expect("bundle envelopes carry a bundle");
+        let own = env.msg.as_mut().expect("constructed with a bundle");
+        for (i, slot) in bundle.iter().enumerate() {
+            let Some(m) = slot else { continue };
+            let converted = set.query(i).convert(te.root, m);
+            match &mut own[i] {
+                Some(acc) => set.query(i).fuse(acc, &converted),
+                empty @ None => *empty = Some(converted),
+            }
+        }
+    }
+    for me in mp_msgs {
+        env.fuse_counts(&me);
+        let bundle = me.msg.expect("bundle envelopes carry a bundle");
+        let own = env.msg.as_mut().expect("constructed with a bundle");
+        for (i, from) in bundle.into_iter().enumerate() {
+            let Some(from) = from else { continue };
+            match &mut own[i] {
+                Some(acc) => set.query(i).fuse(acc, &from),
+                slot @ None => *slot = Some(from),
+            }
+        }
+    }
+    env
+}
+
+/// Evaluate every query over the tree bundles that reached a tree-mode
+/// base station. Consumes the envelopes: each bundle slot is moved into
+/// its query's evaluation, never cloned.
+fn evaluate_tree_base(
+    set: &QuerySet<'_>,
+    mut children: Vec<TreeEnvelope<Bundle>>,
+    base_height: u32,
+) -> Vec<Box<dyn Any>> {
+    (0..set.len())
+        .map(|i| {
+            let parts: Vec<ErasedMsg> = children
+                .iter_mut()
+                .filter_map(|env| {
+                    env.msg.as_mut().expect("bundle envelopes carry a bundle")[i].take()
+                })
+                .collect();
+            set.query(i).evaluate(parts, None, base_height)
+        })
+        .collect()
+}
+
+/// Run one Tributary-Delta epoch for every query in `set`. `stats`
+/// accumulates communication accounting across epochs.
 // Every parameter is load-bearing and callers always have all of them in
-// hand (protocol, topology, channel, config, clock, accounting, rng);
+// hand (queries, topology, channel, config, clock, accounting, rng);
 // bundling into a context struct would just move the argument list.
 #[allow(clippy::too_many_arguments)]
-pub fn run_td_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
-    proto: &P,
+pub fn run_td_epoch_set<M: LossModel, R: rand::Rng + ?Sized>(
+    set: &QuerySet<'_>,
     topo: &TdTopology,
     net: &Network,
     model: &M,
@@ -78,22 +248,22 @@ pub fn run_td_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
     epoch: u64,
     stats: &mut CommStats,
     rng: &mut R,
-) -> EpochOutput<P::Output> {
+) -> SetEpochOutput {
     let rings = topo.rings();
     let tree = topo.tree();
     let heights = tree.heights();
     let subtree_sizes = tree.subtree_sizes();
     let n = net.len();
 
-    let mut tree_inbox: Vec<Vec<TreeEnvelope<P::TreeMsg>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut mp_inbox: Vec<Vec<MpEnvelope<P::MpMsg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut tree_inbox: Vec<Vec<TreeEnvelope<Bundle>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut mp_inbox: Vec<Vec<MpEnvelope<Bundle>>> = (0..n).map(|_| Vec::new()).collect();
 
     for level in (1..=rings.max_level()).rev() {
         for u in rings.nodes_at_level(level) {
             match topo.mode(u) {
                 Mode::T => {
-                    let env = build_tree_envelope(
-                        proto,
+                    let env = build_tree_envelope_set(
+                        set,
                         u,
                         heights[u.index()],
                         n,
@@ -102,17 +272,13 @@ pub fn run_td_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
                     let p = tree
                         .parent(u)
                         .expect("connected non-base T vertex has a parent");
-                    let wire = env
-                        .msg
-                        .as_ref()
-                        .map(|m| proto.tree_wire(m))
-                        .unwrap_or_default();
+                    let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
                     let overhead = if config.charge_adaptation_overhead {
                         TREE_OVERHEAD_WORDS
                     } else {
                         0
                     };
-                    let words = wire.words + overhead;
+                    let words = payload + overhead;
                     let outcome = unicast(model, config.tree_retransmit, u, p, net, epoch, rng);
                     stats.record_send(u, words * 4, words, outcome.attempts_used as u64);
                     if outcome.delivered {
@@ -120,8 +286,8 @@ pub fn run_td_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
                     }
                 }
                 Mode::M => {
-                    let env = build_mp_envelope(
-                        proto,
+                    let env = build_mp_envelope_set(
+                        set,
                         topo,
                         u,
                         n,
@@ -129,21 +295,19 @@ pub fn run_td_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
                         std::mem::take(&mut tree_inbox[u.index()]),
                         std::mem::take(&mut mp_inbox[u.index()]),
                     );
-                    let wire = env
-                        .msg
-                        .as_ref()
-                        .map(|m| proto.mp_wire(m))
-                        .unwrap_or_default();
+                    let (payload_bytes, payload_words) =
+                        bundle_mp_wire(set, env.msg.as_ref().expect("bundle present"));
                     // Adaptation overhead: the RLE-encoded count sketch
-                    // plus the extremum reports.
+                    // plus the extremum reports — charged once per link,
+                    // shared by every query in the bundle.
                     let overhead_bytes = if config.charge_adaptation_overhead {
                         sketch_rle::encoded_size_bytes(&env.count_sketch)
                             + 8 * crate::envelope::TOP_K_EXTREMA
                     } else {
                         0
                     };
-                    let bytes = wire.bytes + overhead_bytes;
-                    let words = wire.words + overhead_bytes.div_ceil(4);
+                    let bytes = payload_bytes + overhead_bytes;
+                    let words = payload_words + overhead_bytes.div_ceil(4);
                     stats.record_send(u, bytes, words, 1);
                     let heard = broadcast(model, u, rings.receivers(u), net, epoch, rng);
                     for r in heard {
@@ -161,29 +325,23 @@ pub fn run_td_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
     match topo.mode(BASE_STATION) {
         Mode::T => {
             let children = std::mem::take(&mut tree_inbox[BASE_STATION.index()]);
-            let mut contributing = 0usize;
             let mut contributors = td_sketches::idset::IdSet::new(n);
-            let mut parts = Vec::new();
             let mut exact_count = 0u64;
-            for env in children {
+            for env in &children {
                 exact_count += env.count;
                 contributors.union(&env.contributors);
-                if let Some(m) = env.msg {
-                    parts.push(m);
-                }
             }
-            contributing += contributors.len();
-            EpochOutput {
-                output: proto.evaluate(&parts, None, base_height),
-                contributing,
+            SetEpochOutput {
+                outputs: evaluate_tree_base(set, children, base_height),
+                contributing: contributors.len(),
                 contributing_est: exact_count as f64,
                 max_noncontrib: crate::envelope::ExtremaSet::largest(),
                 min_noncontrib: crate::envelope::ExtremaSet::smallest(),
             }
         }
         Mode::M => {
-            let env = build_mp_envelope(
-                proto,
+            let env = build_mp_envelope_set(
+                set,
                 topo,
                 BASE_STATION,
                 n,
@@ -191,8 +349,15 @@ pub fn run_td_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
                 std::mem::take(&mut tree_inbox[BASE_STATION.index()]),
                 std::mem::take(&mut mp_inbox[BASE_STATION.index()]),
             );
-            EpochOutput {
-                output: proto.evaluate(&[], env.msg.as_ref(), base_height),
+            let bundle = env.msg.as_ref().expect("bundle present");
+            let outputs = (0..set.len())
+                .map(|i| {
+                    set.query(i)
+                        .evaluate(Vec::new(), bundle[i].as_ref(), base_height)
+                })
+                .collect();
+            SetEpochOutput {
+                outputs,
                 contributing: env.contributors.len(),
                 contributing_est: env.count_sketch.estimate(),
                 max_noncontrib: env.max_noncontrib,
@@ -202,77 +367,12 @@ pub fn run_td_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
     }
 }
 
-/// Merge children + own local data into a tree envelope and finalize it.
-fn build_tree_envelope<P: Protocol>(
-    proto: &P,
-    u: NodeId,
-    height: u32,
-    capacity: usize,
-    children: Vec<TreeEnvelope<P::TreeMsg>>,
-) -> TreeEnvelope<P::TreeMsg> {
-    let mut env = TreeEnvelope::local(capacity, u, proto.local_tree(u));
-    for child in children {
-        env.absorb_counts(&child);
-        if let Some(cm) = child.msg {
-            match &mut env.msg {
-                Some(m) => proto.merge_tree(m, &cm),
-                None => env.msg = Some(cm),
-            }
-        }
-    }
-    env.msg = env.msg.take().map(|m| proto.finalize_tree(u, height, m));
-    env.root = u;
-    env
-}
-
-/// Convert + fuse everything an M vertex holds into one envelope,
-/// reporting its subtree non-contribution when switchable.
-fn build_mp_envelope<P: Protocol>(
-    proto: &P,
-    topo: &TdTopology,
-    u: NodeId,
-    capacity: usize,
-    subtree_size: u64,
-    tree_msgs: Vec<TreeEnvelope<P::TreeMsg>>,
-    mp_msgs: Vec<MpEnvelope<P::MpMsg>>,
-) -> MpEnvelope<P::MpMsg> {
-    let mut env = MpEnvelope::local(capacity, u, proto.local_mp(u));
-    // §4.2: a switchable M vertex is the root of a unique (all-tree)
-    // subtree; it reports how many of its subtree's nodes are missing.
-    if topo.is_switchable_m(u) {
-        // Expected contributors below u: its whole static subtree minus u
-        // itself (u's own contribution is in the local envelope already).
-        let expected = subtree_size.saturating_sub(1);
-        let received: u64 = tree_msgs.iter().map(|e| e.count).sum();
-        env.report_noncontrib(u, expected.saturating_sub(received));
-    }
-    for te in tree_msgs {
-        env.absorb_tree_counts(&te);
-        if let Some(m) = &te.msg {
-            let converted = proto.convert(te.root, m);
-            match &mut env.msg {
-                Some(acc) => proto.fuse(acc, &converted),
-                None => env.msg = Some(converted),
-            }
-        }
-    }
-    for me in mp_msgs {
-        env.fuse_counts(&me);
-        if let Some(m) = me.msg {
-            match &mut env.msg {
-                Some(acc) => proto.fuse(acc, &m),
-                None => env.msg = Some(m),
-            }
-        }
-    }
-    env
-}
-
-/// Run one epoch of the pure-TAG baseline over an arbitrary spanning tree
-/// (parents may be at any lower level — no ring restriction).
+/// Run one epoch of the pure-TAG baseline for every query in `set`, over
+/// an arbitrary spanning tree (parents may be at any lower level — no
+/// ring restriction).
 #[allow(clippy::too_many_arguments)]
-pub fn run_tag_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
-    proto: &P,
+pub fn run_tag_epoch_set<M: LossModel, R: rand::Rng + ?Sized>(
+    set: &QuerySet<'_>,
     tree: &Tree,
     net: &Network,
     model: &M,
@@ -280,15 +380,15 @@ pub fn run_tag_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
     epoch: u64,
     stats: &mut CommStats,
     rng: &mut R,
-) -> EpochOutput<P::Output> {
+) -> SetEpochOutput {
     let heights = tree.heights();
     let n = net.len();
-    let mut inbox: Vec<Vec<TreeEnvelope<P::TreeMsg>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut base_children: Vec<TreeEnvelope<P::TreeMsg>> = Vec::new();
+    let mut inbox: Vec<Vec<TreeEnvelope<Bundle>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut base_children: Vec<TreeEnvelope<Bundle>> = Vec::new();
 
     for u in tree.bottom_up_order() {
-        let env = build_tree_envelope(
-            proto,
+        let env = build_tree_envelope_set(
+            set,
             u,
             heights[u.index()],
             n,
@@ -297,17 +397,13 @@ pub fn run_tag_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
         match tree.parent(u) {
             None => base_children.push(env),
             Some(p) => {
-                let wire = env
-                    .msg
-                    .as_ref()
-                    .map(|m| proto.tree_wire(m))
-                    .unwrap_or_default();
+                let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
                 let overhead = if config.charge_adaptation_overhead {
                     TREE_OVERHEAD_WORDS
                 } else {
                     0
                 };
-                let words = wire.words + overhead;
+                let words = payload + overhead;
                 let outcome = unicast(model, config.tree_retransmit, u, p, net, epoch, rng);
                 stats.record_send(u, words * 4, words, outcome.attempts_used as u64);
                 if outcome.delivered {
@@ -320,16 +416,12 @@ pub fn run_tag_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
     let base_height = heights[BASE_STATION.index()];
     let mut contributors = td_sketches::idset::IdSet::new(n);
     let mut exact = 0u64;
-    let mut parts = Vec::new();
-    for env in base_children {
+    for env in &base_children {
         exact += env.count;
         contributors.union(&env.contributors);
-        if let Some(m) = env.msg {
-            parts.push(m);
-        }
     }
-    EpochOutput {
-        output: proto.evaluate(&parts, None, base_height),
+    SetEpochOutput {
+        outputs: evaluate_tree_base(set, base_children, base_height),
         contributing: contributors.len(),
         contributing_est: exact as f64,
         max_noncontrib: crate::envelope::ExtremaSet::largest(),
@@ -337,10 +429,69 @@ pub fn run_tag_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
     }
 }
 
+fn unwrap_single<O: 'static>(mut out: SetEpochOutput) -> EpochOutput<O> {
+    debug_assert_eq!(out.outputs.len(), 1);
+    let output = *out
+        .outputs
+        .pop()
+        .expect("single-query set has one output")
+        .downcast::<O>()
+        .expect("single-query output type");
+    EpochOutput {
+        output,
+        contributing: out.contributing,
+        contributing_est: out.contributing_est,
+        max_noncontrib: out.max_noncontrib,
+        min_noncontrib: out.min_noncontrib,
+    }
+}
+
+/// Run one Tributary-Delta epoch for a single typed query — a wrapper
+/// over [`run_td_epoch_set`] with a one-entry bundle, so a dedicated run
+/// is bit-identical to the same query inside a larger set.
+#[allow(clippy::too_many_arguments)]
+pub fn run_td_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
+    proto: &P,
+    topo: &TdTopology,
+    net: &Network,
+    model: &M,
+    config: RunnerConfig,
+    epoch: u64,
+    stats: &mut CommStats,
+    rng: &mut R,
+) -> EpochOutput<P::Output> {
+    let mut set = QuerySet::new();
+    set.register(proto);
+    unwrap_single(run_td_epoch_set(
+        &set, topo, net, model, config, epoch, stats, rng,
+    ))
+}
+
+/// Run one pure-TAG epoch for a single typed query (wrapper over
+/// [`run_tag_epoch_set`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_tag_epoch<P: Protocol, M: LossModel, R: rand::Rng + ?Sized>(
+    proto: &P,
+    tree: &Tree,
+    net: &Network,
+    model: &M,
+    config: RunnerConfig,
+    epoch: u64,
+    stats: &mut CommStats,
+    rng: &mut R,
+) -> EpochOutput<P::Output> {
+    let mut set = QuerySet::new();
+    set.register(proto);
+    unwrap_single(run_tag_epoch_set(
+        &set, tree, net, model, config, epoch, stats, rng,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::ScalarProtocol;
+    use td_aggregates::average::Average;
     use td_aggregates::count::Count;
     use td_aggregates::sum::Sum;
     use td_netsim::loss::{Global, NoLoss};
@@ -576,5 +727,112 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    /// The heart of the multi-query engine: N queries in one set produce
+    /// exactly the answers N dedicated traversals would, while the
+    /// traversal count (messages sent) stays that of ONE query.
+    #[test]
+    fn bundled_queries_match_dedicated_runs_with_one_traversal() {
+        let (net, td) = topo(133, 200, 2);
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| 10 + i % 90).collect();
+        let model = Global::new(0.2);
+
+        enum Agg {
+            Count,
+            Sum,
+            Average,
+        }
+
+        // Dedicated single-query runs, each from the same seeded stream.
+        let run_single = |agg: Agg| -> (f64, u64, u64) {
+            let mut stats = CommStats::new(net.len());
+            let mut rng = rng_from_seed(4242);
+            let out = match agg {
+                Agg::Count => {
+                    let proto = ScalarProtocol::new(Count::default(), &values);
+                    run_td_epoch(
+                        &proto,
+                        &td,
+                        &net,
+                        &model,
+                        RunnerConfig::default(),
+                        0,
+                        &mut stats,
+                        &mut rng,
+                    )
+                    .output
+                }
+                Agg::Sum => {
+                    let proto = ScalarProtocol::new(Sum::default(), &values);
+                    run_td_epoch(
+                        &proto,
+                        &td,
+                        &net,
+                        &model,
+                        RunnerConfig::default(),
+                        0,
+                        &mut stats,
+                        &mut rng,
+                    )
+                    .output
+                }
+                Agg::Average => {
+                    let proto = ScalarProtocol::new(Average::default(), &values);
+                    run_td_epoch(
+                        &proto,
+                        &td,
+                        &net,
+                        &model,
+                        RunnerConfig::default(),
+                        0,
+                        &mut stats,
+                        &mut rng,
+                    )
+                    .output
+                }
+            };
+            (out, stats.total_rounds(), stats.total_bytes())
+        };
+
+        let (count_alone, rounds_alone, count_bytes) = run_single(Agg::Count);
+        let (sum_alone, _, sum_bytes) = run_single(Agg::Sum);
+        let (avg_alone, _, avg_bytes) = run_single(Agg::Average);
+
+        // Bundled run from the same seeded stream.
+        let count_p = ScalarProtocol::new(Count::default(), &values);
+        let sum_p = ScalarProtocol::new(Sum::default(), &values);
+        let avg_p = ScalarProtocol::new(Average::default(), &values);
+        let mut set = QuerySet::new();
+        let h_count = set.register(&count_p);
+        let h_sum = set.register(&sum_p);
+        let h_avg = set.register(&avg_p);
+        let mut stats = CommStats::new(net.len());
+        let mut rng = rng_from_seed(4242);
+        let out = run_td_epoch_set(
+            &set,
+            &td,
+            &net,
+            &model,
+            RunnerConfig::default(),
+            0,
+            &mut stats,
+            &mut rng,
+        );
+
+        let get = |i: usize| *out.outputs[i].downcast_ref::<f64>().unwrap();
+        assert_eq!(get(h_count.index()), count_alone);
+        assert_eq!(get(h_sum.index()), sum_alone);
+        assert_eq!(get(h_avg.index()), avg_alone);
+        // One traversal's worth of send rounds, not three.
+        assert_eq!(stats.total_rounds(), rounds_alone);
+        // Sharing the envelope + adaptation overhead across the bundle
+        // beats running three dedicated traversals on bytes too.
+        assert!(
+            stats.total_bytes() < count_bytes + sum_bytes + avg_bytes,
+            "bundle {} bytes vs dedicated {}",
+            stats.total_bytes(),
+            count_bytes + sum_bytes + avg_bytes
+        );
     }
 }

@@ -51,11 +51,7 @@ mod tests {
     fn conversion_preserves_population_and_heavy_counts() {
         let cfg = cfg(0.01);
         let bag = ItemBag::from_counts([(1, 5000), (2, 2000), (3, 10)]);
-        let tree = FreqSummary::combine(
-            &[FreqSummary::local(&bag)],
-            &FreqSummary::empty(),
-            0.001,
-        );
+        let tree = FreqSummary::combine(&[FreqSummary::local(&bag)], &FreqSummary::empty(), 0.001);
         let synopsis = convert_summary(&cfg, NodeId(7), &tree).unwrap();
         let mut set = SynopsisSet::new();
         set.insert(synopsis);

@@ -407,18 +407,10 @@ mod tests {
     fn fuse_promotes_class_and_drops() {
         let cfg = cfg_exact(0.2, 1 << 10);
         // Two nodes, each n0 = 612 (class 9): fused ñ = 1224 > 2^10 -> promote.
-        let a = generate_from_bag(
-            &cfg,
-            NodeId(1),
-            &ItemBag::from_counts([(1, 600), (2, 12)]),
-        )
-        .unwrap();
-        let b = generate_from_bag(
-            &cfg,
-            NodeId(2),
-            &ItemBag::from_counts([(1, 600), (3, 12)]),
-        )
-        .unwrap();
+        let a =
+            generate_from_bag(&cfg, NodeId(1), &ItemBag::from_counts([(1, 600), (2, 12)])).unwrap();
+        let b =
+            generate_from_bag(&cfg, NodeId(2), &ItemBag::from_counts([(1, 600), (3, 12)])).unwrap();
         assert_eq!(a.class, b.class);
         let fused = fuse(&cfg, a, b);
         assert!(fused.class >= 10, "class {}", fused.class);
@@ -456,14 +448,8 @@ mod tests {
 
     fn rings_setup(seed: u64, nodes: usize) -> (Network, Rings) {
         let mut rng = rng_from_seed(seed);
-        let net = Network::random_connected(
-            nodes,
-            20.0,
-            20.0,
-            Position::new(10.0, 10.0),
-            4.0,
-            &mut rng,
-        );
+        let net =
+            Network::random_connected(nodes, 20.0, 20.0, Position::new(10.0, 10.0), 4.0, &mut rng);
         let rings = Rings::build(&net);
         (net, rings)
     }
@@ -573,8 +559,7 @@ mod tests {
         let cfg = MultipathConfig::new(0.01, 2.0, n * 2, FmFactory { bitmaps: 16 });
         let mut rng = rng_from_seed(106);
         let res = run_rings(&net, &rings, &cfg, &bags, &NoLoss, 0, &mut rng);
-        let avg_messages =
-            res.stats.total_messages() as f64 / net.num_sensors() as f64;
+        let avg_messages = res.stats.total_messages() as f64 / net.num_sensors() as f64;
         assert!(
             avg_messages > 1.0,
             "expected multi-message synopses, got {avg_messages}"

@@ -75,12 +75,7 @@ impl QuantileRunResult {
     }
 }
 
-fn make_gradient(
-    kind: GradientKind,
-    eps: f64,
-    d: f64,
-    height: u32,
-) -> Box<dyn PrecisionGradient> {
+fn make_gradient(kind: GradientKind, eps: f64, d: f64, height: u32) -> Box<dyn PrecisionGradient> {
     let d = d.max(1.1);
     match kind {
         GradientKind::MinTotalLoad => Box::new(MinTotalLoad::new(eps, d)),
@@ -151,14 +146,8 @@ mod tests {
 
     fn setup(seed: u64) -> (Network, Tree, Vec<ItemBag>) {
         let mut rng = rng_from_seed(seed);
-        let net = Network::random_connected(
-            50,
-            20.0,
-            20.0,
-            Position::new(10.0, 10.0),
-            5.0,
-            &mut rng,
-        );
+        let net =
+            Network::random_connected(50, 20.0, 20.0, Position::new(10.0, 10.0), 5.0, &mut rng);
         let rings = Rings::build(&net);
         let tree = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
         use rand::Rng;

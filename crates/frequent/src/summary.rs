@@ -88,8 +88,8 @@ impl FreqSummary {
             }
         }
         // Step 3: uniform decrement by the budget gain.
-        let spent: f64 = children.iter().map(|s| s.eps * s.n as f64).sum::<f64>()
-            + own.eps * own.n as f64;
+        let spent: f64 =
+            children.iter().map(|s| s.eps * s.n as f64).sum::<f64>() + own.eps * own.n as f64;
         let decrement = eps_k * n as f64 - spent;
         assert!(
             decrement >= -1e-9,

@@ -87,12 +87,7 @@ pub struct TreeRunResult {
 
 /// Build the gradient for a tree. `d` is clamped to a hair above 1 when
 /// the tree is barely dominating, since Lemma 3 requires `d > 1`.
-fn make_gradient(
-    kind: GradientKind,
-    eps: f64,
-    d: f64,
-    height: u32,
-) -> Box<dyn PrecisionGradient> {
+fn make_gradient(kind: GradientKind, eps: f64, d: f64, height: u32) -> Box<dyn PrecisionGradient> {
     let d = d.max(1.1);
     match kind {
         GradientKind::MinTotalLoad => Box::new(MinTotalLoad::new(eps, d)),
@@ -135,8 +130,7 @@ pub fn run_tree<M: LossModel, R: rand::Rng + ?Sized>(
             None => result = summary,
             Some(p) => {
                 let words = summary.wire_words();
-                let outcome =
-                    unicast(model, config.retransmit, u, p, net, epoch, rng);
+                let outcome = unicast(model, config.retransmit, u, p, net, epoch, rng);
                 stats.record_send(u, words * 4, words, outcome.attempts_used as u64);
                 if outcome.delivered {
                     inbox[p.index()].push(summary);
@@ -163,20 +157,10 @@ mod tests {
 
     /// Build a deployment + bushy tree + per-node bags with a few heavy
     /// hitters and a long tail of rare items.
-    fn setup(
-        nodes: usize,
-        items_per_node: usize,
-        seed: u64,
-    ) -> (Network, Tree, Vec<ItemBag>) {
+    fn setup(nodes: usize, items_per_node: usize, seed: u64) -> (Network, Tree, Vec<ItemBag>) {
         let mut rng = rng_from_seed(seed);
-        let net = Network::random_connected(
-            nodes,
-            20.0,
-            20.0,
-            Position::new(10.0, 10.0),
-            4.5,
-            &mut rng,
-        );
+        let net =
+            Network::random_connected(nodes, 20.0, 20.0, Position::new(10.0, 10.0), 4.5, &mut rng);
         let rings = Rings::build(&net);
         let tree = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
         let mut bags = vec![ItemBag::new(); net.len()];

@@ -505,13 +505,29 @@ mod tests {
         let mut plain = 0;
         let mut retried = 0;
         for _ in 0..trials {
-            if unicast(&m, Retransmit { retries: 0 }, NodeId(1), NodeId(0), &net, 0, &mut rng)
-                .delivered
+            if unicast(
+                &m,
+                Retransmit { retries: 0 },
+                NodeId(1),
+                NodeId(0),
+                &net,
+                0,
+                &mut rng,
+            )
+            .delivered
             {
                 plain += 1;
             }
-            if unicast(&m, Retransmit { retries: 2 }, NodeId(1), NodeId(0), &net, 0, &mut rng)
-                .delivered
+            if unicast(
+                &m,
+                Retransmit { retries: 2 },
+                NodeId(1),
+                NodeId(0),
+                &net,
+                0,
+                &mut rng,
+            )
+            .delivered
             {
                 retried += 1;
             }

@@ -24,7 +24,10 @@ impl Network {
     /// # Panics
     /// Panics if `positions` is empty or `range` is not positive and finite.
     pub fn new(positions: Vec<Position>, range: f64) -> Self {
-        assert!(!positions.is_empty(), "network needs at least a base station");
+        assert!(
+            !positions.is_empty(),
+            "network needs at least a base station"
+        );
         assert!(
             range.is_finite() && range > 0.0,
             "radio range must be positive, got {range}"
@@ -239,10 +242,7 @@ mod tests {
         for u in net.node_ids() {
             assert!(!net.neighbors(u).contains(&u), "{u} adjacent to itself");
             for &v in net.neighbors(u) {
-                assert!(
-                    net.neighbors(v).contains(&u),
-                    "asymmetric edge {u} -> {v}"
-                );
+                assert!(net.neighbors(v).contains(&u), "asymmetric edge {u} -> {v}");
             }
         }
     }

@@ -12,6 +12,10 @@ use crate::node::NodeId;
 /// Per-node communication counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NodeComm {
+    /// Send rounds: logical per-epoch send events (one unicast or
+    /// broadcast slot, however large its payload and however many
+    /// packets it fragments into). A multi-query bundle costs one round.
+    pub rounds: u64,
     /// Radio transmissions (incl. retransmissions; a broadcast counts once).
     pub transmissions: u64,
     /// TinyDB messages sent (one transmission may carry one message; a
@@ -47,6 +51,7 @@ impl CommStats {
         debug_assert!(attempts >= 1, "a send uses at least one attempt");
         let msgs = crate::message::messages_for_bytes(bytes);
         let c = &mut self.per_node[node.index()];
+        c.rounds += 1;
         c.transmissions += msgs * attempts;
         c.messages += msgs;
         c.bytes += bytes as u64 * attempts;
@@ -56,6 +61,12 @@ impl CommStats {
     /// Counters of one node.
     pub fn node(&self, node: NodeId) -> NodeComm {
         self.per_node[node.index()]
+    }
+
+    /// Total send rounds across all nodes (the per-traversal unit: N
+    /// bundled queries still cost one round per sending node per epoch).
+    pub fn total_rounds(&self) -> u64 {
+        self.per_node.iter().map(|c| c.rounds).sum()
     }
 
     /// Total messages across all nodes.
@@ -100,6 +111,7 @@ impl CommStats {
     pub fn merge(&mut self, other: &CommStats) {
         assert_eq!(self.per_node.len(), other.per_node.len());
         for (a, b) in self.per_node.iter_mut().zip(&other.per_node) {
+            a.rounds += b.rounds;
             a.transmissions += b.transmissions;
             a.messages += b.messages;
             a.bytes += b.bytes;
@@ -167,6 +179,7 @@ mod tests {
         assert_eq!(s.total_words(), 12 + 24);
         assert_eq!(s.total_messages(), 3);
         assert_eq!(s.total_transmissions(), 5);
+        assert_eq!(s.total_rounds(), 2);
     }
 
     #[test]

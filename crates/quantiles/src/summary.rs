@@ -403,10 +403,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut all: Vec<u64> = (0..800).collect();
         all.shuffle(&mut rng);
-        let mut level: Vec<GkSummary> = all
-            .chunks(100)
-            .map(GkSummary::exact)
-            .collect();
+        let mut level: Vec<GkSummary> = all.chunks(100).map(GkSummary::exact).collect();
         let mut e_target = 4u64;
         while level.len() > 1 {
             let mut next = Vec::new();
@@ -429,7 +426,10 @@ mod tests {
         // Final uncertainty 16; check a few ranks within 2x the budget.
         for &v in &[100u64, 400, 700] {
             let err = (root.rank(v) as i64 - (v as i64 + 1)).abs();
-            assert!(err <= 2 * root.uncertainty() as i64 + 1, "rank({v}) err {err}");
+            assert!(
+                err <= 2 * root.uncertainty() as i64 + 1,
+                "rank({v}) err {err}"
+            );
         }
     }
 

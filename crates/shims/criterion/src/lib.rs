@@ -1,0 +1,153 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset of the criterion API the workspace's benches use
+//! — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — backed by a simple calibrated wall-clock loop that prints
+//! `name: median ns/iter` lines. No statistics engine, no plots; good
+//! enough to keep the bench targets compiling and producing comparable
+//! numbers offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Opaque value barrier (best-effort without compiler intrinsics: reads
+/// the value through a volatile-ish identity the optimizer must honor).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+/// Timing loop handed to `bench_function` closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter` call.
+    pub ns_per_iter: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measure `f` by running it enough times to be readable on a
+    /// wall clock, keeping the median of `samples` batches.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        // Calibrate the batch size to ~2 ms.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt.as_millis() >= 2 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples.max(3))
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t0.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = per_iter[per_iter.len() / 2];
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            samples: self.sample_size.min(16),
+        };
+        f(&mut b);
+        println!("{name:<45} {:>12.0} ns/iter", b.ns_per_iter);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("-- {name}");
+        BenchmarkGroup {
+            c: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+/// A named group (prefixes its benches' names).
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Reduce/raise the number of timing samples (coarse here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.c.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.prefix);
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+    }
+
+    criterion_group!(group, tiny);
+
+    #[test]
+    fn harness_runs() {
+        group();
+    }
+}

@@ -23,7 +23,7 @@ use crate::kmv::Kmv;
 
 /// A duplicate-insensitive counter: supports adding a population of
 /// occurrences identified by a salt, ODI merging, and estimation.
-pub trait DiCounter: Clone {
+pub trait DiCounter: Clone + 'static {
     /// Add `count` occurrences belonging to the population `salt`.
     /// Re-adding the same `(salt, count)` population (possibly via a merged
     /// copy) must not change the estimate.

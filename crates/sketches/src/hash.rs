@@ -22,13 +22,18 @@ pub fn mix64(mut z: u64) -> u64 {
 pub fn keyed(key: u64, value: u64) -> u64 {
     // Feed the key through one mix so related keys (0, 1, 2, …) decorrelate,
     // then mix the combination twice for avalanche on both inputs.
-    mix64(mix64(key ^ 0xA076_1D64_78BD_642F).wrapping_add(value.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    mix64(
+        mix64(key ^ 0xA076_1D64_78BD_642F).wrapping_add(value.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    )
 }
 
 /// Hash a pair of values (e.g. `(node, occurrence-index)`) under a key.
 #[inline]
 pub fn keyed_pair(key: u64, a: u64, b: u64) -> u64 {
-    keyed(key, mix64(a).wrapping_add(b.wrapping_mul(0xD6E8_FEB8_6659_FD93)))
+    keyed(
+        key,
+        mix64(a).wrapping_add(b.wrapping_mul(0xD6E8_FEB8_6659_FD93)),
+    )
 }
 
 /// A tiny deterministic generator for sequences of pseudo-random u64s

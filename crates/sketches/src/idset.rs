@@ -139,7 +139,7 @@ mod tests {
         assert_eq!(u.len(), 3);
         assert_eq!(a.difference_count(&b), 1); // {1}
         assert_eq!(b.difference_count(&a), 1); // {150}
-        // Idempotent union
+                                               // Idempotent union
         let mut uu = u.clone();
         uu.union(&u);
         assert_eq!(uu, u);

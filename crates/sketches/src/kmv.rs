@@ -122,7 +122,10 @@ impl Kmv {
     /// # Panics
     /// Panics if the sketches have different `k`.
     pub fn merge(&mut self, other: &Self) {
-        assert_eq!(self.k, other.k, "cannot merge KMV sketches with different k");
+        assert_eq!(
+            self.k, other.k,
+            "cannot merge KMV sketches with different k"
+        );
         let mut merged = Vec::with_capacity(self.k.min(self.vals.len() + other.vals.len()));
         let (mut i, mut j) = (0, 0);
         while merged.len() < self.k && (i < self.vals.len() || j < other.vals.len()) {

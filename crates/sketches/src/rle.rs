@@ -180,7 +180,11 @@ mod tests {
     fn empty_sketch_roundtrip_and_small() {
         let s = FmSketch::default_config();
         let bytes = encode(&s);
-        assert!(bytes.len() <= 16, "empty sketch encoded to {} bytes", bytes.len());
+        assert!(
+            bytes.len() <= 16,
+            "empty sketch encoded to {} bytes",
+            bytes.len()
+        );
         let d = decode(&bytes, 40).unwrap();
         assert_eq!(d, s);
     }
@@ -248,10 +252,12 @@ mod tests {
             s.insert_distinct(i);
         }
         let bytes = encode(&s);
-        assert!(decode(&bytes[..bytes.len() / 2], 40).is_none() ||
+        assert!(
+            decode(&bytes[..bytes.len() / 2], 40).is_none() ||
                 // Truncation may still parse if the cut lands on padding;
                 // in that case the decode must NOT equal the original.
-                decode(&bytes[..bytes.len() / 2], 40).unwrap() != s);
+                decode(&bytes[..bytes.len() / 2], 40).unwrap() != s
+        );
     }
 
     #[test]

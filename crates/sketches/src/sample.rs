@@ -75,7 +75,10 @@ impl MinHashSample {
     /// # Panics
     /// Panics if capacities differ.
     pub fn merge(&mut self, other: &Self) {
-        assert_eq!(self.k, other.k, "cannot merge samples of different capacity");
+        assert_eq!(
+            self.k, other.k,
+            "cannot merge samples of different capacity"
+        );
         let mut merged = Vec::with_capacity(self.k);
         let (mut i, mut j) = (0, 0);
         while merged.len() < self.k && (i < self.entries.len() || j < other.entries.len()) {
@@ -114,7 +117,10 @@ impl MinHashSample {
 
     /// The sampled payloads decoded as `f64`.
     pub fn values_f64(&self) -> Vec<f64> {
-        self.entries.iter().map(|&(_, p)| f64::from_bits(p)).collect()
+        self.entries
+            .iter()
+            .map(|&(_, p)| f64::from_bits(p))
+            .collect()
     }
 
     /// Estimate the `q`-quantile (0 ≤ q ≤ 1) of the sampled population.

@@ -51,11 +51,7 @@ impl Default for BushyOptions {
 /// Build the restricted tree (parents strictly one ring level down) without
 /// the opportunistic-switching optimization. This is the starting point of
 /// the local search and also the tree used when the search is disabled.
-pub fn build_restricted_tree<R: Rng + ?Sized>(
-    net: &Network,
-    rings: &Rings,
-    rng: &mut R,
-) -> Tree {
+pub fn build_restricted_tree<R: Rng + ?Sized>(net: &Network, rings: &Rings, rng: &mut R) -> Tree {
     let mut parent: Vec<Option<NodeId>> = vec![None; net.len()];
     for u in rings.connected_nodes() {
         if u == BASE_STATION {
@@ -226,9 +222,7 @@ mod tests {
         let restricted = build_restricted_tree(&net, &rings, &mut rng_a);
         let mut rng_b = rng_from_seed(46);
         let bushy = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng_b);
-        assert!(
-            domination_factor(&bushy, 0.05) >= domination_factor(&restricted, 0.05) - 1e-9
-        );
+        assert!(domination_factor(&bushy, 0.05) >= domination_factor(&restricted, 0.05) - 1e-9);
     }
 
     #[test]

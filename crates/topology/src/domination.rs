@@ -184,7 +184,7 @@ mod tests {
     }
 
     #[test]
-    fn regular_binary_tree_is_2_dominating_not_2_25(){
+    fn regular_binary_tree_is_2_dominating_not_2_25() {
         let t2 = table2_t2();
         assert!(t2.is_d_dominating(2.0));
         // H(1) = 8/15 = 0.5333 < 1 - 1/2.25 = 0.5555

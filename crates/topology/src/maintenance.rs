@@ -89,11 +89,14 @@ pub fn maintain_tree(
     hysteresis: f64,
     default_quality: f64,
 ) -> (Tree, MaintenanceReport) {
-    let mut parent: Vec<Option<NodeId>> =
-        (0..tree.len() as u32).map(|i| tree.parent(NodeId(i))).collect();
+    let mut parent: Vec<Option<NodeId>> = (0..tree.len() as u32)
+        .map(|i| tree.parent(NodeId(i)))
+        .collect();
     let mut report = MaintenanceReport::default();
     for u in tree.tree_nodes() {
-        let Some(current) = tree.parent(u) else { continue };
+        let Some(current) = tree.parent(u) else {
+            continue;
+        };
         let q = |to: NodeId| monitor.estimate(u, to).unwrap_or(default_quality);
         let current_q = q(current);
         let best = rings

@@ -146,14 +146,8 @@ mod tests {
     #[test]
     fn receivers_and_sources_are_adjacent_levels() {
         let mut rng = rng_from_seed(21);
-        let net = Network::random_in_rect(
-            150,
-            20.0,
-            20.0,
-            Position::new(10.0, 10.0),
-            3.0,
-            &mut rng,
-        );
+        let net =
+            Network::random_in_rect(150, 20.0, 20.0, Position::new(10.0, 10.0), 3.0, &mut rng);
         let rings = Rings::build(&net);
         for u in rings.connected_nodes() {
             let lu = rings.level(u).unwrap();
@@ -172,14 +166,8 @@ mod tests {
     fn every_non_base_node_has_a_receiver() {
         // By BFS construction a level-i node heard some level-(i-1) node.
         let mut rng = rng_from_seed(22);
-        let net = Network::random_in_rect(
-            200,
-            20.0,
-            20.0,
-            Position::new(10.0, 10.0),
-            2.5,
-            &mut rng,
-        );
+        let net =
+            Network::random_in_rect(200, 20.0, 20.0, Position::new(10.0, 10.0), 2.5, &mut rng);
         let rings = Rings::build(&net);
         for u in rings.connected_nodes() {
             if u != BASE_STATION {
@@ -211,14 +199,8 @@ mod tests {
     #[test]
     fn levels_partition_connected_nodes() {
         let mut rng = rng_from_seed(23);
-        let net = Network::random_in_rect(
-            300,
-            20.0,
-            20.0,
-            Position::new(10.0, 10.0),
-            2.0,
-            &mut rng,
-        );
+        let net =
+            Network::random_in_rect(300, 20.0, 20.0, Position::new(10.0, 10.0), 2.0, &mut rng);
         let rings = Rings::build(&net);
         let total: usize = (0..=rings.max_level())
             .map(|l| rings.nodes_at_level(l).len())

@@ -517,11 +517,7 @@ mod tests {
             .rings()
             .connected_nodes()
             .find(|&u| {
-                td.mode(u) == Mode::T
-                    && td
-                        .tree()
-                        .parent(u)
-                        .is_some_and(|p| td.mode(p) == Mode::T)
+                td.mode(u) == Mode::T && td.tree().parent(u).is_some_and(|p| td.mode(p) == Mode::T)
             })
             .expect("some deep T vertex exists");
         assert_eq!(

@@ -172,7 +172,11 @@ impl Tree {
     /// Check that every tree edge `(child, parent)` is also a radio link of
     /// `net` and, if `rings_level` is provided, that each parent sits exactly
     /// one ring level below its child (the §4.1 synchronization constraint).
-    pub fn respects_links(&self, net: &Network, rings_level: Option<&dyn Fn(NodeId) -> Option<u16>>) -> bool {
+    pub fn respects_links(
+        &self,
+        net: &Network,
+        rings_level: Option<&dyn Fn(NodeId) -> Option<u16>>,
+    ) -> bool {
         for u in self.tree_nodes() {
             if let Some(p) = self.parent(u) {
                 if !net.in_range(u, p) {
@@ -357,9 +361,9 @@ mod tests {
         let net = Network::new(
             vec![
                 Position::new(0.0, 0.0),
-                Position::new(1.0, 0.0),   // level 1, near node 2
-                Position::new(1.9, 0.01),  // level 1 via base? dist to base 1.9 < 2.0 range
-                Position::new(2.8, 0.0),   // level 2: neighbors = 1 (d=1.8), 2 (d=0.9)
+                Position::new(1.0, 0.0),  // level 1, near node 2
+                Position::new(1.9, 0.01), // level 1 via base? dist to base 1.9 < 2.0 range
+                Position::new(2.8, 0.0),  // level 2: neighbors = 1 (d=1.8), 2 (d=0.9)
             ],
             2.0,
         );
@@ -381,8 +385,12 @@ mod tests {
         let mut rng = rng_from_seed(39);
         let tree = build_tag_tree(&net, ParentSelection::Random, None, false, &mut rng);
         let order = tree.bottom_up_order();
-        let pos: std::collections::HashMap<NodeId, usize> =
-            order.iter().copied().enumerate().map(|(i, n)| (n, i)).collect();
+        let pos: std::collections::HashMap<NodeId, usize> = order
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, n)| (n, i))
+            .collect();
         for u in tree.tree_nodes() {
             if let Some(p) = tree.parent(u) {
                 assert!(pos[&u] < pos[&p], "{u} not before its parent {p}");

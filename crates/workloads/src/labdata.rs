@@ -162,7 +162,13 @@ mod tests {
         // factor of 2.25". Accept a band around it for the TAG tree.
         let lab = LabData::new(2);
         let mut rng = rng_from_seed(3);
-        let tree = build_tag_tree(lab.network(), ParentSelection::Random, None, false, &mut rng);
+        let tree = build_tag_tree(
+            lab.network(),
+            ParentSelection::Random,
+            None,
+            false,
+            &mut rng,
+        );
         let d = domination_factor(&tree, 0.05);
         // The reconstruction is shallower than the real lab (range is
         // calibrated for ring redundancy), which pushes the factor above
@@ -264,8 +270,7 @@ mod calibration {
             let trials = 20;
             for seed in 0..trials {
                 let mut rng = rng_from_seed(seed);
-                let tree =
-                    build_tag_tree(&net, ParentSelection::Random, None, false, &mut rng);
+                let tree = build_tag_tree(&net, ParentSelection::Random, None, false, &mut rng);
                 sum += domination_factor(&tree, 0.05);
             }
             let depth = net.hop_counts().into_iter().max().unwrap();

@@ -17,7 +17,8 @@
 //! [`items`] generates the item streams for the frequent-items
 //! experiments (Zipf-skewed readings and §7.4.2's disjoint-uniform
 //! streams), and [`scenario`] packages the failure models, including the
-//! dynamic timeline of Figure 6.
+//! dynamic timeline of Figure 6. [`workload`] plugs both deployments
+//! into the session driver's [`tributary_delta::Workload`] interface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +27,8 @@ pub mod items;
 pub mod labdata;
 pub mod scenario;
 pub mod synthetic;
+pub mod workload;
 
 pub use labdata::LabData;
 pub use synthetic::Synthetic;
+pub use workload::SyntheticSum;

@@ -130,8 +130,14 @@ impl Synthetic {
     /// Per-epoch Sum readings: stable per-node baselines (20–120) with a
     /// small epoch-varying component, deterministic in `(seed, epoch)`.
     pub fn sum_readings(net: &Network, seed: u64, epoch: u64) -> Vec<u64> {
-        let mut out = Vec::with_capacity(net.len());
-        for id in 0..net.len() as u64 {
+        Synthetic::sum_readings_for_len(net.len(), seed, epoch)
+    }
+
+    /// [`Synthetic::sum_readings`] by node count (what the
+    /// [`Workload`](tributary_delta::Workload) adapter stores).
+    pub fn sum_readings_for_len(len: usize, seed: u64, epoch: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(len);
+        for id in 0..len as u64 {
             let base = 20 + td_netsim::rng::derive_seed(seed, id) % 100;
             let jitter = td_netsim::rng::derive_seed(seed ^ 0xEE, id * 1_000_003 + epoch) % 11;
             out.push(base + jitter);

@@ -1,0 +1,89 @@
+//! [`Workload`] adapters: the paper's scenarios plugged into the
+//! session driver.
+//!
+//! `tributary-delta`'s [`Driver`](tributary_delta::Driver) consumes any
+//! [`Workload`] — a source of per-epoch, per-node readings. This module
+//! adapts both evaluation scenarios to it:
+//!
+//! * [`LabData`] implements `Workload` directly (its diurnal light
+//!   traces are already per-epoch);
+//! * [`SyntheticSum`] wraps [`Synthetic::sum_readings`]'s seeded
+//!   per-epoch readings;
+//! * [`Synthetic::count_workload`] yields the constant all-ones readings
+//!   Count queries use (a [`FixedReadings`]).
+
+use crate::labdata::LabData;
+use crate::synthetic::Synthetic;
+use td_netsim::network::Network;
+use tributary_delta::driver::{FixedReadings, Workload};
+
+impl Workload for LabData {
+    fn readings(&self, epoch: u64) -> Vec<u64> {
+        LabData::readings(self, epoch)
+    }
+}
+
+/// The Synthetic scenario's per-epoch Sum readings as a [`Workload`]:
+/// stable per-node baselines with a small epoch-varying component,
+/// deterministic in `(seed, epoch)`.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticSum {
+    len: usize,
+    seed: u64,
+}
+
+impl SyntheticSum {
+    /// Sum readings for `net`, seeded with `seed`.
+    pub fn new(net: &Network, seed: u64) -> Self {
+        SyntheticSum {
+            len: net.len(),
+            seed,
+        }
+    }
+}
+
+impl Workload for SyntheticSum {
+    fn readings(&self, epoch: u64) -> Vec<u64> {
+        Synthetic::sum_readings_for_len(self.len, self.seed, epoch)
+    }
+}
+
+impl Synthetic {
+    /// The constant Count workload (reading 1 per node) for `net`.
+    pub fn count_workload(net: &Network) -> FixedReadings {
+        FixedReadings(Synthetic::count_readings(net))
+    }
+
+    /// The seeded Sum workload for `net`.
+    pub fn sum_workload(net: &Network, seed: u64) -> SyntheticSum {
+        SyntheticSum::new(net, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_sum_workload_matches_direct_readings() {
+        let net = Synthetic::small(80).build(3);
+        let w = Synthetic::sum_workload(&net, 7);
+        assert_eq!(w.readings(5), Synthetic::sum_readings(&net, 7, 5));
+        assert_ne!(w.readings(5), w.readings(6));
+    }
+
+    #[test]
+    fn labdata_workload_is_its_readings() {
+        let lab = LabData::new(9);
+        assert_eq!(Workload::readings(&lab, 42), lab.readings(42));
+    }
+
+    #[test]
+    fn count_workload_is_all_ones() {
+        let net = Synthetic::small(60).build(1);
+        let w = Synthetic::count_workload(&net);
+        let r = w.readings(0);
+        assert_eq!(r.len(), net.len());
+        assert!(r.iter().all(|&v| v == 1));
+    }
+}

@@ -1,14 +1,17 @@
 //! Adaptive monitoring: watch the Tributary-Delta boundary react as
 //! network conditions change out from under a continuous Sum query — the
-//! dynamic scenario of the paper's Figure 6.
+//! dynamic scenario of the paper's Figure 6, driven by the session
+//! `Driver` and the Synthetic `Workload`.
 //!
 //! ```sh
 //! cargo run --release --example adaptive_monitoring
 //! ```
 
+use td_suite::core::driver::{Driver, EpochView};
 use td_suite::core::metrics::relative_error;
 use td_suite::core::protocol::ScalarProtocol;
-use td_suite::core::session::{Scheme, Session};
+use td_suite::core::query::QuerySet;
+use td_suite::core::session::{Scheme, SessionBuilder};
 use td_suite::netsim::rng::rng_from_seed;
 use td_suite::workloads::scenario::figure6_timeline;
 use td_suite::workloads::synthetic::Synthetic;
@@ -17,7 +20,9 @@ fn main() {
     let net = Synthetic::small(300).build(7);
     let model = figure6_timeline();
     let mut rng = rng_from_seed(8);
-    let mut session = Session::with_paper_defaults(Scheme::Td, &net, &mut rng);
+    let session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+    // Every epoch of the timeline is part of the story: no warmup.
+    let mut driver = Driver::new(session, 0);
 
     println!("epoch | phase              | rel.err | delta | note");
     println!("------+--------------------+---------+-------+-----------------------------");
@@ -27,19 +32,28 @@ fn main() {
         (200, "Global(0.3)"),
         (300, "Global(0)"),
     ];
-    for epoch in 0..400u64 {
-        let values = Synthetic::sum_readings(&net, 7, epoch);
-        let actual: f64 = values[1..].iter().sum::<u64>() as f64;
-        let proto = ScalarProtocol::new(td_suite::aggregates::sum::Sum::default(), &values);
-        let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
-        if epoch % 25 == 0 {
+    driver.run(
+        &Synthetic::sum_workload(&net, 7),
+        &model,
+        400,
+        |set: &mut QuerySet<'_>, values| {
+            set.register(ScalarProtocol::new(
+                td_suite::aggregates::sum::Sum::default(),
+                values,
+            ))
+        },
+        |view: EpochView<'_>, handle| {
+            if !view.epoch.is_multiple_of(25) {
+                return;
+            }
+            let actual: f64 = view.readings[1..].iter().sum::<u64>() as f64;
             let phase = phases
                 .iter()
                 .rev()
-                .find(|(start, _)| epoch >= *start)
+                .find(|(start, _)| view.epoch >= *start)
                 .map(|(_, name)| *name)
                 .unwrap();
-            let note = match rec.action {
+            let note = match view.record.action {
                 td_suite::core::adapt::AdaptAction::Expanded { switched } => {
                     format!("delta expanded by {switched}")
                 }
@@ -49,12 +63,14 @@ fn main() {
                 _ => String::new(),
             };
             println!(
-                "{epoch:>5} | {phase:<18} | {:>6.3} | {:>5} | {note}",
-                relative_error(rec.output, actual),
-                rec.delta_size,
+                "{:>5} | {phase:<18} | {:>6.3} | {:>5} | {note}",
+                view.epoch,
+                relative_error(*view.record.answers.get(handle), actual),
+                view.record.delta_size,
             );
-        }
-    }
+        },
+        &mut rng,
+    );
     println!(
         "\nThe delta grows when loss appears (more robustness), shrinks when the\n\
          network heals (exact tree aggregation, smaller messages) — the base\n\

@@ -12,8 +12,10 @@
 //! ```
 
 use td_suite::aggregates::traits::{Aggregate, Wire};
+use td_suite::core::driver::{Driver, EpochView, FixedReadings};
 use td_suite::core::protocol::ScalarProtocol;
-use td_suite::core::session::{Scheme, Session};
+use td_suite::core::query::QuerySet;
+use td_suite::core::session::{Scheme, SessionBuilder};
 use td_suite::netsim::loss::Global;
 use td_suite::netsim::rng::rng_from_seed;
 use td_suite::workloads::synthetic::Synthetic;
@@ -81,19 +83,24 @@ fn main() {
     let channel = Global::new(0.35);
     println!("one tripped alarm, 35% message loss, 60 epochs per scheme:\n");
     for scheme in Scheme::all() {
-        let mut session = Session::with_paper_defaults(scheme, &net, &mut rng);
+        let session = SessionBuilder::new(scheme).build(&net, &mut rng);
+        let mut driver = Driver::new(session, 0);
         let mut heard = 0u32;
-        for epoch in 0..60 {
-            let proto = ScalarProtocol::new(AnyAlarm, &values);
-            let rec = session.run_epoch(&proto, &channel, epoch, &mut rng);
-            if rec.output >= 1.0 {
-                heard += 1;
-            }
-        }
-        println!(
-            "{:>10}: alarm heard in {heard}/60 epochs",
-            scheme.name()
+        driver.run(
+            &FixedReadings(values.clone()),
+            &channel,
+            60,
+            |set: &mut QuerySet<'_>, readings| {
+                set.register(ScalarProtocol::new(AnyAlarm, readings))
+            },
+            |view: EpochView<'_>, handle| {
+                if *view.record.answers.get(handle) >= 1.0 {
+                    heard += 1;
+                }
+            },
+            &mut rng,
         );
+        println!("{:>10}: alarm heard in {heard}/60 epochs", scheme.name());
     }
     println!(
         "\nA tree drops the alarm whenever any link on its single path fails;\n\

@@ -66,11 +66,18 @@ fn sum_all_schemes_lossless() {
 #[test]
 fn min_max_exact_in_every_scheme() {
     let net = test_net(3);
-    let mut values: Vec<u64> = (0..net.len() as u64).map(|i| 100 + (i * 37) % 900).collect();
+    let mut values: Vec<u64> = (0..net.len() as u64)
+        .map(|i| 100 + (i * 37) % 900)
+        .collect();
     values[13] = 7; // global min
     values[77] = 5000; // global max
     for scheme in Scheme::all() {
-        assert_eq!(run_lossless(Min, &values, &net, scheme), 7.0, "{}", scheme.name());
+        assert_eq!(
+            run_lossless(Min, &values, &net, scheme),
+            7.0,
+            "{}",
+            scheme.name()
+        );
         assert_eq!(
             run_lossless(Max, &values, &net, scheme),
             5000.0,

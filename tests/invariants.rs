@@ -34,7 +34,10 @@ fn correctness_properties_hold_through_adaptation() {
             session.run_epoch(&proto, &Global::new(p), epoch, &mut rng);
             let topo = session.topology().expect("TD scheme has a topology");
             topo.validate().unwrap_or_else(|e| {
-                panic!("{} violated invariants at epoch {epoch}: {e}", scheme.name())
+                panic!(
+                    "{} violated invariants at epoch {epoch}: {e}",
+                    scheme.name()
+                )
             });
             assert!(topo.check_path_correctness(), "path correctness broken");
         }

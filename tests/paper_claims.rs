@@ -154,7 +154,7 @@ fn frequent_items_load_ordering() {
     for u in net.sensor_ids() {
         let base = u.0 as u64 * 4000;
         for _ in 0..3000 {
-            bags[u.index()].add(base + rng.gen_range(0..3000), 1);
+            bags[u.index()].add(base + rng.gen_range(0u64..3000), 1);
         }
     }
     let eps = 0.001;
