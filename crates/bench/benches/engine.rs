@@ -1,0 +1,95 @@
+//! Benchmarks for the execution engine itself: the compile-then-execute
+//! split (plan reuse vs per-epoch rebuild) and the parallel trial
+//! executor (an 8-trial sweep, sequential vs fanned across cores).
+//!
+//! On a multi-core runner the `trials8/pool` case should beat
+//! `trials8/sequential` by roughly the core count (≥2× on 4 cores); on a
+//! single core the two are within noise, because the pool degenerates to
+//! the identical sequential loop. `epoch/plan_reuse` vs
+//! `epoch/rebuild_per_epoch` isolates what the cached [`EpochPlan`]
+//! saves: the per-epoch height/subtree/level recomputation and the inbox
+//! arena growth.
+//!
+//! [`EpochPlan`]: tributary_delta::runner::EpochPlan
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use td_netsim::loss::Global;
+use td_netsim::rng::rng_from_seed;
+use td_workloads::synthetic::Synthetic;
+use tributary_delta::driver::{Driver, FixedReadings, TrialPool};
+use tributary_delta::session::{Scheme, Session};
+
+const TRIALS: u64 = 8;
+const EPOCHS: u64 = 12;
+
+fn sweep_with(pool: &TrialPool, net: &td_netsim::network::Network, values: &[u64]) -> f64 {
+    let batch = Driver::run_trials(pool, 42, TRIALS, |_t, rng| {
+        let session = Session::with_paper_defaults(Scheme::Td, net, rng);
+        let mut driver = Driver::new(session, 2);
+        let run = driver.run_scalar(
+            &td_aggregates::sum::Sum::default(),
+            &FixedReadings(values.to_vec()),
+            &Global::new(0.2),
+            EPOCHS,
+            |readings| readings[1..].iter().sum::<u64>() as f64,
+            rng,
+        );
+        (
+            run.estimates.iter().sum::<f64>(),
+            driver.into_session().stats().clone(),
+        )
+    });
+    batch.outputs.iter().sum()
+}
+
+fn bench_trial_pool(c: &mut Criterion) {
+    let net = Synthetic::small(200).build(9);
+    let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 50).collect();
+    let sequential = TrialPool::with_threads(1);
+    let pool = TrialPool::new();
+    let mut g = c.benchmark_group("trials8");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| sweep_with(black_box(&sequential), &net, &values))
+    });
+    g.bench_function("pool", |b| {
+        b.iter(|| sweep_with(black_box(&pool), &net, &values))
+    });
+    g.finish();
+}
+
+fn bench_plan_reuse(c: &mut Criterion) {
+    let net = Synthetic::paper().build(11);
+    let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 80).collect();
+    let model = Global::new(0.1);
+    let mut g = c.benchmark_group("epoch");
+    g.sample_size(10);
+    // Both cases run lossy TD epochs through a long-lived warm session —
+    // the steady state the plan cache targets; the only difference is
+    // whether the compiled plan survives between epochs. Sessions
+    // persist across iterations so construction cost stays out of the
+    // timing.
+    for (name, rebuild) in [("plan_reuse", false), ("rebuild_per_epoch", true)] {
+        let mut rng = rng_from_seed(12);
+        let mut session = Session::with_paper_defaults(Scheme::Td, &net, &mut rng);
+        let mut epoch = 0u64;
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                if rebuild {
+                    session.clear_cached_plan();
+                }
+                let proto = tributary_delta::protocol::ScalarProtocol::new(
+                    td_aggregates::sum::Sum::default(),
+                    &values,
+                );
+                let out = session.run_epoch(&proto, &model, epoch, &mut rng).output;
+                epoch += 1;
+                black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trial_pool, bench_plan_reuse);
+criterion_main!(benches);

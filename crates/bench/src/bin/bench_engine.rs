@@ -1,0 +1,107 @@
+//! Engine throughput smoke: runs a short multi-trial sweep through the
+//! [`TrialPool`] and the plan-reuse/rebuild epoch paths, then writes
+//! machine-readable throughput numbers to `results/bench_engine.json` so
+//! CI can track the perf trajectory across PRs.
+//!
+//! Keep the workload small: this runs on every CI push. The JSON schema
+//! is flat on purpose (string keys → numbers) so a future PR can diff
+//! two runs with nothing fancier than `jq`.
+
+use std::io::Write;
+use std::time::Instant;
+
+use td_netsim::loss::Global;
+use td_netsim::rng::rng_from_seed;
+use td_workloads::synthetic::Synthetic;
+use tributary_delta::driver::{Driver, FixedReadings, TrialPool};
+use tributary_delta::protocol::ScalarProtocol;
+use tributary_delta::session::{Scheme, Session};
+
+const TRIALS: u64 = 8;
+const EPOCHS_PER_TRIAL: u64 = 30;
+const WARMUP: u64 = 2;
+const SENSORS: usize = 150;
+
+/// One timed sweep: returns (elapsed seconds, total epochs run, total
+/// payload bytes across the merged trial stats).
+fn timed_sweep(
+    pool: &TrialPool,
+    net: &td_netsim::network::Network,
+    values: &[u64],
+) -> (f64, u64, u64) {
+    let t0 = Instant::now();
+    let batch = Driver::run_trials(pool, 0xE1234, TRIALS, |_t, rng| {
+        let session = Session::with_paper_defaults(Scheme::Td, net, rng);
+        let mut driver = Driver::new(session, WARMUP);
+        let run = driver.run_scalar(
+            &td_aggregates::sum::Sum::default(),
+            &FixedReadings(values.to_vec()),
+            &Global::new(0.2),
+            EPOCHS_PER_TRIAL,
+            |readings| readings[1..].iter().sum::<u64>() as f64,
+            rng,
+        );
+        (
+            run.estimates.len() as u64,
+            driver.into_session().stats().clone(),
+        )
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let epochs: u64 = TRIALS * (WARMUP + EPOCHS_PER_TRIAL);
+    let bytes = batch.stats.map(|s| s.total_bytes()).unwrap_or(0);
+    (elapsed, epochs, bytes)
+}
+
+/// Nanoseconds per epoch through a session, with or without plan reuse.
+fn timed_epochs(net: &td_netsim::network::Network, values: &[u64], rebuild: bool) -> f64 {
+    let model = Global::new(0.1);
+    let mut rng = rng_from_seed(77);
+    let mut session = Session::with_paper_defaults(Scheme::Td, net, &mut rng);
+    let epochs = 60u64;
+    let t0 = Instant::now();
+    for epoch in 0..epochs {
+        if rebuild {
+            session.clear_cached_plan();
+        }
+        let proto = ScalarProtocol::new(td_aggregates::sum::Sum::default(), values);
+        session.run_epoch(&proto, &model, epoch, &mut rng);
+    }
+    t0.elapsed().as_nanos() as f64 / epochs as f64
+}
+
+fn main() {
+    let net = Synthetic::small(SENSORS).build(5);
+    let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 50).collect();
+
+    let pool = TrialPool::new();
+    let (seq_s, epochs, bytes) = timed_sweep(&TrialPool::with_threads(1), &net, &values);
+    let (pool_s, _, pool_bytes) = timed_sweep(&pool, &net, &values);
+    assert_eq!(bytes, pool_bytes, "parallel sweep diverged from sequential");
+
+    let reuse_ns = timed_epochs(&net, &values, false);
+    let rebuild_ns = timed_epochs(&net, &values, true);
+
+    let json = format!(
+        "{{\n  \"sensors\": {SENSORS},\n  \"trials\": {TRIALS},\n  \"epochs_total\": {epochs},\n  \
+         \"threads\": {},\n  \"sequential_s\": {seq_s:.4},\n  \"pool_s\": {pool_s:.4},\n  \
+         \"speedup\": {:.3},\n  \"epochs_per_sec_sequential\": {:.1},\n  \
+         \"epochs_per_sec_pool\": {:.1},\n  \"total_bytes\": {bytes},\n  \
+         \"epoch_ns_plan_reuse\": {reuse_ns:.0},\n  \"epoch_ns_rebuild\": {rebuild_ns:.0},\n  \
+         \"plan_reuse_ratio\": {:.3}\n}}\n",
+        pool.threads(),
+        seq_s / pool_s.max(1e-9),
+        epochs as f64 / seq_s.max(1e-9),
+        epochs as f64 / pool_s.max(1e-9),
+        rebuild_ns / reuse_ns.max(1.0),
+    );
+    print!("{json}");
+
+    let path = td_bench::report::results_dir().join("bench_engine.json");
+    if let Err(e) = std::fs::create_dir_all(path.parent().expect("has parent"))
+        .and_then(|()| std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}

@@ -20,7 +20,7 @@ use td_topology::domination::domination_factor;
 use td_topology::rings::Rings;
 use td_workloads::items::zipf_bags;
 use td_workloads::synthetic::Synthetic;
-use tributary_delta::driver::Driver;
+use tributary_delta::driver::{Driver, TrialPool};
 use tributary_delta::metrics::rms_error_series;
 use tributary_delta::session::{Scheme, SessionBuilder};
 
@@ -37,7 +37,8 @@ pub fn signal_ablation(scale: Scale, seed: u64) -> Table {
             "final_delta_size",
         ],
     );
-    for (name, exact) in [("exact (instrumented)", true), ("in-band sketch", false)] {
+    let variants = [("exact (instrumented)", true), ("in-band sketch", false)];
+    let rows = TrialPool::new().map(seed, &variants, |_, &(name, exact), _pool_rng| {
         let mut builder = SessionBuilder::new(Scheme::TdCoarse);
         if !exact {
             builder = builder.in_band_signal();
@@ -52,12 +53,15 @@ pub fn signal_ablation(scale: Scale, seed: u64) -> Table {
             |_| net.num_sensors() as f64,
             &mut rng,
         );
-        t.row(vec![
+        vec![
             name.to_string(),
             f(rms_error_series(&result.estimates, &result.actuals)),
             f(result.last_pct_contributing),
             result.last_delta_size.to_string(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }
@@ -104,7 +108,8 @@ pub fn damping_ablation(scale: Scale, seed: u64) -> Table {
         "Ablation: oscillation damping (TD-Coarse, Global(0.12))",
         &["damping", "adapt_actions", "final_interval_multiplier"],
     );
-    for (name, enabled) in [("on", true), ("off", false)] {
+    let variants = [("on", true), ("off", false)];
+    let rows = TrialPool::new().map(seed, &variants, |_, &(name, enabled), _pool_rng| {
         let mut cfg = *SessionBuilder::new(Scheme::TdCoarse).config();
         // A zero-width band guarantees every adaptation epoch acts, so the
         // system flaps around the threshold; damping's job is to slow the
@@ -124,7 +129,7 @@ pub fn damping_ablation(scale: Scale, seed: u64) -> Table {
             |_| net.num_sensors() as f64,
             &mut rng,
         );
-        t.row(vec![
+        vec![
             name.to_string(),
             result.adapt_moves.to_string(),
             driver
@@ -132,7 +137,10 @@ pub fn damping_ablation(scale: Scale, seed: u64) -> Table {
                 .adapter_damping()
                 .map(|d| d.to_string())
                 .unwrap_or_default(),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     t
 }

@@ -14,7 +14,7 @@ use td_netsim::node::Rect;
 use td_netsim::rng::substream;
 use td_workloads::scenario;
 use td_workloads::synthetic::Synthetic;
-use tributary_delta::driver::Driver;
+use tributary_delta::driver::{Driver, TrialPool};
 use tributary_delta::session::{Scheme, SessionBuilder};
 
 /// One converged snapshot.
@@ -80,35 +80,41 @@ pub fn run(scale: Scale, seed: u64) -> Vec<DeltaSnapshot> {
         .filter(|&n| region.contains(net.position(n)))
         .count() as f64
         / net.num_sensors() as f64;
-    let mut out = Vec::new();
     // The paper's two loss rates with its p2 = 0.05, plus a low-noise
     // variant where the outside network is healthy enough that a partial
     // delta meets the 90% target — the regime where fine-grained
     // localization is visible (see EXPERIMENTS.md on depth sensitivity).
-    for &(p1, p2) in &[(0.3, 0.05), (0.8, 0.05), (0.3, 0.005)] {
-        for (scheme, name) in [(Scheme::Td, "TD"), (Scheme::TdCoarse, "TD-Coarse")] {
-            let delta = converge(scheme, p1, p2, region, &net, scale, seed);
-            let inside = delta
-                .iter()
-                .filter(|&&(x, y)| region.contains(td_netsim::node::Position::new(x, y)))
-                .count();
-            let frac_inside = if delta.is_empty() {
-                0.0
-            } else {
-                inside as f64 / delta.len() as f64
-            };
-            out.push(DeltaSnapshot {
-                p1,
-                p2,
-                scheme: name,
-                delta,
-                sensors: net.num_sensors(),
-                frac_inside,
-                baseline_frac: baseline,
-            });
+    // Each (loss rates, scheme) snapshot converges independently on the
+    // trial pool.
+    let cells: Vec<(f64, f64, Scheme, &'static str)> = [(0.3, 0.05), (0.8, 0.05), (0.3, 0.005)]
+        .into_iter()
+        .flat_map(|(p1, p2)| {
+            [(Scheme::Td, "TD"), (Scheme::TdCoarse, "TD-Coarse")]
+                .into_iter()
+                .map(move |(scheme, name)| (p1, p2, scheme, name))
+        })
+        .collect();
+    TrialPool::new().map(seed, &cells, |_, &(p1, p2, scheme, name), _pool_rng| {
+        let delta = converge(scheme, p1, p2, region, &net, scale, seed);
+        let inside = delta
+            .iter()
+            .filter(|&&(x, y)| region.contains(td_netsim::node::Position::new(x, y)))
+            .count();
+        let frac_inside = if delta.is_empty() {
+            0.0
+        } else {
+            inside as f64 / delta.len() as f64
+        };
+        DeltaSnapshot {
+            p1,
+            p2,
+            scheme: name,
+            delta,
+            sensors: net.num_sensors(),
+            frac_inside,
+            baseline_frac: baseline,
         }
-    }
-    out
+    })
 }
 
 /// ASCII scatter of a snapshot: `.` sensor, `#` delta member, `B` base.

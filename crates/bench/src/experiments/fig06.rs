@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use td_netsim::rng::substream;
 use td_workloads::scenario::figure6_timeline;
 use td_workloads::synthetic::Synthetic;
-use tributary_delta::driver::{Driver, EpochView};
+use tributary_delta::driver::{Driver, EpochView, TrialPool};
 use tributary_delta::metrics::relative_error;
 use tributary_delta::protocol::ScalarProtocol;
 use tributary_delta::query::QuerySet;
@@ -41,45 +41,38 @@ pub fn run(scale: Scale, seed: u64) -> TimelineResult {
     let net = Synthetic::sized(scale.sensors).build(seed);
     let model = figure6_timeline();
     let epochs = 400u64;
-    let mut series = BTreeMap::new();
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for scheme in Scheme::all() {
-            let net = &net;
-            let model = &model;
-            handles.push((
-                scheme.name(),
-                s.spawn(move || {
-                    let mut rng = substream(seed, 0xF06 + 0x100 * scheme.index());
-                    let session = SessionBuilder::new(scheme).build(net, &mut rng);
-                    // The timeline is the experiment: every epoch is
-                    // plotted, so the driver runs with zero warmup.
-                    let mut driver = Driver::new(session, 0);
-                    let mut errors = Vec::with_capacity(epochs as usize);
-                    driver.run(
-                        &Synthetic::sum_workload(net, seed),
-                        model,
-                        epochs,
-                        |set: &mut QuerySet<'_>, values| {
-                            set.register(ScalarProtocol::new(
-                                td_aggregates::sum::Sum::default(),
-                                values,
-                            ))
-                        },
-                        |view: EpochView<'_>, handle| {
-                            let actual: f64 = view.readings[1..].iter().sum::<u64>() as f64;
-                            errors.push(relative_error(*view.record.answers.get(handle), actual));
-                        },
-                        &mut rng,
-                    );
-                    errors
-                }),
-            ));
-        }
-        for (name, h) in handles {
-            series.insert(name, h.join().expect("timeline worker"));
-        }
+    let schemes = Scheme::all();
+    let per_scheme = TrialPool::new().map(seed, &schemes, |_, &scheme, _pool_rng| {
+        // Scheme substreams are derived from the experiment seed (not the
+        // pool stream) so the series match a sequential regeneration.
+        let mut rng = substream(seed, 0xF06 + 0x100 * scheme.index());
+        let session = SessionBuilder::new(scheme).build(&net, &mut rng);
+        // The timeline is the experiment: every epoch is plotted, so the
+        // driver runs with zero warmup.
+        let mut driver = Driver::new(session, 0);
+        let mut errors = Vec::with_capacity(epochs as usize);
+        driver.run(
+            &Synthetic::sum_workload(&net, seed),
+            &model,
+            epochs,
+            |set: &mut QuerySet<'_>, values| {
+                set.register(ScalarProtocol::new(
+                    td_aggregates::sum::Sum::default(),
+                    values,
+                ))
+            },
+            |view: EpochView<'_>, handle| {
+                let actual: f64 = view.readings[1..].iter().sum::<u64>() as f64;
+                errors.push(relative_error(*view.record.answers.get(handle), actual));
+            },
+            &mut rng,
+        );
+        errors
     });
+    let mut series = BTreeMap::new();
+    for (scheme, errors) in schemes.into_iter().zip(per_scheme) {
+        series.insert(scheme.name(), errors);
+    }
     TimelineResult { series, epochs }
 }
 

@@ -9,6 +9,7 @@ use td_topology::rings::Rings;
 use td_topology::tree::{build_tag_tree, ParentSelection};
 use td_workloads::labdata::LabData;
 use td_workloads::synthetic::Synthetic;
+use tributary_delta::driver::TrialPool;
 
 /// One sweep point.
 #[derive(Clone, Debug)]
@@ -40,34 +41,32 @@ fn measure(spec: Synthetic, trials: u64, seed: u64) -> (f64, f64) {
     (tag_sum / trials as f64, ours_sum / trials as f64)
 }
 
-/// Figure 7(a): density sweep over a 20×20 area.
+/// Figure 7(a): density sweep over a 20×20 area (one trial-pool job per
+/// density point).
 pub fn density_sweep(trials: u64, seed: u64) -> Vec<DominationPoint> {
-    (1..=8)
-        .map(|i| {
-            let density = i as f64 * 0.2;
-            let (tag, ours) = measure(Synthetic::with_density(density), trials, seed);
-            DominationPoint {
-                x: density,
-                tag,
-                ours,
-            }
-        })
-        .collect()
+    let densities: Vec<f64> = (1..=8).map(|i| i as f64 * 0.2).collect();
+    TrialPool::new().map(seed, &densities, |_, &density, _pool_rng| {
+        let (tag, ours) = measure(Synthetic::with_density(density), trials, seed);
+        DominationPoint {
+            x: density,
+            tag,
+            ours,
+        }
+    })
 }
 
-/// Figure 7(b): width sweep at density 1 (height fixed at 20).
+/// Figure 7(b): width sweep at density 1 (height fixed at 20; one
+/// trial-pool job per width point).
 pub fn width_sweep(trials: u64, seed: u64) -> Vec<DominationPoint> {
-    (1..=10)
-        .map(|i| {
-            let width = i as f64 * 10.0;
-            let (tag, ours) = measure(Synthetic::with_width(width), trials, seed);
-            DominationPoint {
-                x: width,
-                tag,
-                ours,
-            }
-        })
-        .collect()
+    let widths: Vec<f64> = (1..=10).map(|i| i as f64 * 10.0).collect();
+    TrialPool::new().map(seed, &widths, |_, &width, _pool_rng| {
+        let (tag, ours) = measure(Synthetic::with_width(width), trials, seed);
+        DominationPoint {
+            x: width,
+            tag,
+            ours,
+        }
+    })
 }
 
 /// §7.4.1: the LabData deployment's domination factor (paper: 2.25).

@@ -21,6 +21,7 @@ use td_topology::tree::Tree;
 use td_workloads::items::{disjoint_uniform_bags, labdata_bags};
 use td_workloads::labdata::LabData;
 use td_workloads::synthetic::Synthetic;
+use tributary_delta::driver::TrialPool;
 
 /// The paper's error margin ε = 0.1%.
 pub const EPS: f64 = 0.001;
@@ -116,21 +117,17 @@ pub fn run(scale: Scale, seed: u64) -> Vec<LoadRow> {
     let synth_tree = tree_for(&synth_net, seed ^ 1);
     let synth_bags = disjoint_uniform_bags(&synth_net, items, items as u64, seed);
 
-    ALGORITHMS
-        .iter()
-        .map(|&algorithm| {
-            let (avg_real, max_real) = loads(lab.network(), &lab_tree, &lab_bags, algorithm, seed);
-            let (avg_synth, max_synth) =
-                loads(&synth_net, &synth_tree, &synth_bags, algorithm, seed);
-            LoadRow {
-                algorithm,
-                avg_real,
-                max_real,
-                avg_synth,
-                max_synth,
-            }
-        })
-        .collect()
+    TrialPool::new().map(seed, &ALGORITHMS, |_, &algorithm, _pool_rng| {
+        let (avg_real, max_real) = loads(lab.network(), &lab_tree, &lab_bags, algorithm, seed);
+        let (avg_synth, max_synth) = loads(&synth_net, &synth_tree, &synth_bags, algorithm, seed);
+        LoadRow {
+            algorithm,
+            avg_real,
+            max_real,
+            avg_synth,
+            max_synth,
+        }
+    })
 }
 
 /// Render the rows.

@@ -22,7 +22,7 @@ use td_topology::rings::Rings;
 use td_topology::tree::{build_tag_tree, ParentSelection};
 use td_workloads::items::labdata_bags;
 use td_workloads::labdata::LabData;
-use tributary_delta::driver::Driver;
+use tributary_delta::driver::{Driver, TrialPool};
 use tributary_delta::metrics::{false_negative_rate, false_positive_rate};
 use tributary_delta::protocol::FreqProtocol;
 use tributary_delta::session::{Scheme, SessionBuilder};
@@ -201,35 +201,21 @@ fn lab_regional(p1: f64) -> td_netsim::loss::Regional {
 pub fn run_regional(scale: Scale, seed: u64) -> Vec<FnPoint> {
     let fx = fixture(scale, seed);
     let ps: Vec<f64> = (0..=9).map(|i| i as f64 * 0.1).collect();
-    let mut out: Vec<Option<FnPoint>> = vec![None; ps.len()];
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, &p) in ps.iter().enumerate() {
-            let fx = &fx;
-            handles.push((
-                i,
-                s.spawn(move || {
-                    let model = lab_regional(p);
-                    let mut fn_pct = BTreeMap::new();
-                    let mut fp_pct = BTreeMap::new();
-                    let (fnr, fpr) = tag_rates_with(fx, &model, 0, scale.runs, seed);
-                    fn_pct.insert("TAG", fnr);
-                    fp_pct.insert("TAG", fpr);
-                    let (fnr, fpr) = sd_rates_with(fx, &model, scale.runs, seed);
-                    fn_pct.insert("SD", fnr);
-                    fp_pct.insert("SD", fpr);
-                    let (fnr, fpr) = td_rates_with(fx, &model, 0, scale, seed);
-                    fn_pct.insert("TD", fnr);
-                    fp_pct.insert("TD", fpr);
-                    FnPoint { p, fn_pct, fp_pct }
-                }),
-            ));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("fig09 regional worker"));
-        }
-    });
-    out.into_iter().map(|o| o.expect("filled")).collect()
+    TrialPool::new().map(seed, &ps, |_, &p, _pool_rng| {
+        let model = lab_regional(p);
+        let mut fn_pct = BTreeMap::new();
+        let mut fp_pct = BTreeMap::new();
+        let (fnr, fpr) = tag_rates_with(&fx, &model, 0, scale.runs, seed);
+        fn_pct.insert("TAG", fnr);
+        fp_pct.insert("TAG", fpr);
+        let (fnr, fpr) = sd_rates_with(&fx, &model, scale.runs, seed);
+        fn_pct.insert("SD", fnr);
+        fp_pct.insert("SD", fpr);
+        let (fnr, fpr) = td_rates_with(&fx, &model, 0, scale, seed);
+        fn_pct.insert("TD", fnr);
+        fp_pct.insert("TD", fpr);
+        FnPoint { p, fn_pct, fp_pct }
+    })
 }
 
 /// Run the sweep: `retries = 0` is Figure 9(a), `retries = 2` Figure 9(b)
@@ -237,34 +223,20 @@ pub fn run_regional(scale: Scale, seed: u64) -> Vec<FnPoint> {
 pub fn run(retries: u32, scale: Scale, seed: u64) -> Vec<FnPoint> {
     let fx = fixture(scale, seed);
     let ps: Vec<f64> = (0..=9).map(|i| i as f64 * 0.1).collect();
-    let mut out: Vec<Option<FnPoint>> = vec![None; ps.len()];
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, &p) in ps.iter().enumerate() {
-            let fx = &fx;
-            handles.push((
-                i,
-                s.spawn(move || {
-                    let mut fn_pct = BTreeMap::new();
-                    let mut fp_pct = BTreeMap::new();
-                    let (fnr, fpr) = tag_rates(fx, p, retries, scale.runs, seed);
-                    fn_pct.insert("TAG", fnr);
-                    fp_pct.insert("TAG", fpr);
-                    let (fnr, fpr) = sd_rates(fx, p, scale.runs, seed);
-                    fn_pct.insert("SD", fnr);
-                    fp_pct.insert("SD", fpr);
-                    let (fnr, fpr) = td_rates(fx, p, retries, scale, seed);
-                    fn_pct.insert("TD", fnr);
-                    fp_pct.insert("TD", fpr);
-                    FnPoint { p, fn_pct, fp_pct }
-                }),
-            ));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("fig09 worker"));
-        }
-    });
-    out.into_iter().map(|o| o.expect("filled")).collect()
+    TrialPool::new().map(seed, &ps, |_, &p, _pool_rng| {
+        let mut fn_pct = BTreeMap::new();
+        let mut fp_pct = BTreeMap::new();
+        let (fnr, fpr) = tag_rates(&fx, p, retries, scale.runs, seed);
+        fn_pct.insert("TAG", fnr);
+        fp_pct.insert("TAG", fpr);
+        let (fnr, fpr) = sd_rates(&fx, p, scale.runs, seed);
+        fn_pct.insert("SD", fnr);
+        fp_pct.insert("SD", fpr);
+        let (fnr, fpr) = td_rates(&fx, p, retries, scale, seed);
+        fn_pct.insert("TD", fnr);
+        fp_pct.insert("TD", fpr);
+        FnPoint { p, fn_pct, fp_pct }
+    })
 }
 
 /// Render the sweep.

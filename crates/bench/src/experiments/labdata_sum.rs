@@ -10,7 +10,7 @@ use crate::Scale;
 use std::collections::BTreeMap;
 use td_netsim::rng::substream;
 use td_workloads::labdata::LabData;
-use tributary_delta::driver::Driver;
+use tributary_delta::driver::{Driver, TrialPool};
 use tributary_delta::metrics::rms_error_series;
 use tributary_delta::session::{Scheme, SessionBuilder};
 
@@ -24,35 +24,43 @@ pub struct LabSumResult {
     pub td_delta_fraction: f64,
 }
 
-/// Run the experiment.
+/// Run the experiment. Every `(scheme, run)` pair is an independent
+/// trial fanned across the pool; the per-run substream derivation is
+/// unchanged, so the averages match a sequential regeneration.
 pub fn run(scale: Scale, seed: u64) -> LabSumResult {
     let lab = LabData::new(seed);
     let net = lab.network();
     let model = lab.loss_model();
+    let cells: Vec<(Scheme, u64)> = Scheme::all()
+        .into_iter()
+        .flat_map(|s| (0..scale.runs).map(move |run| (s, run)))
+        .collect();
+    let measured = TrialPool::new().map(seed, &cells, |_, &(scheme, run), _pool_rng| {
+        let mut rng = substream(seed, 0x1ab5 + run * 131 + scheme.index() * 104_729);
+        let session = SessionBuilder::new(scheme).build(net, &mut rng);
+        let mut driver = Driver::new(session, scale.warmup);
+        let result = driver.run_scalar(
+            &td_aggregates::sum::Sum::default(),
+            &lab,
+            &model,
+            scale.epochs,
+            |readings| readings[1..].iter().sum::<u64>() as f64,
+            &mut rng,
+        );
+        let rms = rms_error_series(&result.estimates, &result.actuals);
+        let delta_frac = driver.session().delta_nodes().len() as f64 / net.num_sensors() as f64;
+        (rms, delta_frac)
+    });
     let mut rms = BTreeMap::new();
     let mut td_delta_fraction = 0.0;
-    for scheme in Scheme::all() {
-        let mut total = 0.0;
-        let mut delta_frac_acc = 0.0;
-        for run in 0..scale.runs {
-            let mut rng = substream(seed, 0x1ab5 + run * 131 + scheme.index() * 104_729);
-            let session = SessionBuilder::new(scheme).build(net, &mut rng);
-            let mut driver = Driver::new(session, scale.warmup);
-            let result = driver.run_scalar(
-                &td_aggregates::sum::Sum::default(),
-                &lab,
-                &model,
-                scale.epochs,
-                |readings| readings[1..].iter().sum::<u64>() as f64,
-                &mut rng,
-            );
-            total += rms_error_series(&result.estimates, &result.actuals);
-            delta_frac_acc +=
-                driver.session().delta_nodes().len() as f64 / net.num_sensors() as f64;
-        }
+    for (scheme, chunk) in Scheme::all()
+        .iter()
+        .zip(measured.chunks(scale.runs as usize))
+    {
+        let total: f64 = chunk.iter().map(|(r, _)| r).sum();
         rms.insert(scheme.name(), total / scale.runs as f64);
-        if scheme == Scheme::Td {
-            td_delta_fraction = delta_frac_acc / scale.runs as f64;
+        if *scheme == Scheme::Td {
+            td_delta_fraction = chunk.iter().map(|(_, d)| d).sum::<f64>() / scale.runs as f64;
         }
     }
     LabSumResult {

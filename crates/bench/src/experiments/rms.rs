@@ -15,7 +15,7 @@ use td_netsim::loss::LossModel;
 use td_netsim::rng::substream;
 use td_workloads::scenario;
 use td_workloads::synthetic::Synthetic;
-use tributary_delta::driver::Driver;
+use tributary_delta::driver::{Driver, TrialPool};
 use tributary_delta::metrics::rms_error_series;
 use tributary_delta::session::{Scheme, SessionBuilder};
 
@@ -87,8 +87,10 @@ fn rms_one<M: LossModel>(
     total / scale.runs as f64
 }
 
-/// Run the sweep across loss rates and all four schemes. Points are
-/// computed in parallel (one thread per loss rate).
+/// Run the sweep across loss rates and all four schemes. Every
+/// `(loss rate, scheme)` cell is an independent trial fanned across one
+/// flat [`TrialPool`], so the sweep load-balances instead of
+/// serializing all four schemes behind each loss rate.
 pub fn sweep(
     agg: SweepAggregate,
     failure: SweepFailure,
@@ -96,39 +98,33 @@ pub fn sweep(
     scale: Scale,
     seed: u64,
 ) -> Vec<RmsPoint> {
-    let mut out: Vec<Option<RmsPoint>> = vec![None; ps.len()];
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for (i, &p) in ps.iter().enumerate() {
-            handles.push((
-                i,
-                s.spawn(move || {
-                    let spec = Synthetic::sized(scale.sensors);
-                    let mut rms = BTreeMap::new();
-                    for scheme in Scheme::all() {
-                        let value = match failure {
-                            SweepFailure::Global => {
-                                rms_one(agg, scheme, &scenario::global(p), scale, seed)
-                            }
-                            SweepFailure::Regional => rms_one(
-                                agg,
-                                scheme,
-                                &scenario::regional_for(spec.width, spec.height, p, 0.05),
-                                scale,
-                                seed,
-                            ),
-                        };
-                        rms.insert(scheme.name(), value);
-                    }
-                    RmsPoint { p, rms }
-                }),
-            ));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("sweep worker panicked"));
+    let cells: Vec<(f64, Scheme)> = ps
+        .iter()
+        .flat_map(|&p| Scheme::all().into_iter().map(move |s| (p, s)))
+        .collect();
+    let values = TrialPool::new().map(seed, &cells, |_, &(p, scheme), _pool_rng| {
+        let spec = Synthetic::sized(scale.sensors);
+        match failure {
+            SweepFailure::Global => rms_one(agg, scheme, &scenario::global(p), scale, seed),
+            SweepFailure::Regional => rms_one(
+                agg,
+                scheme,
+                &scenario::regional_for(spec.width, spec.height, p, 0.05),
+                scale,
+                seed,
+            ),
         }
     });
-    out.into_iter().map(|o| o.expect("filled")).collect()
+    ps.iter()
+        .zip(values.chunks(Scheme::all().len()))
+        .map(|(&p, chunk)| {
+            let mut rms = BTreeMap::new();
+            for (scheme, &value) in Scheme::all().into_iter().zip(chunk) {
+                rms.insert(scheme.name(), value);
+            }
+            RmsPoint { p, rms }
+        })
+        .collect()
 }
 
 /// Render a sweep as a report table.

@@ -17,7 +17,7 @@ use td_sketches::counter::FmFactory;
 use td_topology::rings::Rings;
 use td_topology::tree::{build_tag_tree, ParentSelection};
 use td_workloads::synthetic::Synthetic;
-use tributary_delta::driver::Driver;
+use tributary_delta::driver::{Driver, TrialPool};
 use tributary_delta::metrics::{false_negative_rate, rms_error_series};
 use tributary_delta::session::{Scheme, SessionBuilder};
 
@@ -130,29 +130,26 @@ fn freq_metrics(scheme: Scheme, p: f64, scale: Scale, seed: u64) -> (f64, f64) {
     }
 }
 
-/// Measure all schemes.
+/// Measure all schemes (one trial-pool job per scheme).
 pub fn run(scale: Scale, seed: u64) -> Vec<ComparisonRow> {
-    Scheme::all()
-        .into_iter()
-        .map(|scheme| {
-            let (err_lossy, msgs, bytes, latency) = count_metrics(scheme, 0.15, scale, seed);
-            let (err_lossless, _, _, _) = count_metrics(scheme, 0.0, scale, seed ^ 0x11);
-            // Frequent items: TD variants share SD's multi-path costs in
-            // this summary (their delta dominates under loss); TAG is the
-            // tree column.
-            let (freq_fn, freq_msgs) = freq_metrics(scheme, 0.15, scale, seed);
-            ComparisonRow {
-                scheme: scheme.name(),
-                count_latency_ms: latency,
-                count_msgs_per_node: msgs,
-                count_bytes_per_node: bytes,
-                count_err_lossy: err_lossy,
-                count_err_lossless: err_lossless,
-                freq_fn_lossy: freq_fn,
-                freq_msgs_per_node: freq_msgs,
-            }
-        })
-        .collect()
+    TrialPool::new().map(seed, &Scheme::all(), |_, &scheme, _pool_rng| {
+        let (err_lossy, msgs, bytes, latency) = count_metrics(scheme, 0.15, scale, seed);
+        let (err_lossless, _, _, _) = count_metrics(scheme, 0.0, scale, seed ^ 0x11);
+        // Frequent items: TD variants share SD's multi-path costs in
+        // this summary (their delta dominates under loss); TAG is the
+        // tree column.
+        let (freq_fn, freq_msgs) = freq_metrics(scheme, 0.15, scale, seed);
+        ComparisonRow {
+            scheme: scheme.name(),
+            count_latency_ms: latency,
+            count_msgs_per_node: msgs,
+            count_bytes_per_node: bytes,
+            count_err_lossy: err_lossy,
+            count_err_lossless: err_lossless,
+            freq_fn_lossy: freq_fn,
+            freq_msgs_per_node: freq_msgs,
+        }
+    })
 }
 
 /// Render the comparison.

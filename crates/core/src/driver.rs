@@ -14,12 +14,32 @@
 //! [`Driver::run_scalar`] is the one-scalar-aggregate convenience that
 //! covers the common "estimate vs truth series" experiment shape
 //! directly.
+//!
+//! ## Parallel trials
+//!
+//! The paper's evaluation is thousands of *independent* epochs across
+//! schemes, loss rates, and seeds, so the experiment layer is
+//! embarrassingly parallel by construction. [`TrialPool`] owns that
+//! parallelism: a `std::thread::scope`-based executor that fans
+//! independent trial configurations across cores, hands every trial a
+//! deterministic RNG substream salted by its trial index
+//! ([`TrialPool::trial_rng`]), and merges results back **in trial
+//! order** — so a run is bit-for-bit identical whatever the thread count
+//! or scheduling. [`Driver::run_trials`] and [`Driver::run_sweep`] layer
+//! the common shapes on top (N seeds of one scenario; a parameter sweep
+//! × N seeds per point), merging per-trial [`CommStats`] with
+//! [`CommStats::merge`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::protocol::{Protocol, ScalarProtocol};
 use crate::query::{QueryHandle, QuerySet};
 use crate::session::{QueryRecord, Session};
+use rand::rngs::StdRng;
 use td_aggregates::traits::Aggregate;
 use td_netsim::loss::LossModel;
+use td_netsim::rng::substream;
+use td_netsim::stats::CommStats;
 
 /// A source of per-epoch scalar readings (`readings()[0]` belongs to the
 /// base station and is ignored by aggregates).
@@ -242,6 +262,223 @@ impl Driver {
         }
         last
     }
+
+    /// Run `trials` independent trials of a scenario across the pool,
+    /// merging communication statistics. Trial `t` receives the
+    /// deterministic substream [`TrialPool::trial_rng`]`(seed, t)`;
+    /// outputs come back in trial order and the per-trial stats are
+    /// folded with [`CommStats::merge`], so the batch is bit-for-bit
+    /// identical to running the trials sequentially.
+    ///
+    /// The per-trial stats must track the same node count (the usual
+    /// case: every trial simulates the same deployment size);
+    /// [`CommStats::merge`] panics otherwise.
+    pub fn run_trials<T, F>(pool: &TrialPool, seed: u64, trials: u64, trial: F) -> TrialBatch<T>
+    where
+        T: Send,
+        F: Fn(u64, &mut StdRng) -> (T, CommStats) + Sync,
+    {
+        let results = pool.run(seed, trials, trial);
+        let mut batch = TrialBatch {
+            outputs: Vec::with_capacity(results.len()),
+            stats: None,
+        };
+        for (out, trial_stats) in results {
+            batch.absorb(out, trial_stats);
+        }
+        batch
+    }
+
+    /// Run a parameter sweep: `trials_per_point` independent trials of
+    /// every point in `points`, all fanned across one flat pool (so a
+    /// slow point does not serialize the sweep), regrouped per point in
+    /// order. The RNG substream of `(point p, trial t)` is salted by the
+    /// flattened index `p * trials_per_point + t` — independent of the
+    /// thread count, so sweeps replay bit-for-bit.
+    pub fn run_sweep<P, T, F>(
+        pool: &TrialPool,
+        seed: u64,
+        points: &[P],
+        trials_per_point: u64,
+        job: F,
+    ) -> Vec<TrialBatch<T>>
+    where
+        P: Sync,
+        T: Send,
+        F: Fn(&P, u64, &mut StdRng) -> (T, CommStats) + Sync,
+    {
+        let total = points.len() as u64 * trials_per_point;
+        let flat = pool.run(seed, total, |g, rng| {
+            let point = (g / trials_per_point) as usize;
+            let trial = g % trials_per_point;
+            job(&points[point], trial, rng)
+        });
+        // One batch per point unconditionally, so the `zip(points)`
+        // contract holds even for a degenerate zero-trial sweep.
+        let mut batches: Vec<TrialBatch<T>> = points
+            .iter()
+            .map(|_| TrialBatch {
+                outputs: Vec::with_capacity(trials_per_point as usize),
+                stats: None,
+            })
+            .collect();
+        for (g, (out, trial_stats)) in flat.into_iter().enumerate() {
+            batches[g / trials_per_point as usize].absorb(out, trial_stats);
+        }
+        batches
+    }
+}
+
+/// The merged outcome of one [`Driver::run_trials`] batch (or one sweep
+/// point of [`Driver::run_sweep`]).
+#[derive(Clone, Debug)]
+pub struct TrialBatch<T> {
+    /// Per-trial outputs, in trial order.
+    pub outputs: Vec<T>,
+    /// Communication statistics summed across the batch's trials
+    /// ([`CommStats::merge`]); `None` when the batch ran zero trials.
+    pub stats: Option<CommStats>,
+}
+
+impl<T> TrialBatch<T> {
+    /// Fold one trial's result in: append the output, merge the stats
+    /// (first trial seeds the accumulator).
+    fn absorb(&mut self, output: T, stats: CommStats) {
+        match &mut self.stats {
+            Some(acc) => acc.merge(&stats),
+            none => *none = Some(stats),
+        }
+        self.outputs.push(output);
+    }
+}
+
+/// A `std::thread::scope`-based executor for independent simulation
+/// trials.
+///
+/// Work is claimed off a shared atomic counter, so long trials load-
+/// balance across workers; determinism does not depend on scheduling
+/// because every trial's RNG is derived from `(seed, trial index)` alone
+/// ([`TrialPool::trial_rng`]) and results are reassembled in index
+/// order. A pool of one thread degenerates to a plain sequential loop
+/// over the identical substreams — the equivalence the determinism tests
+/// pin bit-for-bit.
+#[derive(Clone, Copy, Debug)]
+pub struct TrialPool {
+    threads: usize,
+}
+
+impl Default for TrialPool {
+    fn default() -> Self {
+        TrialPool::new()
+    }
+}
+
+/// Salt mixed into every trial substream so trial streams never collide
+/// with the topology/loss substreams experiments derive from the same
+/// experiment seed.
+const TRIAL_STREAM_SALT: u64 = 0x7121_A100;
+
+impl TrialPool {
+    /// A pool sized to the machine (`available_parallelism`, 1 if
+    /// unknown).
+    pub fn new() -> Self {
+        TrialPool {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// A pool with an explicit worker count (1 = sequential execution).
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads >= 1, "a trial pool needs at least one worker");
+        TrialPool { threads }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The deterministic RNG substream of trial `index` under `seed` —
+    /// the stream [`run`](Self::run) hands each job. Public so
+    /// sequential baselines (tests, single-trial reruns of one sweep
+    /// point) can replay exactly what the pool executed.
+    pub fn trial_rng(seed: u64, index: u64) -> StdRng {
+        substream(seed, TRIAL_STREAM_SALT.wrapping_add(index))
+    }
+
+    /// Run `trials` independent jobs, returning outputs in trial order.
+    /// Job `t` runs `job(t, &mut trial_rng(seed, t))` on whichever
+    /// worker claims it first.
+    pub fn run<T, F>(&self, seed: u64, trials: u64, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64, &mut StdRng) -> T + Sync,
+    {
+        let n = usize::try_from(trials).expect("trial count fits in usize");
+        self.dispatch(n, |i| {
+            let mut rng = TrialPool::trial_rng(seed, i as u64);
+            job(i as u64, &mut rng)
+        })
+    }
+
+    /// Map `job` over `configs` in parallel: job `i` gets `configs[i]`
+    /// and the substream `trial_rng(seed, i)`. Outputs in config order.
+    pub fn map<C, T, F>(&self, seed: u64, configs: &[C], job: F) -> Vec<T>
+    where
+        C: Sync,
+        T: Send,
+        F: Fn(u64, &C, &mut StdRng) -> T + Sync,
+    {
+        self.dispatch(configs.len(), |i| {
+            let mut rng = TrialPool::trial_rng(seed, i as u64);
+            job(i as u64, &configs[i], &mut rng)
+        })
+    }
+
+    /// The shared fan-out core: claim indices `0..n` off an atomic
+    /// counter, run `job` on each, reassemble in index order.
+    fn dispatch<T, F>(&self, n: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(job).collect();
+        }
+        let counter = AtomicUsize::new(0);
+        let mut collected: Vec<(usize, T)> = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = counter.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, job(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                collected.extend(h.join().expect("trial worker panicked"));
+            }
+        });
+        collected.sort_unstable_by_key(|(i, _)| *i);
+        collected.into_iter().map(|(_, t)| t).collect()
+    }
 }
 
 #[cfg(test)]
@@ -311,6 +548,76 @@ mod tests {
         );
         assert_eq!(run.estimates, manual[4..].to_vec());
         assert!(run.actuals.iter().all(|&a| a == truth));
+    }
+
+    #[test]
+    fn trial_pool_results_are_thread_count_invariant() {
+        // The job mixes its trial index into draws from the provided
+        // substream; any scheduling dependence would scramble the output.
+        let job = |t: u64, rng: &mut rand::rngs::StdRng| {
+            use rand::Rng;
+            (t, rng.gen::<u64>())
+        };
+        let sequential = TrialPool::with_threads(1).run(99, 16, job);
+        let parallel = TrialPool::with_threads(4).run(99, 16, job);
+        let wide = TrialPool::with_threads(32).run(99, 16, job);
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential, wide);
+        assert_eq!(sequential.len(), 16);
+        // And each stream really is the advertised substream.
+        for (t, draw) in &sequential {
+            use rand::Rng;
+            assert_eq!(*draw, TrialPool::trial_rng(99, *t).gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn trial_pool_map_preserves_config_order() {
+        let configs: Vec<u64> = (0..23).map(|i| i * 10).collect();
+        let out = TrialPool::with_threads(3).map(7, &configs, |i, &c, _rng| (i, c));
+        for (i, (idx, c)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*c, configs[i]);
+        }
+    }
+
+    #[test]
+    fn run_trials_merges_stats_across_trials() {
+        let batch = Driver::run_trials(&TrialPool::with_threads(2), 1, 5, |t, _rng| {
+            let mut stats = td_netsim::stats::CommStats::new(3);
+            stats.record_send(td_netsim::node::NodeId(1), 4, 1, 1);
+            (t, stats)
+        });
+        assert_eq!(batch.outputs, vec![0, 1, 2, 3, 4]);
+        let stats = batch.stats.expect("five trials merged");
+        assert_eq!(stats.total_bytes(), 20);
+        assert_eq!(stats.total_rounds(), 5);
+    }
+
+    #[test]
+    fn run_sweep_groups_points_in_order() {
+        let points = [10u64, 20, 30];
+        let batches = Driver::run_sweep(&TrialPool::with_threads(4), 2, &points, 4, |&p, t, _| {
+            (p + t, td_netsim::stats::CommStats::new(1))
+        });
+        assert_eq!(batches.len(), 3);
+        for (i, batch) in batches.iter().enumerate() {
+            let p = points[i];
+            assert_eq!(batch.outputs, vec![p, p + 1, p + 2, p + 3]);
+        }
+    }
+
+    #[test]
+    fn run_sweep_zero_trials_still_yields_one_batch_per_point() {
+        let points = [1u64, 2];
+        let batches = Driver::run_sweep(&TrialPool::with_threads(2), 3, &points, 0, |&p, t, _| {
+            (p + t, td_netsim::stats::CommStats::new(1))
+        });
+        assert_eq!(batches.len(), 2);
+        for batch in &batches {
+            assert!(batch.outputs.is_empty());
+            assert!(batch.stats.is_none());
+        }
     }
 
     #[test]

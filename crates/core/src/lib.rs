@@ -36,6 +36,30 @@
 //! fed by a [`driver::Workload`] (Synthetic, LabData, or anything that
 //! yields per-epoch readings).
 //!
+//! ## Compile-then-execute epochs
+//!
+//! Epoch execution is split into two phases. [`runner::EpochPlan`]
+//! **compiles** a topology into a reusable schedule — the level-ordered
+//! sender list, per-sender parents/heights, flattened broadcast delivery
+//! lists, and the preallocated inbox + `(node, query)` bundle-slot
+//! arenas — and [`runner::EpochPlan::run_set`] **executes** epochs over
+//! it. A [`session::Session`] caches one plan per topology version and
+//! recompiles only when §4.2 adaptation actually relabels vertices, so
+//! steady-state epochs do zero schedule recomputation and no per-node
+//! inbox growth. The one-shot entry points (`run_td_epoch_set` & co.)
+//! compile-and-execute in one call over the identical code path, so
+//! plan reuse is bit-for-bit invisible in results.
+//!
+//! ## Parallel trials
+//!
+//! Multi-trial experiments (seeds × loss rates × schemes) fan across
+//! cores with [`driver::TrialPool`], a `std::thread::scope` executor
+//! whose per-trial RNG substreams are salted by trial index alone —
+//! results are reassembled in trial order and are bit-for-bit identical
+//! at any thread count. [`driver::Driver::run_trials`] and
+//! [`driver::Driver::run_sweep`] cover the common batch shapes and merge
+//! per-trial accounting with `CommStats::merge`.
+//!
 //! Crate layout:
 //!
 //! * [`protocol`] — the typed [`protocol::Protocol`] abstraction an
@@ -80,11 +104,11 @@ pub mod runner;
 pub mod session;
 
 pub use adapt::{AdaptAction, Adapter, AdapterConfig, Strategy};
-pub use driver::{Driver, EpochView, FixedReadings, ScalarRun, Workload};
+pub use driver::{Driver, EpochView, FixedReadings, ScalarRun, TrialBatch, TrialPool, Workload};
 pub use protocol::{FreqProtocol, Protocol, ScalarProtocol};
 pub use query::{Answers, DynProtocol, ErasedMsg, QueryHandle, QuerySet};
 pub use runner::{
-    run_tag_epoch, run_tag_epoch_set, run_td_epoch, run_td_epoch_set, EpochOutput, RunnerConfig,
-    SetEpochOutput,
+    run_tag_epoch, run_tag_epoch_set, run_td_epoch, run_td_epoch_set, EpochOutput, EpochPlan,
+    RunnerConfig, SetEpochOutput,
 };
 pub use session::{QueryRecord, Scheme, Session, SessionBuilder, SessionConfig};

@@ -1,13 +1,28 @@
-//! One epoch of level-synchronized aggregation.
+//! One epoch of level-synchronized aggregation, split into **compile**
+//! and **execute** phases.
 //!
-//! [`run_td_epoch_set`] executes a query epoch over a labeled
-//! [`TdTopology`]: ring levels are processed outermost-first; tributary
-//! (`T`) vertices merge their children's tree messages, finalize at their
-//! height, and unicast to their tree parent (with the configured
-//! retransmissions); delta (`M`) vertices convert arriving tree messages
-//! (§5), fuse synopses from the level above, and broadcast — every
-//! `M`-labeled ring neighbor one level down that hears the broadcast
-//! folds it in. The base station evaluates whatever reaches it.
+//! [`EpochPlan`] compiles a topology — a labeled [`TdTopology`] or a
+//! plain TAG [`Tree`] — into a reusable execution schedule: the
+//! level-ordered sender list (outermost ring first), per-sender tree
+//! parents and heights, per-link broadcast delivery lists flattened into
+//! one table, and the switchability/subtree metadata the §4.2 adaptation
+//! signals need. Compilation also allocates the epoch arenas: per-node
+//! inbox slabs for tree and multi-path envelopes and the flat
+//! `(node, query)` bundle-slot slab local messages are staged in. A
+//! cached plan makes steady-state epochs **schedule-recomputation-free**
+//! (no per-epoch height/subtree/level sorts) and **growth-free** (inboxes
+//! and slabs keep their capacity across epochs); [`crate::session::Session`]
+//! caches one per topology version and recompiles only when adaptation
+//! actually relabels vertices.
+//!
+//! [`EpochPlan::run_set`] executes a query epoch over the compiled
+//! schedule: tributary (`T`) vertices merge their children's tree
+//! messages, finalize at their height, and unicast to their tree parent
+//! (with the configured retransmissions); delta (`M`) vertices convert
+//! arriving tree messages (§5), fuse synopses from the level above, and
+//! broadcast — every `M`-labeled ring neighbor one level down that hears
+//! the broadcast folds it in. The base station evaluates whatever
+//! reaches it.
 //!
 //! The runner is **multi-query**: every link carries one *bundle*
 //! holding a message slot per query registered in the epoch's
@@ -18,19 +33,20 @@
 //! envelope overhead is charged once per link, not once per query.
 //!
 //! Synopsis diffusion (SD) is exactly this runner on an all-multipath
-//! labeling; the pure-TAG baseline [`run_tag_epoch_set`] runs the tree
-//! side alone on an arbitrary (unrestricted) TAG tree. The
+//! labeling; the pure-TAG baseline is the tree side alone on an
+//! arbitrary (unrestricted) TAG tree. The one-shot entry points
+//! [`run_td_epoch_set`] / [`run_tag_epoch_set`] compile a fresh plan and
+//! execute it once, so a standalone call and a plan-reusing session run
+//! the identical code path and produce bit-identical results; the
 //! single-query entry points [`run_td_epoch`] / [`run_tag_epoch`] are
-//! thin typed wrappers that register one protocol and unwrap its
-//! answer, so a dedicated session and a bundled session produce
-//! bit-identical per-query results by construction.
+//! thin typed wrappers over a one-entry bundle.
 
 use std::any::Any;
 
 use crate::envelope::{MpEnvelope, TreeEnvelope, TREE_OVERHEAD_WORDS};
 use crate::protocol::Protocol;
-use crate::query::{ErasedMsg, QuerySet};
-use td_netsim::loss::{broadcast, unicast, LossModel, Retransmit};
+use crate::query::{DynProtocol, ErasedMsg, QuerySet};
+use td_netsim::loss::{unicast, LossModel, Retransmit};
 use td_netsim::network::Network;
 use td_netsim::node::{NodeId, BASE_STATION};
 use td_netsim::stats::CommStats;
@@ -108,14 +124,6 @@ impl std::fmt::Debug for SetEpochOutput {
 /// One query's slot per link message: `bundle[i]` belongs to query `i`.
 type Bundle = Vec<Option<ErasedMsg>>;
 
-fn local_tree_bundle(set: &QuerySet<'_>, u: NodeId) -> Bundle {
-    set.queries().map(|q| q.local_tree(u)).collect()
-}
-
-fn local_mp_bundle(set: &QuerySet<'_>, u: NodeId) -> Bundle {
-    set.queries().map(|q| q.local_mp(u)).collect()
-}
-
 fn bundle_tree_words(set: &QuerySet<'_>, bundle: &Bundle) -> usize {
     bundle
         .iter()
@@ -132,16 +140,19 @@ fn bundle_mp_wire(set: &QuerySet<'_>, bundle: &Bundle) -> (usize, usize) {
         .fold((0, 0), |(b, w), wire| (b + wire.bytes, w + wire.words))
 }
 
-/// Merge children + own local data into a tree envelope and finalize it.
+/// Merge children + own local bundle into a tree envelope and finalize
+/// it. Drains `children` in delivery order, leaving its capacity in the
+/// arena.
 fn build_tree_envelope_set(
     set: &QuerySet<'_>,
     u: NodeId,
     height: u32,
     capacity: usize,
-    children: Vec<TreeEnvelope<Bundle>>,
+    local: Bundle,
+    children: &mut Vec<TreeEnvelope<Bundle>>,
 ) -> TreeEnvelope<Bundle> {
-    let mut env = TreeEnvelope::local(capacity, u, Some(local_tree_bundle(set, u)));
-    for child in children {
+    let mut env = TreeEnvelope::local(capacity, u, Some(local));
+    for child in children.drain(..) {
         env.absorb_counts(&child);
         let child_bundle = child.msg.expect("bundle envelopes always carry a bundle");
         let own = env.msg.as_mut().expect("just constructed with a bundle");
@@ -164,27 +175,30 @@ fn build_tree_envelope_set(
 }
 
 /// Convert + fuse everything an M vertex holds into one envelope,
-/// reporting its subtree non-contribution when switchable.
+/// reporting its subtree non-contribution when switchable. Drains both
+/// inboxes in delivery order, leaving their capacity in the arena.
+#[allow(clippy::too_many_arguments)]
 fn build_mp_envelope_set(
     set: &QuerySet<'_>,
-    topo: &TdTopology,
     u: NodeId,
     capacity: usize,
     subtree_size: u64,
-    tree_msgs: Vec<TreeEnvelope<Bundle>>,
-    mp_msgs: Vec<MpEnvelope<Bundle>>,
+    switchable_m: bool,
+    local: Bundle,
+    tree_msgs: &mut Vec<TreeEnvelope<Bundle>>,
+    mp_msgs: &mut Vec<MpEnvelope<Bundle>>,
 ) -> MpEnvelope<Bundle> {
-    let mut env = MpEnvelope::local(capacity, u, Some(local_mp_bundle(set, u)));
+    let mut env = MpEnvelope::local(capacity, u, Some(local));
     // §4.2: a switchable M vertex is the root of a unique (all-tree)
     // subtree; it reports how many of its subtree's nodes are missing.
-    if topo.is_switchable_m(u) {
+    if switchable_m {
         // Expected contributors below u: its whole static subtree minus u
         // itself (u's own contribution is in the local envelope already).
         let expected = subtree_size.saturating_sub(1);
         let received: u64 = tree_msgs.iter().map(|e| e.count).sum();
         env.report_noncontrib(u, expected.saturating_sub(received));
     }
-    for te in tree_msgs {
+    for te in tree_msgs.drain(..) {
         env.absorb_tree_counts(&te);
         let bundle = te.msg.as_ref().expect("bundle envelopes carry a bundle");
         let own = env.msg.as_mut().expect("constructed with a bundle");
@@ -197,7 +211,7 @@ fn build_mp_envelope_set(
             }
         }
     }
-    for me in mp_msgs {
+    for me in mp_msgs.drain(..) {
         env.fuse_counts(&me);
         let bundle = me.msg.expect("bundle envelopes carry a bundle");
         let own = env.msg.as_mut().expect("constructed with a bundle");
@@ -213,14 +227,14 @@ fn build_mp_envelope_set(
 }
 
 /// Evaluate every query over the tree bundles that reached a tree-mode
-/// base station. Consumes the envelopes: each bundle slot is moved into
+/// base station. Drains the envelopes: each bundle slot is moved into
 /// its query's evaluation, never cloned.
 fn evaluate_tree_base(
     set: &QuerySet<'_>,
-    mut children: Vec<TreeEnvelope<Bundle>>,
+    children: &mut Vec<TreeEnvelope<Bundle>>,
     base_height: u32,
 ) -> Vec<Box<dyn Any>> {
-    (0..set.len())
+    let outputs = (0..set.len())
         .map(|i| {
             let parts: Vec<ErasedMsg> = children
                 .iter_mut()
@@ -230,18 +244,292 @@ fn evaluate_tree_base(
                 .collect();
             set.query(i).evaluate(parts, None, base_height)
         })
-        .collect()
+        .collect();
+    children.clear();
+    outputs
 }
 
-/// Run one Tributary-Delta epoch for every query in `set`. `stats`
-/// accumulates communication accounting across epochs.
-// Every parameter is load-bearing and callers always have all of them in
-// hand (queries, topology, channel, config, clock, accounting, rng);
-// bundling into a context struct would just move the argument list.
+// ---------------------------------------------------------------------
+// Compiled epoch plans
+// ---------------------------------------------------------------------
+
+/// One scheduled sender of a compiled Tributary-Delta epoch.
+#[derive(Clone, Copy, Debug)]
+struct TdStep {
+    node: NodeId,
+    mode: Mode,
+    /// §6.1 height (the `finalize_tree` argument for T steps).
+    height: u32,
+    /// Tree parent (T steps; undefined for M steps).
+    parent: NodeId,
+    /// Static subtree size (the M-step non-contribution baseline).
+    subtree_size: u64,
+    /// Whether the vertex is a switchable M vertex under this labeling.
+    switchable_m: bool,
+    /// Range into the flat receiver table (M steps).
+    recv_start: u32,
+    recv_end: u32,
+}
+
+/// One scheduled sender of a compiled TAG epoch (bottom-up order).
+#[derive(Clone, Copy, Debug)]
+struct TagStep {
+    node: NodeId,
+    height: u32,
+    /// `None` marks the base station.
+    parent: Option<NodeId>,
+}
+
+enum Schedule {
+    Td(TdSchedule),
+    Tag(TagSchedule),
+}
+
+/// The compiled Tributary-Delta schedule.
+struct TdSchedule {
+    /// Topology version this plan was compiled against.
+    version: u64,
+    /// Senders, outermost ring first, id order within a level.
+    steps: Vec<TdStep>,
+    /// Flat broadcast delivery table: `(receiver, receiver is M)`,
+    /// indexed by each M step's `recv_start..recv_end`.
+    receivers: Vec<(NodeId, bool)>,
+    base_mode: Mode,
+    base_height: u32,
+    base_subtree: u64,
+    base_switchable_m: bool,
+}
+
+/// The compiled pure-TAG schedule.
+struct TagSchedule {
+    /// Senders in bottom-up (leaves-first) order, base station last.
+    steps: Vec<TagStep>,
+    base_height: u32,
+}
+
+/// The reusable execution arenas: cleared, never shrunk, so steady-state
+/// epochs run without inbox or slab growth.
+struct Arenas {
+    /// Node count (the envelope contributor-set capacity).
+    n: usize,
+    /// Per-node tree-envelope inboxes, drained every epoch.
+    tree_inbox: Vec<Vec<TreeEnvelope<Bundle>>>,
+    /// Per-node multi-path-envelope inboxes, drained every epoch.
+    mp_inbox: Vec<Vec<MpEnvelope<Bundle>>>,
+    /// Flat local-message slab indexed by `(node, query)`: slot
+    /// `node * set.len() + query` stages the node's local tree or
+    /// multi-path message until its send step assembles the bundle.
+    locals: Vec<Option<ErasedMsg>>,
+}
+
+impl Arenas {
+    fn new(n: usize, multipath: bool) -> Arenas {
+        Arenas {
+            n,
+            tree_inbox: (0..n).map(|_| Vec::new()).collect(),
+            mp_inbox: if multipath {
+                (0..n).map(|_| Vec::new()).collect()
+            } else {
+                Vec::new()
+            },
+            locals: Vec::new(),
+        }
+    }
+
+    /// Reset the local-message slab for an epoch carrying `q` queries.
+    fn reset_locals(&mut self, q: usize) {
+        self.locals.clear();
+        self.locals.resize_with(self.n * q, || None);
+    }
+
+    /// Stage one node's local message per query in the slab.
+    fn stage<'e>(
+        &mut self,
+        set: &QuerySet<'e>,
+        u: NodeId,
+        q: usize,
+        local: impl Fn(&(dyn DynProtocol + 'e), NodeId) -> Option<ErasedMsg>,
+    ) {
+        let base = u.index() * q;
+        for (i, query) in set.queries().enumerate() {
+            self.locals[base + i] = local(query, u);
+        }
+    }
+
+    /// Move a node's staged local messages out of the slab into a bundle.
+    fn take_local_bundle(&mut self, u: NodeId, q: usize) -> Bundle {
+        let base = u.index() * q;
+        self.locals[base..base + q]
+            .iter_mut()
+            .map(|slot| slot.take())
+            .collect()
+    }
+
+    /// Both inbox arenas of one node, split-borrowed for the M-vertex
+    /// build step.
+    #[allow(clippy::type_complexity)]
+    fn inboxes_of(
+        &mut self,
+        u: NodeId,
+    ) -> (&mut Vec<TreeEnvelope<Bundle>>, &mut Vec<MpEnvelope<Bundle>>) {
+        (
+            &mut self.tree_inbox[u.index()],
+            &mut self.mp_inbox[u.index()],
+        )
+    }
+}
+
+/// A compiled, reusable epoch schedule plus its execution arenas.
+///
+/// Compile once per topology (version) with [`EpochPlan::compile_td`] /
+/// [`EpochPlan::compile_tag`], then call [`EpochPlan::run_set`] every
+/// epoch. Steady-state epochs perform zero schedule recomputation (no
+/// height/subtree/level passes) and no per-node inbox growth: the
+/// tree/multipath inbox slabs and the `(node, query)` local-bundle slab
+/// keep their capacity across epochs.
+pub struct EpochPlan {
+    sched: Schedule,
+    arenas: Arenas,
+}
+
+impl EpochPlan {
+    /// Compile the level-ordered schedule of a labeled Tributary-Delta
+    /// topology (SD is the all-multipath special case).
+    pub fn compile_td(topo: &TdTopology) -> EpochPlan {
+        let rings = topo.rings();
+        let tree = topo.tree();
+        let heights = tree.heights();
+        let subtree_sizes = tree.subtree_sizes();
+        let n = rings.len();
+        let mut steps = Vec::new();
+        let mut receivers = Vec::new();
+        for level in (1..=rings.max_level()).rev() {
+            for u in rings.nodes_at_level(level) {
+                let mode = topo.mode(u);
+                let (parent, switchable_m, recv_start, recv_end) = match mode {
+                    Mode::T => (
+                        topo.tree()
+                            .parent(u)
+                            .expect("connected non-base T vertex has a parent"),
+                        false,
+                        0,
+                        0,
+                    ),
+                    Mode::M => {
+                        let start = receivers.len() as u32;
+                        for &r in rings.receivers(u) {
+                            receivers.push((r, topo.mode(r) == Mode::M));
+                        }
+                        (u, topo.is_switchable_m(u), start, receivers.len() as u32)
+                    }
+                };
+                steps.push(TdStep {
+                    node: u,
+                    mode,
+                    height: heights[u.index()],
+                    parent,
+                    subtree_size: subtree_sizes[u.index()] as u64,
+                    switchable_m,
+                    recv_start,
+                    recv_end,
+                });
+            }
+        }
+        EpochPlan {
+            sched: Schedule::Td(TdSchedule {
+                version: topo.version(),
+                steps,
+                receivers,
+                base_mode: topo.mode(BASE_STATION),
+                base_height: heights[BASE_STATION.index()],
+                base_subtree: subtree_sizes[BASE_STATION.index()] as u64,
+                base_switchable_m: topo.is_switchable_m(BASE_STATION),
+            }),
+            arenas: Arenas::new(n, true),
+        }
+    }
+
+    /// Compile the bottom-up schedule of a pure-TAG spanning tree
+    /// (parents may be at any lower level — no ring restriction).
+    pub fn compile_tag(tree: &Tree) -> EpochPlan {
+        let heights = tree.heights();
+        let n = tree.len();
+        let steps = tree
+            .bottom_up_order()
+            .into_iter()
+            .map(|u| TagStep {
+                node: u,
+                height: heights[u.index()],
+                parent: tree.parent(u),
+            })
+            .collect();
+        EpochPlan {
+            sched: Schedule::Tag(TagSchedule {
+                steps,
+                base_height: heights[BASE_STATION.index()],
+            }),
+            arenas: Arenas::new(n, false),
+        }
+    }
+
+    /// The topology version a TD plan was compiled against (`None` for
+    /// TAG plans, whose tree never changes).
+    pub fn compiled_version(&self) -> Option<u64> {
+        match &self.sched {
+            Schedule::Td(td) => Some(td.version),
+            Schedule::Tag(_) => None,
+        }
+    }
+
+    /// Execute one epoch for every query in `set` over the compiled
+    /// schedule. `stats` accumulates communication accounting across
+    /// epochs.
+    // Every parameter is load-bearing and callers always have all of them
+    // in hand (queries, channel, config, clock, accounting, rng);
+    // bundling into a context struct would just move the argument list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_set<M: LossModel, R: rand::Rng + ?Sized>(
+        &mut self,
+        set: &QuerySet<'_>,
+        net: &Network,
+        model: &M,
+        config: RunnerConfig,
+        epoch: u64,
+        stats: &mut CommStats,
+        rng: &mut R,
+    ) -> SetEpochOutput {
+        match &self.sched {
+            Schedule::Td(sched) => run_td(
+                sched,
+                &mut self.arenas,
+                set,
+                net,
+                model,
+                config,
+                epoch,
+                stats,
+                rng,
+            ),
+            Schedule::Tag(sched) => run_tag(
+                sched,
+                &mut self.arenas,
+                set,
+                net,
+                model,
+                config,
+                epoch,
+                stats,
+                rng,
+            ),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
-pub fn run_td_epoch_set<M: LossModel, R: rand::Rng + ?Sized>(
+fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
+    sched: &TdSchedule,
+    arenas: &mut Arenas,
     set: &QuerySet<'_>,
-    topo: &TdTopology,
     net: &Network,
     model: &M,
     config: RunnerConfig,
@@ -249,71 +537,85 @@ pub fn run_td_epoch_set<M: LossModel, R: rand::Rng + ?Sized>(
     stats: &mut CommStats,
     rng: &mut R,
 ) -> SetEpochOutput {
-    let rings = topo.rings();
-    let tree = topo.tree();
-    let heights = tree.heights();
-    let subtree_sizes = tree.subtree_sizes();
-    let n = net.len();
+    let q = set.len();
+    let n = arenas.n;
+    arenas.reset_locals(q);
+    for step in &sched.steps {
+        match step.mode {
+            Mode::T => arenas.stage(set, step.node, q, |query, u| query.local_tree(u)),
+            Mode::M => arenas.stage(set, step.node, q, |query, u| query.local_mp(u)),
+        }
+    }
+    // A tree-mode base station evaluates its children's bundles directly
+    // and contributes no local data, so only an M base stages one.
+    if sched.base_mode == Mode::M {
+        arenas.stage(set, BASE_STATION, q, |query, u| query.local_mp(u));
+    }
 
-    let mut tree_inbox: Vec<Vec<TreeEnvelope<Bundle>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut mp_inbox: Vec<Vec<MpEnvelope<Bundle>>> = (0..n).map(|_| Vec::new()).collect();
-
-    for level in (1..=rings.max_level()).rev() {
-        for u in rings.nodes_at_level(level) {
-            match topo.mode(u) {
-                Mode::T => {
-                    let env = build_tree_envelope_set(
-                        set,
-                        u,
-                        heights[u.index()],
-                        n,
-                        std::mem::take(&mut tree_inbox[u.index()]),
-                    );
-                    let p = tree
-                        .parent(u)
-                        .expect("connected non-base T vertex has a parent");
-                    let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
-                    let overhead = if config.charge_adaptation_overhead {
-                        TREE_OVERHEAD_WORDS
-                    } else {
-                        0
-                    };
-                    let words = payload + overhead;
-                    let outcome = unicast(model, config.tree_retransmit, u, p, net, epoch, rng);
-                    stats.record_send(u, words * 4, words, outcome.attempts_used as u64);
-                    if outcome.delivered {
-                        tree_inbox[p.index()].push(env);
-                    }
+    for step in &sched.steps {
+        match step.mode {
+            Mode::T => {
+                let local = arenas.take_local_bundle(step.node, q);
+                let env = build_tree_envelope_set(
+                    set,
+                    step.node,
+                    step.height,
+                    n,
+                    local,
+                    &mut arenas.tree_inbox[step.node.index()],
+                );
+                let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
+                let overhead = if config.charge_adaptation_overhead {
+                    TREE_OVERHEAD_WORDS
+                } else {
+                    0
+                };
+                let words = payload + overhead;
+                let outcome = unicast(
+                    model,
+                    config.tree_retransmit,
+                    step.node,
+                    step.parent,
+                    net,
+                    epoch,
+                    rng,
+                );
+                stats.record_send(step.node, words * 4, words, outcome.attempts_used as u64);
+                if outcome.delivered {
+                    arenas.tree_inbox[step.parent.index()].push(env);
                 }
-                Mode::M => {
-                    let env = build_mp_envelope_set(
-                        set,
-                        topo,
-                        u,
-                        n,
-                        subtree_sizes[u.index()] as u64,
-                        std::mem::take(&mut tree_inbox[u.index()]),
-                        std::mem::take(&mut mp_inbox[u.index()]),
-                    );
-                    let (payload_bytes, payload_words) =
-                        bundle_mp_wire(set, env.msg.as_ref().expect("bundle present"));
-                    // Adaptation overhead: the RLE-encoded count sketch
-                    // plus the extremum reports — charged once per link,
-                    // shared by every query in the bundle.
-                    let overhead_bytes = if config.charge_adaptation_overhead {
-                        sketch_rle::encoded_size_bytes(&env.count_sketch)
-                            + 8 * crate::envelope::TOP_K_EXTREMA
-                    } else {
-                        0
-                    };
-                    let bytes = payload_bytes + overhead_bytes;
-                    let words = payload_words + overhead_bytes.div_ceil(4);
-                    stats.record_send(u, bytes, words, 1);
-                    let heard = broadcast(model, u, rings.receivers(u), net, epoch, rng);
-                    for r in heard {
-                        if topo.mode(r) == Mode::M {
-                            mp_inbox[r.index()].push(env.clone());
-                        }
+            }
+            Mode::M => {
+                let local = arenas.take_local_bundle(step.node, q);
+                let (tree_in, mp_in) = arenas.inboxes_of(step.node);
+                let env = build_mp_envelope_set(
+                    set,
+                    step.node,
+                    n,
+                    step.subtree_size,
+                    step.switchable_m,
+                    local,
+                    tree_in,
+                    mp_in,
+                );
+                let (payload_bytes, payload_words) =
+                    bundle_mp_wire(set, env.msg.as_ref().expect("bundle present"));
+                // Adaptation overhead: the RLE-encoded count sketch
+                // plus the extremum reports — charged once per link,
+                // shared by every query in the bundle.
+                let overhead_bytes = if config.charge_adaptation_overhead {
+                    sketch_rle::encoded_size_bytes(&env.count_sketch)
+                        + 8 * crate::envelope::TOP_K_EXTREMA
+                } else {
+                    0
+                };
+                let bytes = payload_bytes + overhead_bytes;
+                let words = payload_words + overhead_bytes.div_ceil(4);
+                stats.record_send(step.node, bytes, words, 1);
+                for &(r, is_m) in &sched.receivers[step.recv_start as usize..step.recv_end as usize]
+                {
+                    if model.delivered(step.node, r, net, epoch, rng) && is_m {
+                        arenas.mp_inbox[r.index()].push(env.clone());
                     }
                 }
             }
@@ -321,18 +623,17 @@ pub fn run_td_epoch_set<M: LossModel, R: rand::Rng + ?Sized>(
     }
 
     // Base station.
-    let base_height = heights[BASE_STATION.index()];
-    match topo.mode(BASE_STATION) {
+    match sched.base_mode {
         Mode::T => {
-            let children = std::mem::take(&mut tree_inbox[BASE_STATION.index()]);
+            let children = &mut arenas.tree_inbox[BASE_STATION.index()];
             let mut contributors = td_sketches::idset::IdSet::new(n);
             let mut exact_count = 0u64;
-            for env in &children {
+            for env in children.iter() {
                 exact_count += env.count;
                 contributors.union(&env.contributors);
             }
             SetEpochOutput {
-                outputs: evaluate_tree_base(set, children, base_height),
+                outputs: evaluate_tree_base(set, children, sched.base_height),
                 contributing: contributors.len(),
                 contributing_est: exact_count as f64,
                 max_noncontrib: crate::envelope::ExtremaSet::largest(),
@@ -340,20 +641,23 @@ pub fn run_td_epoch_set<M: LossModel, R: rand::Rng + ?Sized>(
             }
         }
         Mode::M => {
+            let local = arenas.take_local_bundle(BASE_STATION, q);
+            let (tree_in, mp_in) = arenas.inboxes_of(BASE_STATION);
             let env = build_mp_envelope_set(
                 set,
-                topo,
                 BASE_STATION,
                 n,
-                subtree_sizes[BASE_STATION.index()] as u64,
-                std::mem::take(&mut tree_inbox[BASE_STATION.index()]),
-                std::mem::take(&mut mp_inbox[BASE_STATION.index()]),
+                sched.base_subtree,
+                sched.base_switchable_m,
+                local,
+                tree_in,
+                mp_in,
             );
             let bundle = env.msg.as_ref().expect("bundle present");
             let outputs = (0..set.len())
                 .map(|i| {
                     set.query(i)
-                        .evaluate(Vec::new(), bundle[i].as_ref(), base_height)
+                        .evaluate(Vec::new(), bundle[i].as_ref(), sched.base_height)
                 })
                 .collect();
             SetEpochOutput {
@@ -367,9 +671,92 @@ pub fn run_td_epoch_set<M: LossModel, R: rand::Rng + ?Sized>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
+fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
+    sched: &TagSchedule,
+    arenas: &mut Arenas,
+    set: &QuerySet<'_>,
+    net: &Network,
+    model: &M,
+    config: RunnerConfig,
+    epoch: u64,
+    stats: &mut CommStats,
+    rng: &mut R,
+) -> SetEpochOutput {
+    let q = set.len();
+    let n = arenas.n;
+    arenas.reset_locals(q);
+    for step in &sched.steps {
+        arenas.stage(set, step.node, q, |query, u| query.local_tree(u));
+    }
+
+    let mut base_children: Vec<TreeEnvelope<Bundle>> = Vec::new();
+    for step in &sched.steps {
+        let local = arenas.take_local_bundle(step.node, q);
+        let env = build_tree_envelope_set(
+            set,
+            step.node,
+            step.height,
+            n,
+            local,
+            &mut arenas.tree_inbox[step.node.index()],
+        );
+        match step.parent {
+            None => base_children.push(env),
+            Some(p) => {
+                let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
+                let overhead = if config.charge_adaptation_overhead {
+                    TREE_OVERHEAD_WORDS
+                } else {
+                    0
+                };
+                let words = payload + overhead;
+                let outcome = unicast(model, config.tree_retransmit, step.node, p, net, epoch, rng);
+                stats.record_send(step.node, words * 4, words, outcome.attempts_used as u64);
+                if outcome.delivered {
+                    arenas.tree_inbox[p.index()].push(env);
+                }
+            }
+        }
+    }
+
+    let mut contributors = td_sketches::idset::IdSet::new(n);
+    let mut exact = 0u64;
+    for env in &base_children {
+        exact += env.count;
+        contributors.union(&env.contributors);
+    }
+    SetEpochOutput {
+        outputs: evaluate_tree_base(set, &mut base_children, sched.base_height),
+        contributing: contributors.len(),
+        contributing_est: exact as f64,
+        max_noncontrib: crate::envelope::ExtremaSet::largest(),
+        min_noncontrib: crate::envelope::ExtremaSet::smallest(),
+    }
+}
+
+/// Run one Tributary-Delta epoch for every query in `set`, compiling a
+/// fresh plan for this call — the rebuild path. Sessions cache an
+/// [`EpochPlan`] instead and execute the identical code, so the two
+/// paths are bit-for-bit interchangeable. `stats` accumulates
+/// communication accounting across epochs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_td_epoch_set<M: LossModel, R: rand::Rng + ?Sized>(
+    set: &QuerySet<'_>,
+    topo: &TdTopology,
+    net: &Network,
+    model: &M,
+    config: RunnerConfig,
+    epoch: u64,
+    stats: &mut CommStats,
+    rng: &mut R,
+) -> SetEpochOutput {
+    EpochPlan::compile_td(topo).run_set(set, net, model, config, epoch, stats, rng)
+}
+
 /// Run one epoch of the pure-TAG baseline for every query in `set`, over
 /// an arbitrary spanning tree (parents may be at any lower level — no
-/// ring restriction).
+/// ring restriction), compiling a fresh plan for this call.
 #[allow(clippy::too_many_arguments)]
 pub fn run_tag_epoch_set<M: LossModel, R: rand::Rng + ?Sized>(
     set: &QuerySet<'_>,
@@ -381,52 +768,7 @@ pub fn run_tag_epoch_set<M: LossModel, R: rand::Rng + ?Sized>(
     stats: &mut CommStats,
     rng: &mut R,
 ) -> SetEpochOutput {
-    let heights = tree.heights();
-    let n = net.len();
-    let mut inbox: Vec<Vec<TreeEnvelope<Bundle>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut base_children: Vec<TreeEnvelope<Bundle>> = Vec::new();
-
-    for u in tree.bottom_up_order() {
-        let env = build_tree_envelope_set(
-            set,
-            u,
-            heights[u.index()],
-            n,
-            std::mem::take(&mut inbox[u.index()]),
-        );
-        match tree.parent(u) {
-            None => base_children.push(env),
-            Some(p) => {
-                let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
-                let overhead = if config.charge_adaptation_overhead {
-                    TREE_OVERHEAD_WORDS
-                } else {
-                    0
-                };
-                let words = payload + overhead;
-                let outcome = unicast(model, config.tree_retransmit, u, p, net, epoch, rng);
-                stats.record_send(u, words * 4, words, outcome.attempts_used as u64);
-                if outcome.delivered {
-                    inbox[p.index()].push(env);
-                }
-            }
-        }
-    }
-
-    let base_height = heights[BASE_STATION.index()];
-    let mut contributors = td_sketches::idset::IdSet::new(n);
-    let mut exact = 0u64;
-    for env in &base_children {
-        exact += env.count;
-        contributors.union(&env.contributors);
-    }
-    SetEpochOutput {
-        outputs: evaluate_tree_base(set, base_children, base_height),
-        contributing: contributors.len(),
-        contributing_est: exact as f64,
-        max_noncontrib: crate::envelope::ExtremaSet::largest(),
-        min_noncontrib: crate::envelope::ExtremaSet::smallest(),
-    }
+    EpochPlan::compile_tag(tree).run_set(set, net, model, config, epoch, stats, rng)
 }
 
 fn unwrap_single<O: 'static>(mut out: SetEpochOutput) -> EpochOutput<O> {
@@ -727,6 +1069,102 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    /// A plan compiled once and executed over many epochs must be
+    /// bit-for-bit identical to recompiling the plan every epoch (the
+    /// rebuild path) — answers, instrumentation, and accounting.
+    #[test]
+    fn plan_reuse_is_bit_identical_to_rebuild() {
+        let (net, td) = topo(134, 200, 2);
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 60).collect();
+        let model = Global::new(0.25);
+        let epochs = 15u64;
+
+        let mut reused_plan = EpochPlan::compile_td(&td);
+        let mut reused_stats = CommStats::new(net.len());
+        let mut reused_rng = rng_from_seed(4343);
+        let mut rebuilt_stats = CommStats::new(net.len());
+        let mut rebuilt_rng = rng_from_seed(4343);
+        for epoch in 0..epochs {
+            let proto = ScalarProtocol::new(Sum::default(), &values);
+            let mut set = QuerySet::new();
+            set.register(&proto);
+            let reused = reused_plan.run_set(
+                &set,
+                &net,
+                &model,
+                RunnerConfig::default(),
+                epoch,
+                &mut reused_stats,
+                &mut reused_rng,
+            );
+            let rebuilt = run_td_epoch_set(
+                &set,
+                &td,
+                &net,
+                &model,
+                RunnerConfig::default(),
+                epoch,
+                &mut rebuilt_stats,
+                &mut rebuilt_rng,
+            );
+            assert_eq!(
+                reused.outputs[0].downcast_ref::<f64>(),
+                rebuilt.outputs[0].downcast_ref::<f64>(),
+                "answers diverged at epoch {epoch}"
+            );
+            assert_eq!(reused.contributing, rebuilt.contributing);
+            assert_eq!(reused.contributing_est, rebuilt.contributing_est);
+            assert_eq!(reused.max_noncontrib, rebuilt.max_noncontrib);
+            assert_eq!(reused.min_noncontrib, rebuilt.min_noncontrib);
+        }
+        assert_eq!(reused_stats, rebuilt_stats);
+    }
+
+    /// The same reuse-vs-rebuild identity for the TAG plan.
+    #[test]
+    fn tag_plan_reuse_is_bit_identical_to_rebuild() {
+        let (net, td) = topo(135, 180, 0);
+        let tree = td.tree();
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| 2 + i % 40).collect();
+        let model = Global::new(0.3);
+
+        let mut plan = EpochPlan::compile_tag(tree);
+        let mut reused_stats = CommStats::new(net.len());
+        let mut reused_rng = rng_from_seed(4545);
+        let mut rebuilt_stats = CommStats::new(net.len());
+        let mut rebuilt_rng = rng_from_seed(4545);
+        for epoch in 0..10u64 {
+            let proto = ScalarProtocol::new(Sum::default(), &values);
+            let mut set = QuerySet::new();
+            set.register(&proto);
+            let reused = plan.run_set(
+                &set,
+                &net,
+                &model,
+                RunnerConfig::default(),
+                epoch,
+                &mut reused_stats,
+                &mut reused_rng,
+            );
+            let rebuilt = run_tag_epoch_set(
+                &set,
+                tree,
+                &net,
+                &model,
+                RunnerConfig::default(),
+                epoch,
+                &mut rebuilt_stats,
+                &mut rebuilt_rng,
+            );
+            assert_eq!(
+                reused.outputs[0].downcast_ref::<f64>(),
+                rebuilt.outputs[0].downcast_ref::<f64>()
+            );
+            assert_eq!(reused.contributing, rebuilt.contributing);
+        }
+        assert_eq!(reused_stats, rebuilt_stats);
     }
 
     /// The heart of the multi-query engine: N queries in one set produce

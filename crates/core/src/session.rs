@@ -25,7 +25,7 @@
 use crate::adapt::{AdaptAction, Adapter, AdapterConfig, Strategy};
 use crate::protocol::Protocol;
 use crate::query::{Answers, QuerySet};
-use crate::runner::{run_tag_epoch_set, run_td_epoch_set, RunnerConfig};
+use crate::runner::{EpochPlan, RunnerConfig};
 use td_netsim::loss::LossModel;
 use td_netsim::network::Network;
 use td_netsim::stats::CommStats;
@@ -220,6 +220,11 @@ pub struct Session {
     kind: SessionKind,
     stats: CommStats,
     sensors: usize,
+    /// The compiled epoch plan, reused across epochs. Invalidated (and
+    /// lazily recompiled) only when adaptation relabels the topology —
+    /// steady-state epochs run schedule-recomputation-free and reuse the
+    /// plan's inbox/bundle arenas.
+    plan: Option<EpochPlan>,
 }
 
 /// The per-epoch record a session reports for a single-query run.
@@ -296,6 +301,7 @@ impl Session {
             kind,
             stats: CommStats::new(net.len()),
             sensors,
+            plan: None,
         }
     }
 
@@ -349,6 +355,14 @@ impl Session {
         }
     }
 
+    /// Drop the cached [`EpochPlan`], forcing the next epoch to
+    /// recompile from the topology. Results are unaffected (the rebuild
+    /// and reuse paths are bit-identical); this exists so benchmarks and
+    /// tests can drive the per-epoch-rebuild path explicitly.
+    pub fn clear_cached_plan(&mut self) {
+        self.plan = None;
+    }
+
     /// The TAG tree, when the scheme is TAG.
     pub fn tag_tree(&self) -> Option<&Tree> {
         match &self.kind {
@@ -374,9 +388,12 @@ impl Session {
     ) -> QueryRecord {
         match &mut self.kind {
             SessionKind::Tag { tree } => {
-                let out = run_tag_epoch_set(
+                // The TAG tree never changes: compile the plan once.
+                let plan = self
+                    .plan
+                    .get_or_insert_with(|| EpochPlan::compile_tag(tree));
+                let out = plan.run_set(
                     set,
-                    tree,
                     &self.net,
                     model,
                     self.config.runner,
@@ -394,9 +411,18 @@ impl Session {
                 }
             }
             SessionKind::Td { topo, adapter } => {
-                let out = run_td_epoch_set(
+                // Reuse the cached plan while the labeling holds still;
+                // recompile only after adaptation bumped the version.
+                if self
+                    .plan
+                    .as_ref()
+                    .is_none_or(|p| p.compiled_version() != Some(topo.version()))
+                {
+                    self.plan = Some(EpochPlan::compile_td(topo));
+                }
+                let plan = self.plan.as_mut().expect("plan just ensured");
+                let out = plan.run_set(
                     set,
-                    topo,
                     &self.net,
                     model,
                     self.config.runner,
@@ -632,6 +658,43 @@ mod tests {
         );
         let mean = tail_pct.iter().sum::<f64>() / tail_pct.len() as f64;
         assert!(mean > 0.55, "in-band-signal adaptation stuck at {mean}");
+    }
+
+    /// Plan caching across an adapting run is invisible: a session that
+    /// recompiles its plan every epoch produces bit-identical answers,
+    /// adaptation trajectory, and accounting to one reusing the cache
+    /// (which invalidates only on topology version bumps).
+    #[test]
+    fn cached_plan_matches_forced_rebuild_across_adaptation() {
+        let net = net(165, 300);
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 30).collect();
+        let model = Global::new(0.3);
+        let epochs = 60u64;
+        for scheme in Scheme::all() {
+            let run = |rebuild_every_epoch: bool| {
+                let mut rng = rng_from_seed(166);
+                let mut session = Session::with_paper_defaults(scheme, &net, &mut rng);
+                let mut outs = Vec::new();
+                for epoch in 0..epochs {
+                    if rebuild_every_epoch {
+                        session.clear_cached_plan();
+                    }
+                    let proto = ScalarProtocol::new(Sum::default(), &values);
+                    let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
+                    outs.push((rec.output, rec.contributing, rec.delta_size));
+                }
+                (outs, session.stats().clone())
+            };
+            let (cached, cached_stats) = run(false);
+            let (rebuilt, rebuilt_stats) = run(true);
+            assert_eq!(cached, rebuilt, "{} diverged", scheme.name());
+            assert_eq!(
+                cached_stats,
+                rebuilt_stats,
+                "{} stats diverged",
+                scheme.name()
+            );
+        }
     }
 
     /// A multi-query set over an adapting session behaves exactly like a

@@ -32,16 +32,7 @@ impl Network {
             range.is_finite() && range > 0.0,
             "radio range must be positive, got {range}"
         );
-        let n = positions.len();
-        let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if positions[i].distance(positions[j]) <= range {
-                    neighbors[i].push(NodeId(j as u32));
-                    neighbors[j].push(NodeId(i as u32));
-                }
-            }
-        }
+        let neighbors = build_neighbors(&positions, range);
         Network {
             positions,
             range,
@@ -230,6 +221,56 @@ impl Network {
     }
 }
 
+/// Unit-disk adjacency via uniform-grid spatial bucketing.
+///
+/// Nodes are hashed into `range`-wide cells; a node's neighbors can only
+/// live in its own or one of the eight adjacent cells, so each node
+/// tests `O(density · range²)` candidates instead of all `n − 1` — large
+/// deployments (10k+ motes) build in near-linear time where the naive
+/// all-pairs scan is quadratic. Lists come out sorted ascending (the
+/// same order the all-pairs construction produced), keeping every
+/// downstream traversal and RNG draw sequence unchanged.
+fn build_neighbors(positions: &[Position], range: f64) -> Vec<Vec<NodeId>> {
+    let n = positions.len();
+    let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    for p in positions {
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+    }
+    let cell_of = |p: &Position| -> (i64, i64) {
+        (
+            ((p.x - min_x) / range).floor() as i64,
+            ((p.y - min_y) / range).floor() as i64,
+        )
+    };
+    // Sparse grid: deployments are free to spread over an arbitrarily
+    // large area, so cells are keyed rather than stored densely.
+    let mut grid: std::collections::HashMap<(i64, i64), Vec<u32>> =
+        std::collections::HashMap::new();
+    for (i, p) in positions.iter().enumerate() {
+        grid.entry(cell_of(p)).or_default().push(i as u32);
+    }
+    for (i, p) in positions.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        let list = &mut neighbors[i];
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                let Some(bucket) = grid.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &j in bucket {
+                    if j as usize != i && p.distance(positions[j as usize]) <= range {
+                        list.push(NodeId(j));
+                    }
+                }
+            }
+        }
+        list.sort_unstable();
+    }
+    neighbors
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,5 +371,49 @@ mod tests {
     #[should_panic(expected = "radio range must be positive")]
     fn zero_range_rejected() {
         let _ = Network::new(vec![Position::new(0.0, 0.0)], 0.0);
+    }
+
+    /// Grid bucketing must reproduce the naive all-pairs adjacency
+    /// exactly — same neighbors, same (ascending) order — across ranges
+    /// that put many, few, or no nodes per cell, and with negative
+    /// coordinates in play.
+    #[test]
+    fn grid_bucketing_matches_all_pairs_reference() {
+        let mut rng = rng_from_seed(91);
+        for &(sensors, width, range) in
+            &[(120usize, 20.0f64, 2.5f64), (80, 20.0, 7.0), (50, 5.0, 0.4)]
+        {
+            let mut positions = vec![Position::new(width / 2.0, width / 2.0)];
+            for _ in 0..sensors {
+                positions.push(Position::new(
+                    rng.gen_range(0.0..width) - width / 3.0,
+                    rng.gen_range(0.0..width) - width / 3.0,
+                ));
+            }
+            let net = Network::new(positions.clone(), range);
+            for i in 0..positions.len() {
+                let reference: Vec<NodeId> = (0..positions.len())
+                    .filter(|&j| j != i && positions[i].distance(positions[j]) <= range)
+                    .map(|j| NodeId(j as u32))
+                    .collect();
+                assert_eq!(
+                    net.neighbors(NodeId(i as u32)),
+                    &reference[..],
+                    "node {i} at range {range}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_deployment_builds_quickly_and_connected() {
+        // 10k motes would be ~50M pair tests under the all-pairs scan;
+        // bucketing keeps this test effectively instant.
+        let mut rng = rng_from_seed(92);
+        let net =
+            Network::random_in_rect(10_000, 80.0, 80.0, Position::new(40.0, 40.0), 2.0, &mut rng);
+        assert_eq!(net.num_sensors(), 10_000);
+        assert!(net.is_connected());
+        assert!(net.average_degree() > 8.0);
     }
 }

@@ -28,7 +28,10 @@ pub struct NodeComm {
 }
 
 /// Aggregated communication statistics for a simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality is per-node counter equality — what the determinism tests
+/// use to pin parallel trial execution to its sequential baseline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     per_node: Vec<NodeComm>,
 }

@@ -87,6 +87,10 @@ pub struct TdTopology {
     rings: Rings,
     tree: Tree,
     label: Vec<Mode>,
+    /// Bumped on every successful label mutation; lets callers cache
+    /// derived structures (compiled epoch plans) and invalidate them only
+    /// when the labeling actually changed.
+    version: u64,
 }
 
 impl TdTopology {
@@ -117,7 +121,12 @@ impl TdTopology {
                 label[u.index()] = Mode::M;
             }
         }
-        let td = TdTopology { rings, tree, label };
+        let td = TdTopology {
+            rings,
+            tree,
+            label,
+            version: 0,
+        };
         debug_assert!(td.validate().is_ok());
         td
     }
@@ -151,6 +160,15 @@ impl TdTopology {
     #[inline]
     pub fn mode(&self, id: NodeId) -> Mode {
         self.label[id.index()]
+    }
+
+    /// A counter bumped on every label mutation. Two observations of the
+    /// same version guarantee an identical labeling, so anything compiled
+    /// from the topology (schedules, epoch plans) stays valid while the
+    /// version holds still.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of vertices tracked.
@@ -236,6 +254,7 @@ impl TdTopology {
             return Err(SwitchError::NotSwitchable(id));
         }
         self.label[id.index()] = Mode::M;
+        self.version += 1;
         debug_assert!(self.validate().is_ok());
         Ok(())
     }
@@ -249,6 +268,7 @@ impl TdTopology {
             return Err(SwitchError::NotSwitchable(id));
         }
         self.label[id.index()] = Mode::T;
+        self.version += 1;
         debug_assert!(self.validate().is_ok());
         Ok(())
     }
@@ -261,6 +281,9 @@ impl TdTopology {
         for &u in &targets {
             self.label[u.index()] = Mode::M;
         }
+        if !targets.is_empty() {
+            self.version += 1;
+        }
         debug_assert!(self.validate().is_ok());
         targets.len()
     }
@@ -271,6 +294,9 @@ impl TdTopology {
         let targets = self.switchable_m_nodes();
         for &u in &targets {
             self.label[u.index()] = Mode::T;
+        }
+        if !targets.is_empty() {
+            self.version += 1;
         }
         debug_assert!(self.validate().is_ok());
         targets.len()
@@ -297,6 +323,9 @@ impl TdTopology {
         for &c in &children {
             debug_assert!(self.is_switchable_t(c));
             self.label[c.index()] = Mode::M;
+        }
+        if !children.is_empty() {
+            self.version += 1;
         }
         debug_assert!(self.validate().is_ok());
         Ok(children.len())
@@ -581,6 +610,34 @@ mod tests {
             assert!(td.validate().is_ok(), "invariant broken at step {step}");
             assert!(td.check_path_correctness());
         }
+    }
+
+    #[test]
+    fn version_bumps_only_on_label_mutation() {
+        let mut td = topo(66, 1);
+        let v0 = td.version();
+        // Read-only accessors leave the version alone.
+        let _ = td.delta_nodes();
+        let _ = td.switchable_t_nodes();
+        assert_eq!(td.version(), v0);
+        // A successful switch bumps it.
+        let u = td.switchable_t_nodes()[0];
+        td.switch_to_m(u).unwrap();
+        assert_eq!(td.version(), v0 + 1);
+        // A rejected switch does not.
+        let deep_t = td
+            .rings()
+            .connected_nodes()
+            .find(|&w| {
+                td.mode(w) == Mode::T && td.tree().parent(w).is_some_and(|p| td.mode(p) == Mode::T)
+            })
+            .expect("some deep T vertex exists");
+        assert!(td.switch_to_m(deep_t).is_err());
+        assert_eq!(td.version(), v0 + 1);
+        // Bulk operations bump once per effective change.
+        let v1 = td.version();
+        assert!(td.expand_all() > 0);
+        assert_eq!(td.version(), v1 + 1);
     }
 
     #[test]
