@@ -88,6 +88,44 @@ pub fn assert_fuse_laws<A: Aggregate>(agg: &A, xs: &Readings, ys: &Readings, zs:
     );
 }
 
+/// Assert the tree-merge law: `merge_tree` must be commutative and
+/// associative (compared through `evaluate_tree`), so partial results
+/// may combine in any delivery order — and so cross-epoch consumers
+/// like the stream engine's window panes may fold per-epoch partials in
+/// ring order, hop order, or eviction order interchangeably. Unlike
+/// [`assert_fuse_laws`] there is no idempotence requirement: tree
+/// merges are duplicate-sensitive by design.
+pub fn assert_merge_laws<A: Aggregate>(agg: &A, xs: &Readings, ys: &Readings, zs: &Readings) {
+    let (Some(a), Some(b), Some(c)) = (merge_all(agg, xs), merge_all(agg, ys), merge_all(agg, zs))
+    else {
+        return;
+    };
+    // Commutativity: a ⊎ b = b ⊎ a.
+    let mut ab = a.clone();
+    agg.merge_tree(&mut ab, &b);
+    let mut ba = b.clone();
+    agg.merge_tree(&mut ba, &a);
+    assert_eq!(
+        agg.evaluate_tree(&ab),
+        agg.evaluate_tree(&ba),
+        "merge_tree not commutative for {}",
+        agg.name()
+    );
+    // Associativity: (a ⊎ b) ⊎ c = a ⊎ (b ⊎ c).
+    let mut ab_c = ab.clone();
+    agg.merge_tree(&mut ab_c, &c);
+    let mut bc = b.clone();
+    agg.merge_tree(&mut bc, &c);
+    let mut a_bc = a.clone();
+    agg.merge_tree(&mut a_bc, &bc);
+    assert_eq!(
+        agg.evaluate_tree(&ab_c),
+        agg.evaluate_tree(&a_bc),
+        "merge_tree not associative for {}",
+        agg.name()
+    );
+}
+
 /// Assert conversion soundness within `rel_tol` relative error: a tree
 /// partial over `tree_readings`, converted at `root` and fused with the
 /// direct synopses of `mp_readings`, must evaluate close to the reference
@@ -144,5 +182,18 @@ mod tests {
         assert!(fuse_all(&agg, &[]).is_none());
         assert!(merge_all(&agg, &[]).is_none());
         assert_fuse_laws(&agg, &vec![], &vec![], &vec![]);
+        assert_merge_laws(&agg, &vec![], &vec![], &vec![]);
+    }
+
+    #[test]
+    fn merge_laws_hold_for_the_scalar_aggregates() {
+        let xs: Readings = (1..30u32).map(|i| (i, 3 + i as u64 % 11)).collect();
+        let ys: Readings = (30..55u32).map(|i| (i, 90 + i as u64 % 5)).collect();
+        let zs: Readings = (55..70u32).map(|i| (i, i as u64)).collect();
+        assert_merge_laws(&Count::default(), &xs, &ys, &zs);
+        assert_merge_laws(&crate::sum::Sum::default(), &xs, &ys, &zs);
+        assert_merge_laws(&crate::minmax::Min, &xs, &ys, &zs);
+        assert_merge_laws(&crate::minmax::Max, &xs, &ys, &zs);
+        assert_merge_laws(&crate::average::Average::default(), &xs, &ys, &zs);
     }
 }

@@ -1,0 +1,79 @@
+//! CI perf gate over `results/bench_engine.json`.
+//!
+//! ```sh
+//! perf_gate <baseline.json> <fresh.json> [--key epochs_per_sec_pool] \
+//!           [--max-regression 0.20]
+//! ```
+//!
+//! Exits non-zero when the gated throughput key regressed by more than
+//! the threshold (default 20%, per the ROADMAP budget; overridable with
+//! `--max-regression` or the `PERF_GATE_MAX_REGRESSION` env var). A
+//! missing baseline file passes with a notice — the first run on a
+//! fresh branch has nothing to compare against.
+
+use td_bench::gate;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut key = "epochs_per_sec_pool".to_string();
+    let mut max_regression: f64 = std::env::var("PERF_GATE_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.20);
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--key" => key = it.next().expect("--key needs a value"),
+            "--max-regression" => {
+                max_regression = it
+                    .next()
+                    .expect("--max-regression needs a value")
+                    .parse()
+                    .expect("--max-regression must be a number")
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!("usage: perf_gate <baseline.json> <fresh.json> [--key K] [--max-regression R]");
+        std::process::exit(2);
+    };
+
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        // Only a genuinely absent file counts as "first run"; any other
+        // read failure is a gate misconfiguration and must not silently
+        // disable the check forever.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!("perf gate: no baseline at {baseline_path}; passing (first run)");
+            return;
+        }
+        Err(e) => {
+            eprintln!("perf gate error: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let fresh = std::fs::read_to_string(fresh_path)
+        .unwrap_or_else(|e| panic!("fresh results missing at {fresh_path}: {e}"));
+
+    match gate::check(&baseline, &fresh, &key, max_regression) {
+        Ok(out) => {
+            println!(
+                "perf gate: {key} baseline {:.1} → fresh {:.1} ({:+.1}% change, budget -{:.0}%)",
+                out.baseline,
+                out.fresh,
+                -out.regression * 100.0,
+                max_regression * 100.0
+            );
+            if out.failed {
+                eprintln!("perf gate FAILED: {key} regressed beyond the budget");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("perf gate error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! `TD_SCALE=smoke|paper`; paper scale takes several minutes.
 
 use td_bench::experiments::{
-    ablation, fig04, fig06, fig07, fig08, fig09, labdata_sum, rms, tab01, tab02,
+    ablation, fig04, fig06, fig07, fig08, fig09, labdata_sum, rms, stream_windows, tab01, tab02,
 };
 use td_bench::Scale;
 
@@ -74,6 +74,10 @@ fn main() {
     let rows = tab01::run(scale, 0x7AB01);
     tab01::table(&rows).print();
     tab01::table(&rows).write_csv("tab01_comparison");
+
+    let rows = stream_windows::run(scale, 0x57E2EA);
+    stream_windows::table(&rows).print();
+    stream_windows::table(&rows).write_csv("stream_windows");
 
     ablation::signal_ablation(scale, 0xAB1A).print();
     ablation::tree_construction_ablation(scale, 0xAB1B).print();

@@ -8,5 +8,6 @@ pub mod fig08;
 pub mod fig09;
 pub mod labdata_sum;
 pub mod rms;
+pub mod stream_windows;
 pub mod tab01;
 pub mod tab02;

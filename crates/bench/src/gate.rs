@@ -1,0 +1,136 @@
+//! The CI perf gate: compares a fresh `results/bench_engine.json`
+//! against the committed baseline and fails on a regression beyond the
+//! configured threshold.
+//!
+//! `bench_engine` writes a deliberately flat JSON object (string keys →
+//! numbers), so no JSON dependency is needed: [`parse_flat_json`] is a
+//! ~30-line scanner over exactly that shape. The gate compares one key
+//! (throughput by default) and tolerates the baseline being missing —
+//! the first run on a fresh branch has nothing to compare against.
+
+use std::collections::BTreeMap;
+
+/// Parse a flat `{"key": number, ...}` JSON object. Non-numeric values
+/// and nesting are rejected — the gate guards one known file shape, and
+/// failing loudly on anything else beats misreading it.
+pub fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let body = text.trim();
+    let body = body
+        .strip_prefix('{')
+        .and_then(|b| b.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    for entry in body.split(',') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (key, value) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("entry without ':': {entry:?}"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key: {entry:?}"))?;
+        let value: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("non-numeric value for {key:?}: {entry:?}"))?;
+        out.insert(key.to_string(), value);
+    }
+    Ok(out)
+}
+
+/// What the gate decided.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GateOutcome {
+    /// The baseline's value for the gated key.
+    pub baseline: f64,
+    /// The fresh run's value.
+    pub fresh: f64,
+    /// Fractional regression (positive = fresh is worse; throughput
+    /// keys regress downward).
+    pub regression: f64,
+    /// Whether the regression exceeds the threshold.
+    pub failed: bool,
+}
+
+/// Gate `key` (a higher-is-better throughput metric) between two flat
+/// JSON documents: fail when the fresh value has dropped by more than
+/// `max_regression` (e.g. `0.2` = 20%) relative to the baseline.
+pub fn check(
+    baseline_json: &str,
+    fresh_json: &str,
+    key: &str,
+    max_regression: f64,
+) -> Result<GateOutcome, String> {
+    let baseline = *parse_flat_json(baseline_json)
+        .map_err(|e| format!("baseline: {e}"))?
+        .get(key)
+        .ok_or_else(|| format!("baseline has no key {key:?}"))?;
+    let fresh = *parse_flat_json(fresh_json)
+        .map_err(|e| format!("fresh run: {e}"))?
+        .get(key)
+        .ok_or_else(|| format!("fresh run has no key {key:?}"))?;
+    if baseline <= 0.0 {
+        return Err(format!("baseline {key} is non-positive ({baseline})"));
+    }
+    let regression = 1.0 - fresh / baseline;
+    Ok(GateOutcome {
+        baseline,
+        fresh,
+        regression,
+        failed: regression > max_regression,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "sensors": 150,
+  "epochs_per_sec_pool": 250.0,
+  "plan_reuse_ratio": 1.07
+}"#;
+
+    #[test]
+    fn parses_the_bench_engine_shape() {
+        let m = parse_flat_json(SAMPLE).unwrap();
+        assert_eq!(m["sensors"], 150.0);
+        assert_eq!(m["epochs_per_sec_pool"], 250.0);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn rejects_nesting_and_garbage() {
+        assert!(parse_flat_json("[1, 2]").is_err());
+        assert!(parse_flat_json(r#"{"a": "text"}"#).is_err());
+        assert!(parse_flat_json(r#"{a: 1}"#).is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let fresh_ok = r#"{"epochs_per_sec_pool": 210.0}"#;
+        let out = check(SAMPLE, fresh_ok, "epochs_per_sec_pool", 0.2).unwrap();
+        assert!(!out.failed, "16% drop is within the 20% budget");
+        assert!((out.regression - 0.16).abs() < 1e-9);
+
+        let fresh_bad = r#"{"epochs_per_sec_pool": 150.0}"#;
+        let out = check(SAMPLE, fresh_bad, "epochs_per_sec_pool", 0.2).unwrap();
+        assert!(out.failed, "40% drop must fail");
+
+        // Improvements are negative regressions and always pass.
+        let fresh_fast = r#"{"epochs_per_sec_pool": 400.0}"#;
+        let out = check(SAMPLE, fresh_fast, "epochs_per_sec_pool", 0.2).unwrap();
+        assert!(!out.failed);
+        assert!(out.regression < 0.0);
+    }
+
+    #[test]
+    fn gate_reports_missing_keys() {
+        assert!(check(SAMPLE, "{}", "epochs_per_sec_pool", 0.2).is_err());
+        assert!(check(SAMPLE, SAMPLE, "nope", 0.2).is_err());
+    }
+}

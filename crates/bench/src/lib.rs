@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod gate;
 pub mod report;
 
 /// How big to run an experiment.

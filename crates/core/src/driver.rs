@@ -70,6 +70,18 @@ impl<W: Workload + ?Sized> Workload for &W {
     }
 }
 
+/// One epoch stepped through [`Driver::step_set`]: the record plus the
+/// driver's clock bookkeeping.
+#[derive(Debug)]
+pub struct SteppedEpoch {
+    /// The absolute epoch number that ran (warmup included).
+    pub epoch: u64,
+    /// Whether the epoch is past warmup (a "measured" epoch).
+    pub measured: bool,
+    /// The epoch's answers and shared instrumentation.
+    pub record: QueryRecord,
+}
+
 /// What the driver shows the observer after each epoch.
 pub struct EpochView<'a> {
     /// The absolute epoch number (warmup epochs included).
@@ -131,6 +143,36 @@ impl Driver {
     /// across `run*` calls, so a driver can be driven in phases).
     pub fn next_epoch(&self) -> u64 {
         self.next_epoch
+    }
+
+    /// The configured warmup epoch count.
+    pub fn warmup(&self) -> u64 {
+        self.warmup
+    }
+
+    /// Run exactly one epoch over a caller-built query set, advancing
+    /// the warmup/epoch clock.
+    ///
+    /// This is the concrete-lifetime escape hatch: [`run`](Self::run)'s
+    /// `register` callback is higher-ranked over the set lifetime
+    /// (`for<'e>`), which a caller registering protocols that borrow its
+    /// own state cannot satisfy — stepping one epoch at a time gives the
+    /// set a concrete lifetime instead. The stream engine's pane sources
+    /// drive their epochs through here.
+    pub fn step_set<M: LossModel, R: rand::Rng + ?Sized>(
+        &mut self,
+        set: &QuerySet<'_>,
+        model: &M,
+        rng: &mut R,
+    ) -> SteppedEpoch {
+        let epoch = self.next_epoch;
+        let record = self.session.run_set(set, model, epoch, rng);
+        self.next_epoch += 1;
+        SteppedEpoch {
+            epoch,
+            measured: epoch >= self.warmup,
+            record,
+        }
     }
 
     /// Run `warmup + epochs` epochs (continuing the epoch clock).
@@ -548,6 +590,50 @@ mod tests {
         );
         assert_eq!(run.estimates, manual[4..].to_vec());
         assert!(run.actuals.iter().all(|&a| a == truth));
+    }
+
+    #[test]
+    fn step_set_matches_run_bit_for_bit() {
+        let net = net(207);
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| 2 + i % 9).collect();
+        let model = td_netsim::loss::Global::new(0.15);
+
+        // Closure-driven loop.
+        let mut rng = rng_from_seed(208);
+        let session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+        let mut driver = Driver::new(session, 3);
+        let mut via_run = Vec::new();
+        driver.run(
+            &FixedReadings(values.clone()),
+            &model,
+            5,
+            |set: &mut QuerySet<'_>, readings| {
+                set.register(ScalarProtocol::new(Sum::default(), readings))
+            },
+            |view: EpochView<'_>, h| {
+                via_run.push((view.epoch, view.measured, *view.record.answers.get(h)))
+            },
+            &mut rng,
+        );
+
+        // Stepped loop, same seed.
+        let mut rng = rng_from_seed(208);
+        let session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+        let mut driver = Driver::new(session, 3);
+        assert_eq!(driver.warmup(), 3);
+        let mut via_step = Vec::new();
+        for _ in 0..8 {
+            let proto = ScalarProtocol::new(Sum::default(), &values);
+            let mut set = QuerySet::new();
+            let handle = set.register(&proto);
+            let mut stepped = driver.step_set(&set, &model, &mut rng);
+            via_step.push((
+                stepped.epoch,
+                stepped.measured,
+                stepped.record.answers.take(handle),
+            ));
+        }
+        assert_eq!(via_run, via_step);
     }
 
     #[test]

@@ -131,10 +131,22 @@ pub struct TreeEnvelope<T> {
 impl<T> TreeEnvelope<T> {
     /// A leaf-level envelope for `node` with its local message.
     pub fn local(capacity: usize, node: NodeId, msg: Option<T>) -> Self {
-        let (count, contributors) = if node.is_base() {
-            (0, IdSet::new(capacity))
+        Self::local_in(IdSet::new(capacity), node, msg)
+    }
+
+    /// [`TreeEnvelope::local`] over a recycled contributor set (must be
+    /// cleared, capacity already sized to the network) — the
+    /// allocation-free path driven by the runner arena's free-list.
+    pub fn local_in(mut contributors: IdSet, node: NodeId, msg: Option<T>) -> Self {
+        debug_assert!(
+            contributors.is_empty(),
+            "recycled contributor set not cleared"
+        );
+        let count = if node.is_base() {
+            0
         } else {
-            (1, IdSet::singleton(capacity, node.0))
+            contributors.insert(node.0);
+            1
         };
         TreeEnvelope {
             msg,
@@ -169,7 +181,17 @@ pub struct MpEnvelope<S> {
 impl<S> MpEnvelope<S> {
     /// A local envelope for a delta vertex.
     pub fn local(capacity: usize, node: NodeId, msg: Option<S>) -> Self {
-        let mut contributors = IdSet::new(capacity);
+        Self::local_in(IdSet::new(capacity), node, msg)
+    }
+
+    /// [`MpEnvelope::local`] over a recycled contributor set (must be
+    /// cleared, capacity already sized to the network) — the
+    /// allocation-free path driven by the runner arena's free-list.
+    pub fn local_in(mut contributors: IdSet, node: NodeId, msg: Option<S>) -> Self {
+        debug_assert!(
+            contributors.is_empty(),
+            "recycled contributor set not cleared"
+        );
         let mut count_sketch = FmSketch::new(COUNT_SKETCH_BITMAPS);
         if !node.is_base() {
             contributors.insert(node.0);
@@ -288,6 +310,26 @@ mod tests {
         yx.fuse_counts(&x);
         assert_eq!(xy.max_noncontrib.entries(), yx.max_noncontrib.entries());
         assert_eq!(xy.min_noncontrib.entries(), yx.min_noncontrib.entries());
+    }
+
+    #[test]
+    fn pooled_constructors_match_fresh_ones() {
+        let mut recycled = IdSet::singleton(20, 5);
+        recycled.clear();
+        let pooled = TreeEnvelope::<u64>::local_in(recycled, NodeId(3), Some(7));
+        let fresh = TreeEnvelope::<u64>::local(20, NodeId(3), Some(7));
+        assert_eq!(pooled.count, fresh.count);
+        assert_eq!(pooled.contributors, fresh.contributors);
+
+        let mut recycled = IdSet::singleton(20, 9);
+        recycled.clear();
+        let pooled = MpEnvelope::<u64>::local_in(recycled, NodeId(4), Some(1));
+        let fresh = MpEnvelope::<u64>::local(20, NodeId(4), Some(1));
+        assert_eq!(pooled.contributors, fresh.contributors);
+        assert_eq!(
+            pooled.count_sketch.estimate(),
+            fresh.count_sketch.estimate()
+        );
     }
 
     #[test]

@@ -104,7 +104,9 @@ pub mod runner;
 pub mod session;
 
 pub use adapt::{AdaptAction, Adapter, AdapterConfig, Strategy};
-pub use driver::{Driver, EpochView, FixedReadings, ScalarRun, TrialBatch, TrialPool, Workload};
+pub use driver::{
+    Driver, EpochView, FixedReadings, ScalarRun, SteppedEpoch, TrialBatch, TrialPool, Workload,
+};
 pub use protocol::{FreqProtocol, Protocol, ScalarProtocol};
 pub use query::{Answers, DynProtocol, ErasedMsg, QueryHandle, QuerySet};
 pub use runner::{

@@ -346,6 +346,18 @@ impl Answers {
             .expect("query handle used against a mismatched query set")
     }
 
+    /// Move the erased answer in `slot` (registration order) out — the
+    /// dynamic counterpart of [`take`](Self::take) for callers that
+    /// manage their own slot bookkeeping, like the stream engine's pane
+    /// sources, which downcast on their side of an object-safe boundary.
+    ///
+    /// # Panics
+    /// Panics if the slot is out of range or its answer was already
+    /// taken.
+    pub fn take_erased(&mut self, slot: usize) -> Box<dyn Any> {
+        self.outputs[slot].take().expect("answer already taken")
+    }
+
     /// Move the answer for `handle` out (for non-`Clone` outputs).
     ///
     /// # Panics
@@ -409,6 +421,18 @@ mod tests {
             _output: PhantomData,
         };
         assert_eq!(*answers.get(h0), 7.5);
+        assert_eq!(answers.take(h0), 7.5);
+    }
+
+    #[test]
+    fn answers_take_erased_matches_typed_take() {
+        let mut answers = Answers::new(vec![Box::new(7.5f64), Box::new(2.5f64)]);
+        let erased = answers.take_erased(1);
+        assert_eq!(*erased.downcast::<f64>().unwrap(), 2.5);
+        let h0 = QueryHandle::<f64> {
+            index: 0,
+            _output: PhantomData,
+        };
         assert_eq!(answers.take(h0), 7.5);
     }
 

@@ -50,6 +50,7 @@ use td_netsim::loss::{unicast, LossModel, Retransmit};
 use td_netsim::network::Network;
 use td_netsim::node::{NodeId, BASE_STATION};
 use td_netsim::stats::CommStats;
+use td_sketches::idset::IdSet;
 use td_sketches::rle as sketch_rle;
 use td_topology::td::{Mode, TdTopology};
 use td_topology::tree::Tree;
@@ -140,20 +141,49 @@ fn bundle_mp_wire(set: &QuerySet<'_>, bundle: &Bundle) -> (usize, usize) {
         .fold((0, 0), |(b, w), wire| (b + wire.bytes, w + wire.words))
 }
 
+/// Return a consumed envelope's contributor set to the arena free-list
+/// (the pool invariant: every pooled set is cleared and `n`-capacity).
+fn recycle_idset(pool: &mut Vec<IdSet>, mut contributors: IdSet) {
+    contributors.clear();
+    pool.push(contributors);
+}
+
+/// Clone a multi-path envelope for one broadcast receiver with its
+/// contributor bitset drawn from the free-list instead of a fresh
+/// allocation — the per-link copies would otherwise grow the pool by
+/// one set per delivered broadcast every epoch.
+fn clone_mp_pooled(
+    env: &MpEnvelope<Bundle>,
+    n: usize,
+    pool: &mut Vec<IdSet>,
+) -> MpEnvelope<Bundle> {
+    let mut contributors = pool.pop().unwrap_or_else(|| IdSet::new(n));
+    contributors.copy_from(&env.contributors);
+    MpEnvelope {
+        msg: env.msg.clone(),
+        contributors,
+        count_sketch: env.count_sketch.clone(),
+        max_noncontrib: env.max_noncontrib.clone(),
+        min_noncontrib: env.min_noncontrib.clone(),
+    }
+}
+
 /// Merge children + own local bundle into a tree envelope and finalize
 /// it. Drains `children` in delivery order, leaving its capacity in the
-/// arena.
+/// arena; their contributor bitsets go back to the free-list.
 fn build_tree_envelope_set(
     set: &QuerySet<'_>,
     u: NodeId,
     height: u32,
-    capacity: usize,
+    contributors: IdSet,
     local: Bundle,
     children: &mut Vec<TreeEnvelope<Bundle>>,
+    pool: &mut Vec<IdSet>,
 ) -> TreeEnvelope<Bundle> {
-    let mut env = TreeEnvelope::local(capacity, u, Some(local));
+    let mut env = TreeEnvelope::local_in(contributors, u, Some(local));
     for child in children.drain(..) {
         env.absorb_counts(&child);
+        recycle_idset(pool, child.contributors);
         let child_bundle = child.msg.expect("bundle envelopes always carry a bundle");
         let own = env.msg.as_mut().expect("just constructed with a bundle");
         for (i, from) in child_bundle.into_iter().enumerate() {
@@ -176,19 +206,21 @@ fn build_tree_envelope_set(
 
 /// Convert + fuse everything an M vertex holds into one envelope,
 /// reporting its subtree non-contribution when switchable. Drains both
-/// inboxes in delivery order, leaving their capacity in the arena.
+/// inboxes in delivery order, leaving their capacity in the arena; the
+/// drained envelopes' contributor bitsets go back to the free-list.
 #[allow(clippy::too_many_arguments)]
 fn build_mp_envelope_set(
     set: &QuerySet<'_>,
     u: NodeId,
-    capacity: usize,
+    contributors: IdSet,
     subtree_size: u64,
     switchable_m: bool,
     local: Bundle,
     tree_msgs: &mut Vec<TreeEnvelope<Bundle>>,
     mp_msgs: &mut Vec<MpEnvelope<Bundle>>,
+    pool: &mut Vec<IdSet>,
 ) -> MpEnvelope<Bundle> {
-    let mut env = MpEnvelope::local(capacity, u, Some(local));
+    let mut env = MpEnvelope::local_in(contributors, u, Some(local));
     // §4.2: a switchable M vertex is the root of a unique (all-tree)
     // subtree; it reports how many of its subtree's nodes are missing.
     if switchable_m {
@@ -210,6 +242,7 @@ fn build_mp_envelope_set(
                 empty @ None => *empty = Some(converted),
             }
         }
+        recycle_idset(pool, te.contributors);
     }
     for me in mp_msgs.drain(..) {
         env.fuse_counts(&me);
@@ -222,17 +255,20 @@ fn build_mp_envelope_set(
                 slot @ None => *slot = Some(from),
             }
         }
+        recycle_idset(pool, me.contributors);
     }
     env
 }
 
 /// Evaluate every query over the tree bundles that reached a tree-mode
 /// base station. Drains the envelopes: each bundle slot is moved into
-/// its query's evaluation, never cloned.
+/// its query's evaluation, never cloned; the envelopes' contributor
+/// bitsets go back to the free-list.
 fn evaluate_tree_base(
     set: &QuerySet<'_>,
     children: &mut Vec<TreeEnvelope<Bundle>>,
     base_height: u32,
+    pool: &mut Vec<IdSet>,
 ) -> Vec<Box<dyn Any>> {
     let outputs = (0..set.len())
         .map(|i| {
@@ -245,7 +281,9 @@ fn evaluate_tree_base(
             set.query(i).evaluate(parts, None, base_height)
         })
         .collect();
-    children.clear();
+    for env in children.drain(..) {
+        recycle_idset(pool, env.contributors);
+    }
     outputs
 }
 
@@ -320,6 +358,11 @@ struct Arenas {
     /// `node * set.len() + query` stages the node's local tree or
     /// multi-path message until its send step assembles the bundle.
     locals: Vec<Option<ErasedMsg>>,
+    /// Free-list of recycled contributor bitsets (invariant: every
+    /// pooled set is cleared, capacity `n`). Every envelope the plan
+    /// builds draws from here and every consumed envelope returns here,
+    /// so steady-state epochs allocate no per-node bitsets.
+    idsets: Vec<IdSet>,
 }
 
 impl Arenas {
@@ -333,7 +376,20 @@ impl Arenas {
                 Vec::new()
             },
             locals: Vec::new(),
+            idsets: Vec::new(),
         }
+    }
+
+    /// A cleared contributor set: recycled from the free-list, or a
+    /// fresh allocation only while the pool is still warming up.
+    fn idset(&mut self) -> IdSet {
+        self.idsets.pop().unwrap_or_else(|| IdSet::new(self.n))
+    }
+
+    /// One node's tree inbox plus the free-list, split-borrowed for the
+    /// tree-envelope build step.
+    fn tree_ctx(&mut self, u: NodeId) -> (&mut Vec<TreeEnvelope<Bundle>>, &mut Vec<IdSet>) {
+        (&mut self.tree_inbox[u.index()], &mut self.idsets)
     }
 
     /// Reset the local-message slab for an epoch carrying `q` queries.
@@ -365,16 +421,21 @@ impl Arenas {
             .collect()
     }
 
-    /// Both inbox arenas of one node, split-borrowed for the M-vertex
-    /// build step.
+    /// Both inbox arenas of one node plus the free-list, split-borrowed
+    /// for the M-vertex build step.
     #[allow(clippy::type_complexity)]
     fn inboxes_of(
         &mut self,
         u: NodeId,
-    ) -> (&mut Vec<TreeEnvelope<Bundle>>, &mut Vec<MpEnvelope<Bundle>>) {
+    ) -> (
+        &mut Vec<TreeEnvelope<Bundle>>,
+        &mut Vec<MpEnvelope<Bundle>>,
+        &mut Vec<IdSet>,
+    ) {
         (
             &mut self.tree_inbox[u.index()],
             &mut self.mp_inbox[u.index()],
+            &mut self.idsets,
         )
     }
 }
@@ -472,6 +533,14 @@ impl EpochPlan {
         }
     }
 
+    /// Size of the arena's contributor-bitset free-list (introspection
+    /// for tests and benches: after a warm-up epoch the pool holds every
+    /// recycled set, and steady-state epochs neither grow nor drain it
+    /// below the per-epoch working need).
+    pub fn recycled_bitsets(&self) -> usize {
+        self.arenas.idsets.len()
+    }
+
     /// The topology version a TD plan was compiled against (`None` for
     /// TAG plans, whose tree never changes).
     pub fn compiled_version(&self) -> Option<u64> {
@@ -538,7 +607,6 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
     rng: &mut R,
 ) -> SetEpochOutput {
     let q = set.len();
-    let n = arenas.n;
     arenas.reset_locals(q);
     for step in &sched.steps {
         match step.mode {
@@ -556,13 +624,16 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
         match step.mode {
             Mode::T => {
                 let local = arenas.take_local_bundle(step.node, q);
+                let contributors = arenas.idset();
+                let (children, pool) = arenas.tree_ctx(step.node);
                 let env = build_tree_envelope_set(
                     set,
                     step.node,
                     step.height,
-                    n,
+                    contributors,
                     local,
-                    &mut arenas.tree_inbox[step.node.index()],
+                    children,
+                    pool,
                 );
                 let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
                 let overhead = if config.charge_adaptation_overhead {
@@ -583,20 +654,24 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
                 stats.record_send(step.node, words * 4, words, outcome.attempts_used as u64);
                 if outcome.delivered {
                     arenas.tree_inbox[step.parent.index()].push(env);
+                } else {
+                    recycle_idset(&mut arenas.idsets, env.contributors);
                 }
             }
             Mode::M => {
                 let local = arenas.take_local_bundle(step.node, q);
-                let (tree_in, mp_in) = arenas.inboxes_of(step.node);
+                let contributors = arenas.idset();
+                let (tree_in, mp_in, pool) = arenas.inboxes_of(step.node);
                 let env = build_mp_envelope_set(
                     set,
                     step.node,
-                    n,
+                    contributors,
                     step.subtree_size,
                     step.switchable_m,
                     local,
                     tree_in,
                     mp_in,
+                    pool,
                 );
                 let (payload_bytes, payload_words) =
                     bundle_mp_wire(set, env.msg.as_ref().expect("bundle present"));
@@ -615,9 +690,11 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
                 for &(r, is_m) in &sched.receivers[step.recv_start as usize..step.recv_end as usize]
                 {
                     if model.delivered(step.node, r, net, epoch, rng) && is_m {
-                        arenas.mp_inbox[r.index()].push(env.clone());
+                        let copy = clone_mp_pooled(&env, arenas.n, &mut arenas.idsets);
+                        arenas.mp_inbox[r.index()].push(copy);
                     }
                 }
+                recycle_idset(&mut arenas.idsets, env.contributors);
             }
         }
     }
@@ -625,16 +702,18 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
     // Base station.
     match sched.base_mode {
         Mode::T => {
-            let children = &mut arenas.tree_inbox[BASE_STATION.index()];
-            let mut contributors = td_sketches::idset::IdSet::new(n);
+            let mut contributors = arenas.idset();
+            let (children, pool) = arenas.tree_ctx(BASE_STATION);
             let mut exact_count = 0u64;
             for env in children.iter() {
                 exact_count += env.count;
                 contributors.union(&env.contributors);
             }
+            let contributing = contributors.len();
+            recycle_idset(pool, contributors);
             SetEpochOutput {
-                outputs: evaluate_tree_base(set, children, sched.base_height),
-                contributing: contributors.len(),
+                outputs: evaluate_tree_base(set, children, sched.base_height, pool),
+                contributing,
                 contributing_est: exact_count as f64,
                 max_noncontrib: crate::envelope::ExtremaSet::largest(),
                 min_noncontrib: crate::envelope::ExtremaSet::smallest(),
@@ -642,16 +721,18 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
         }
         Mode::M => {
             let local = arenas.take_local_bundle(BASE_STATION, q);
-            let (tree_in, mp_in) = arenas.inboxes_of(BASE_STATION);
+            let contributors = arenas.idset();
+            let (tree_in, mp_in, pool) = arenas.inboxes_of(BASE_STATION);
             let env = build_mp_envelope_set(
                 set,
                 BASE_STATION,
-                n,
+                contributors,
                 sched.base_subtree,
                 sched.base_switchable_m,
                 local,
                 tree_in,
                 mp_in,
+                pool,
             );
             let bundle = env.msg.as_ref().expect("bundle present");
             let outputs = (0..set.len())
@@ -660,12 +741,21 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
                         .evaluate(Vec::new(), bundle[i].as_ref(), sched.base_height)
                 })
                 .collect();
+            let MpEnvelope {
+                contributors,
+                count_sketch,
+                max_noncontrib,
+                min_noncontrib,
+                ..
+            } = env;
+            let contributing = contributors.len();
+            recycle_idset(&mut arenas.idsets, contributors);
             SetEpochOutput {
                 outputs,
-                contributing: env.contributors.len(),
-                contributing_est: env.count_sketch.estimate(),
-                max_noncontrib: env.max_noncontrib,
-                min_noncontrib: env.min_noncontrib,
+                contributing,
+                contributing_est: count_sketch.estimate(),
+                max_noncontrib,
+                min_noncontrib,
             }
         }
     }
@@ -684,7 +774,6 @@ fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
     rng: &mut R,
 ) -> SetEpochOutput {
     let q = set.len();
-    let n = arenas.n;
     arenas.reset_locals(q);
     for step in &sched.steps {
         arenas.stage(set, step.node, q, |query, u| query.local_tree(u));
@@ -693,13 +782,16 @@ fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
     let mut base_children: Vec<TreeEnvelope<Bundle>> = Vec::new();
     for step in &sched.steps {
         let local = arenas.take_local_bundle(step.node, q);
+        let contributors = arenas.idset();
+        let (children, pool) = arenas.tree_ctx(step.node);
         let env = build_tree_envelope_set(
             set,
             step.node,
             step.height,
-            n,
+            contributors,
             local,
-            &mut arenas.tree_inbox[step.node.index()],
+            children,
+            pool,
         );
         match step.parent {
             None => base_children.push(env),
@@ -715,20 +807,29 @@ fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
                 stats.record_send(step.node, words * 4, words, outcome.attempts_used as u64);
                 if outcome.delivered {
                     arenas.tree_inbox[p.index()].push(env);
+                } else {
+                    recycle_idset(&mut arenas.idsets, env.contributors);
                 }
             }
         }
     }
 
-    let mut contributors = td_sketches::idset::IdSet::new(n);
+    let mut contributors = arenas.idset();
     let mut exact = 0u64;
     for env in &base_children {
         exact += env.count;
         contributors.union(&env.contributors);
     }
+    let contributing = contributors.len();
+    recycle_idset(&mut arenas.idsets, contributors);
     SetEpochOutput {
-        outputs: evaluate_tree_base(set, &mut base_children, sched.base_height),
-        contributing: contributors.len(),
+        outputs: evaluate_tree_base(
+            set,
+            &mut base_children,
+            sched.base_height,
+            &mut arenas.idsets,
+        ),
+        contributing,
         contributing_est: exact as f64,
         max_noncontrib: crate::envelope::ExtremaSet::largest(),
         min_noncontrib: crate::envelope::ExtremaSet::smallest(),
@@ -1120,6 +1221,48 @@ mod tests {
             assert_eq!(reused.min_noncontrib, rebuilt.min_noncontrib);
         }
         assert_eq!(reused_stats, rebuilt_stats);
+    }
+
+    /// The contributor-bitset free-list reaches a steady state: after a
+    /// warm-up epoch the pool holds every recycled set, and further
+    /// epochs neither grow it (no new allocations) nor leak from it.
+    #[test]
+    fn idset_pool_reaches_steady_state() {
+        for delta_levels in [0u16, 2] {
+            let (net, td) = topo(136, 180, delta_levels);
+            let values: Vec<u64> = vec![3; net.len()];
+            let mut plan = EpochPlan::compile_td(&td);
+            let mut stats = CommStats::new(net.len());
+            let mut rng = rng_from_seed(137);
+            assert_eq!(plan.recycled_bitsets(), 0);
+            let mut after = Vec::new();
+            for epoch in 0..4u64 {
+                let proto = ScalarProtocol::new(Sum::default(), &values);
+                let mut set = QuerySet::new();
+                set.register(&proto);
+                plan.run_set(
+                    &set,
+                    &net,
+                    &NoLoss,
+                    RunnerConfig::default(),
+                    epoch,
+                    &mut stats,
+                    &mut rng,
+                );
+                after.push(plan.recycled_bitsets());
+            }
+            assert!(after[0] > 0, "nothing recycled at delta {delta_levels}");
+            // Every envelope (locals and broadcast copies alike) returns
+            // its bitset by the end of the epoch, so without loss the
+            // between-epoch pool size is the fixed per-epoch envelope
+            // population: epoch 2 onward allocates nothing. (Under loss
+            // the pool can still grow by the occasional unlucky epoch's
+            // extra in-flight demand — bounded by the lossless maximum.)
+            assert_eq!(
+                after[1], after[3],
+                "pool still growing at delta {delta_levels}: {after:?}"
+            );
+        }
     }
 
     /// The same reuse-vs-rebuild identity for the TAG plan.

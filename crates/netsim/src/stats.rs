@@ -122,6 +122,40 @@ impl CommStats {
         }
     }
 
+    /// Per-node counter difference `self − earlier`: the activity
+    /// recorded between two snapshots of one accumulating stats object.
+    /// This is how the stream engine attributes communication to a
+    /// single epoch pane out of a session's cumulative counters.
+    ///
+    /// # Panics
+    /// Panics if node counts differ or `earlier` is not actually an
+    /// earlier snapshot (any of its counters exceeds `self`'s).
+    pub fn diff(&self, earlier: &CommStats) -> CommStats {
+        assert_eq!(
+            self.per_node.len(),
+            earlier.per_node.len(),
+            "snapshot node counts differ"
+        );
+        let sub = |a: u64, b: u64| {
+            a.checked_sub(b)
+                .expect("diff baseline is not an earlier snapshot")
+        };
+        CommStats {
+            per_node: self
+                .per_node
+                .iter()
+                .zip(&earlier.per_node)
+                .map(|(a, b)| NodeComm {
+                    rounds: sub(a.rounds, b.rounds),
+                    transmissions: sub(a.transmissions, b.transmissions),
+                    messages: sub(a.messages, b.messages),
+                    bytes: sub(a.bytes, b.bytes),
+                    words: sub(a.words, b.words),
+                })
+                .collect(),
+        }
+    }
+
     /// Number of nodes tracked.
     pub fn len(&self) -> usize {
         self.per_node.len()
@@ -205,6 +239,35 @@ mod tests {
         assert_eq!(a.node(NodeId(1)).bytes, 12);
         assert_eq!(a.node(NodeId(1)).words, 3);
         assert_eq!(a.node(NodeId(1)).messages, 2);
+    }
+
+    #[test]
+    fn diff_isolates_the_activity_between_snapshots() {
+        let mut s = CommStats::new(3);
+        s.record_send(NodeId(1), 48, 12, 2);
+        let snapshot = s.clone();
+        s.record_send(NodeId(2), 8, 2, 1);
+        s.record_send(NodeId(1), 4, 1, 1);
+        let d = s.diff(&snapshot);
+        assert_eq!(d.node(NodeId(1)).bytes, 4);
+        assert_eq!(d.node(NodeId(1)).rounds, 1);
+        assert_eq!(d.node(NodeId(2)).words, 2);
+        assert_eq!(d.total_rounds(), 2);
+        // Adding the diff back onto the snapshot reproduces the total.
+        let mut roundtrip = snapshot.clone();
+        roundtrip.merge(&d);
+        assert_eq!(roundtrip, s);
+        // A diff against the current state is all-zero.
+        assert_eq!(s.diff(&s).total_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an earlier snapshot")]
+    fn diff_rejects_a_later_baseline() {
+        let mut s = CommStats::new(2);
+        s.record_send(NodeId(1), 4, 1, 1);
+        let later = s.clone();
+        let _ = CommStats::new(2).diff(&later);
     }
 
     #[test]

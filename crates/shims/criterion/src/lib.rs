@@ -3,10 +3,11 @@
 //! Provides the subset of the criterion API the workspace's benches use
 //! — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
 //! [`black_box`], and the [`criterion_group!`]/[`criterion_main!`]
-//! macros — backed by a simple calibrated wall-clock loop that prints
-//! `name: median ns/iter` lines. No statistics engine, no plots; good
-//! enough to keep the bench targets compiling and producing comparable
-//! numbers offline.
+//! macros — backed by a calibrated wall-clock batch loop. No statistics
+//! engine or plots, but the location estimate is robust: batch timings
+//! pass through IQR outlier rejection ([`robust_estimate`]) so that
+//! scheduler hiccups don't drown small (<5%) effects like epoch-plan
+//! reuse or bitset pooling.
 
 #![forbid(unsafe_code)]
 
@@ -38,8 +39,9 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Measure `f` by running it enough times to be readable on a
-    /// wall clock, keeping the median of `samples` batches.
+    /// Measure `f` by running it enough times to be readable on a wall
+    /// clock, reporting the IQR-filtered mean of `samples` batches
+    /// ([`robust_estimate`]).
     pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
         // Calibrate the batch size to ~2 ms.
         let mut batch = 1u64;
@@ -63,9 +65,39 @@ impl Bencher {
                 t0.elapsed().as_nanos() as f64 / batch as f64
             })
             .collect();
-        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-        self.ns_per_iter = per_iter[per_iter.len() / 2];
+        self.ns_per_iter = robust_estimate(&mut per_iter);
     }
+}
+
+/// The robust location estimate of a batch-timing sample: drop outliers
+/// beyond the Tukey fences `[q1 − 1.5·IQR, q3 + 1.5·IQR]`, then average
+/// the survivors.
+///
+/// A plain median at ~16 coarse batches quantizes to batch granularity
+/// and jumps a whole batch step between runs; the mean of the IQR-kept
+/// samples has far lower variance, which is what makes small (<5%)
+/// wins — epoch-plan reuse, bitset pooling — visible without rerunning
+/// by hand. Sorts `samples` in place. Fewer than 4 samples carry no
+/// quartile information and are averaged directly.
+pub fn robust_estimate(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "no timing samples");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    if samples.len() < 4 {
+        return mean(samples);
+    }
+    let q1 = samples[samples.len() / 4];
+    let q3 = samples[(3 * samples.len()) / 4];
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let kept: Vec<f64> = samples
+        .iter()
+        .copied()
+        .filter(|&x| (lo..=hi).contains(&x))
+        .collect();
+    // The quartiles themselves are always inside the fences, so `kept`
+    // is never empty.
+    mean(&kept)
 }
 
 impl Criterion {
@@ -149,5 +181,43 @@ mod tests {
     #[test]
     fn harness_runs() {
         group();
+    }
+
+    #[test]
+    fn robust_estimate_rejects_outliers() {
+        // A clean cluster at ~100 with two scheduler-hiccup spikes: the
+        // estimate must stay with the cluster.
+        let mut samples = vec![
+            98.0, 99.0, 100.0, 100.0, 101.0, 102.0, 99.5, 100.5, 1000.0, 5000.0,
+        ];
+        let est = robust_estimate(&mut samples);
+        assert!(
+            (est - 100.0).abs() < 2.0,
+            "estimate {est} dragged by outliers"
+        );
+        // Without outliers it is the plain mean.
+        let mut clean = vec![10.0, 12.0, 14.0, 16.0];
+        assert_eq!(robust_estimate(&mut clean), 13.0);
+        // Tiny samples are averaged directly.
+        let mut tiny = vec![5.0, 7.0];
+        assert_eq!(robust_estimate(&mut tiny), 6.0);
+    }
+
+    #[test]
+    fn robust_estimate_resolves_small_differences() {
+        // Two populations 3% apart, each with one big outlier: the
+        // filtered estimates must preserve the ordering and roughly the
+        // gap — the "<5% wins stay visible" requirement.
+        let mut slow: Vec<f64> = (0..15).map(|i| 103.0 + (i % 3) as f64 * 0.2).collect();
+        slow.push(900.0);
+        let mut fast: Vec<f64> = (0..15).map(|i| 100.0 + (i % 3) as f64 * 0.2).collect();
+        fast.push(900.0);
+        let s = robust_estimate(&mut slow);
+        let f = robust_estimate(&mut fast);
+        let win = s / f - 1.0;
+        assert!(
+            (0.02..0.04).contains(&win),
+            "3% difference distorted to {win}"
+        );
     }
 }

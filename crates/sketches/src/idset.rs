@@ -61,6 +61,24 @@ impl IdSet {
         self.words.iter().all(|&w| w == 0)
     }
 
+    /// Remove every id, keeping the capacity and the allocation — what
+    /// lets the runner's arena free-list recycle contributor sets
+    /// instead of allocating a fresh bitset per envelope per epoch.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Overwrite this set with `other`'s contents in place — an
+    /// allocation-free `clone` for recycled sets (the broadcast-copy
+    /// path of the runner's free-list).
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    pub fn copy_from(&mut self, other: &Self) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Union with another set (idempotent ⊕).
     ///
     /// # Panics
@@ -160,6 +178,33 @@ mod tests {
         let s = IdSet::singleton(50, 7);
         assert_eq!(s.len(), 1);
         assert!(s.contains(7));
+    }
+
+    #[test]
+    fn copy_from_is_clone_in_place() {
+        let mut src = IdSet::new(100);
+        src.insert(3);
+        src.insert(77);
+        let mut dst = IdSet::singleton(100, 50);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        // Stale bits are fully overwritten.
+        assert!(!dst.contains(50));
+    }
+
+    #[test]
+    fn clear_resets_to_fresh() {
+        let mut s = IdSet::new(130);
+        for id in [0u32, 64, 129] {
+            s.insert(id);
+        }
+        s.clear();
+        assert_eq!(s, IdSet::new(130));
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 130);
+        // A cleared set behaves exactly like a fresh one.
+        s.insert(99);
+        assert_eq!(s, IdSet::singleton(130, 99));
     }
 
     proptest! {

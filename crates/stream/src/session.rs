@@ -1,0 +1,665 @@
+//! The cross-epoch stream engine: panes, rings, and window emission
+//! over one multi-query [`Session`].
+//!
+//! A [`StreamSession`] owns a [`Driver`] (which owns the `Session` and
+//! the §7.1 warmup clock) plus the registered [`StreamQuery`]s. Each
+//! epoch it registers every query's underlying protocol on one
+//! [`QuerySet`] — so N windowed queries still cost **one topology
+//! traversal** — runs the epoch through [`Driver::step_set`], and turns
+//! each answer into a *pane*: the value plus that epoch's
+//! contributor-envelope coverage, its [`CommStats`] delta, and whether
+//! adaptation relabeled the topology afterwards. Panes live in one
+//! ring per query (shared by all of the query's windows, evicted O(1)
+//! from the front); windows merge panes through the associative
+//! [`PanePartial`] algebra and emit [`WindowReport`]s.
+//!
+//! ## Loss and adaptation visibility
+//!
+//! Windows never hide degradation: a report carries every pane's
+//! coverage fraction and communication accounting, the window-level
+//! mean/min coverage, and the number of tributary/delta relabels that
+//! fired *between* its panes. A completed pane is a plain value — a
+//! later relabel changes how future panes are computed, never the
+//! merged history — so adaptation mid-window degrades answers visibly
+//! (through coverage) rather than invalidating them.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use rand::Rng;
+use td_netsim::loss::LossModel;
+use td_netsim::stats::CommStats;
+use tributary_delta::adapt::AdaptAction;
+use tributary_delta::driver::{Driver, Workload};
+use tributary_delta::query::QuerySet;
+use tributary_delta::session::Session;
+
+use crate::query::{PaneProtocol, StreamQuery};
+use crate::window::{EpochMerge, PanePartial, WindowSpec};
+
+/// Identifies one window of one registered stream query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WindowHandle {
+    /// Index of the stream query (registration order).
+    pub query: usize,
+    /// Index of the window within the query (attachment order).
+    pub window: usize,
+}
+
+/// One pane's slice of a [`WindowReport`]: the per-epoch
+/// instrumentation a window answer was merged from.
+#[derive(Clone, Debug)]
+pub struct PaneStats {
+    /// The absolute epoch the pane ran in.
+    pub epoch: u64,
+    /// Contributor-envelope coverage fraction of that epoch.
+    pub coverage: f64,
+    /// Whether adaptation relabeled the topology right after this
+    /// pane's epoch.
+    pub relabeled: bool,
+    /// Communication accounting of that epoch's traversal — shared
+    /// (`Arc`) between the ring, overlapping windows, and every report
+    /// it appears in, so carrying it is a pointer bump, not a per-node
+    /// counter copy.
+    pub comm: Arc<CommStats>,
+}
+
+/// One emitted window answer plus everything needed to judge it.
+#[derive(Clone, Debug)]
+pub struct WindowReport {
+    /// Which window emitted.
+    pub handle: WindowHandle,
+    /// The underlying protocol's display name.
+    pub query_name: String,
+    /// The window shape.
+    pub spec: WindowSpec,
+    /// The cross-epoch merge the answer evaluates.
+    pub merge: EpochMerge,
+    /// First epoch merged into the window.
+    pub start_epoch: u64,
+    /// Last epoch merged into the window.
+    pub end_epoch: u64,
+    /// Panes actually merged.
+    pub panes: usize,
+    /// Panes of a complete window (`panes < expected_panes` marks the
+    /// partial prefix a sliding window emits before filling up; equal
+    /// for landmark, which is always "complete so far").
+    pub expected_panes: usize,
+    /// The window answer.
+    pub answer: f64,
+    /// Mean contributor-envelope coverage across the merged panes.
+    pub coverage: f64,
+    /// The worst single pane's coverage.
+    pub min_coverage: f64,
+    /// Tributary/delta relabels that fired *between* this window's
+    /// panes. A relabel after the window's final pane is not counted
+    /// here: an overlapping sliding window that still contains that
+    /// pane (with a successor) will count it, while for tumbling
+    /// windows it fell between windows and is counted by none.
+    pub relabels: u32,
+    /// Per-pane instrumentation, oldest first. For [`WindowSpec::Landmark`]
+    /// this is a single entry — the *newest* pane's per-epoch stats (the
+    /// landmark window keeps O(1) state and retains no history; its
+    /// running coverage/relabel picture lives in the report-level
+    /// `coverage`/`min_coverage`/`relabels` fields).
+    pub pane_stats: Vec<PaneStats>,
+}
+
+impl WindowReport {
+    /// Whether any merged pane missed contributors — the "degrade
+    /// visibly, not silently" bit consumers should check before
+    /// trusting the answer as exact.
+    pub fn is_lossy(&self) -> bool {
+        self.min_coverage < 1.0
+    }
+
+    /// Total payload bytes across the traversals in `pane_stats` — for
+    /// landmark reports that is the newest pane only (the landmark
+    /// keeps no history; see the `pane_stats` docs).
+    pub fn comm_bytes(&self) -> u64 {
+        self.pane_stats.iter().map(|p| p.comm.total_bytes()).sum()
+    }
+}
+
+/// Counters proving the sharing the engine promises: panes are built
+/// per *query* per measured epoch — never per window — and windows only
+/// merge, never recompute.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StreamStats {
+    /// Epochs run (warmup included).
+    pub epochs_run: u64,
+    /// Measured epochs (those that produced panes).
+    pub measured_epochs: u64,
+    /// Panes built — exactly `measured_epochs × queries`, however many
+    /// windows ride on them.
+    pub panes_built: u64,
+    /// Pane-partial merge operations performed across all windows.
+    pub pane_merges: u64,
+    /// Window reports emitted.
+    pub reports_emitted: u64,
+    /// Sum of every built pane's coverage fraction — each measured
+    /// epoch counted once per query, never re-weighted by how many
+    /// windows or reports a pane lands in.
+    pub pane_coverage_sum: f64,
+}
+
+impl StreamStats {
+    /// Mean contributor coverage across all built panes (1.0 when no
+    /// pane exists yet).
+    pub fn mean_pane_coverage(&self) -> f64 {
+        if self.panes_built == 0 {
+            1.0
+        } else {
+            self.pane_coverage_sum / self.panes_built as f64
+        }
+    }
+}
+
+/// One measured epoch's contribution to a query's pane series.
+#[derive(Clone, Debug)]
+struct Pane {
+    epoch: u64,
+    value: f64,
+    coverage: f64,
+    relabeled: bool,
+    comm: Arc<CommStats>,
+}
+
+/// Running state of a landmark window (no ring: O(1) per epoch).
+#[derive(Clone, Debug, Default)]
+struct LandmarkState {
+    acc: Option<PanePartial>,
+    panes: u64,
+    start_epoch: u64,
+    coverage_sum: f64,
+    min_coverage: f64,
+    relabels: u32,
+    /// Relabel flag of the most recent pane — promoted into `relabels`
+    /// only once a later pane arrives (a relabel after the last pane is
+    /// not *between* panes yet).
+    pending_relabel: bool,
+}
+
+struct WindowState {
+    spec: WindowSpec,
+    merge: EpochMerge,
+    landmark: Option<LandmarkState>,
+}
+
+/// Per-query pane bookkeeping (parallel to the session's boxed
+/// protocols — split so the epoch loop can borrow protocols shared
+/// while mutating rings).
+struct QueryState {
+    name: String,
+    ring: VecDeque<Pane>,
+    ring_need: usize,
+    windows: Vec<WindowState>,
+    next_seq: u64,
+}
+
+/// The streaming window engine over one aggregation session.
+///
+/// ```ignore
+/// let driver = Driver::new(SessionBuilder::new(Scheme::Td).build(&net, &mut rng), warmup);
+/// let mut stream = StreamSession::new(driver);
+/// let handles = stream.register(
+///     StreamQuery::scalar(Sum::default())
+///         .window(WindowSpec::sliding(10, 1), EpochMerge::Add)
+///         .window(WindowSpec::tumbling(30), EpochMerge::Mean),
+/// );
+/// let reports = stream.run(&workload, &channel, epochs, &mut rng);
+/// ```
+pub struct StreamSession {
+    driver: Driver,
+    protos: Vec<Box<dyn PaneProtocol>>,
+    queries: Vec<QueryState>,
+    last_stats: CommStats,
+    stats: StreamStats,
+}
+
+impl StreamSession {
+    /// Wrap a driver (its warmup epochs produce no panes).
+    pub fn new(driver: Driver) -> Self {
+        let last_stats = driver.session().stats().clone();
+        StreamSession {
+            driver,
+            protos: Vec::new(),
+            queries: Vec::new(),
+            last_stats,
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Register a stream query, returning one handle per attached
+    /// window. All the query's windows share one pane series; all
+    /// registered queries share each epoch's single traversal.
+    ///
+    /// # Panics
+    /// Panics if the query has no windows (it would produce panes
+    /// nobody consumes).
+    pub fn register<P: PaneProtocol + 'static>(
+        &mut self,
+        query: StreamQuery<P>,
+    ) -> Vec<WindowHandle> {
+        assert!(
+            !query.windows.is_empty(),
+            "a stream query needs at least one window"
+        );
+        let qi = self.protos.len();
+        let ring_need = query
+            .windows
+            .iter()
+            .map(|(spec, _)| spec.ring_need())
+            .max()
+            .unwrap_or(0);
+        let windows: Vec<WindowState> = query
+            .windows
+            .iter()
+            .map(|&(spec, merge)| WindowState {
+                spec,
+                merge,
+                landmark: matches!(spec, WindowSpec::Landmark).then(LandmarkState::default),
+            })
+            .collect();
+        let handles = (0..windows.len())
+            .map(|wi| WindowHandle {
+                query: qi,
+                window: wi,
+            })
+            .collect();
+        self.queries.push(QueryState {
+            name: PaneProtocol::name(&query.proto),
+            ring: VecDeque::with_capacity(ring_need + 1),
+            ring_need,
+            windows,
+            next_seq: 0,
+        });
+        self.protos.push(Box::new(query.proto));
+        handles
+    }
+
+    /// The wrapped driver.
+    pub fn driver(&self) -> &Driver {
+        &self.driver
+    }
+
+    /// The underlying session (topology, cumulative stats).
+    pub fn session(&self) -> &Session {
+        self.driver.session()
+    }
+
+    /// The engine's sharing counters.
+    pub fn stream_stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Number of registered stream queries (= protocols per epoch set).
+    pub fn query_count(&self) -> usize {
+        self.protos.len()
+    }
+
+    /// Run `warmup + epochs` epochs (continuing the driver's clock),
+    /// returning every window report emitted by measured epochs in
+    /// emission order.
+    pub fn run<W, M, R>(
+        &mut self,
+        workload: &W,
+        model: &M,
+        epochs: u64,
+        rng: &mut R,
+    ) -> Vec<WindowReport>
+    where
+        W: Workload + ?Sized,
+        M: LossModel,
+        R: Rng + ?Sized,
+    {
+        assert!(
+            !self.protos.is_empty(),
+            "register at least one stream query before running"
+        );
+        let remaining_warmup = self
+            .driver
+            .warmup()
+            .saturating_sub(self.driver.next_epoch());
+        let mut reports = Vec::new();
+        for _ in 0..remaining_warmup + epochs {
+            let epoch = self.driver.next_epoch();
+            let readings = workload.readings(epoch);
+            // One set, one traversal, however many queries and windows.
+            let mut set = QuerySet::new();
+            let slots: Vec<usize> = self
+                .protos
+                .iter()
+                .map(|p| p.register(&mut set, &readings, epoch))
+                .collect();
+            let mut stepped = self.driver.step_set(&set, model, rng);
+            let values: Vec<f64> = self
+                .protos
+                .iter()
+                .zip(&slots)
+                .map(|(p, &slot)| p.pane_value(&mut stepped.record.answers, slot))
+                .collect();
+            drop(set);
+
+            self.stats.epochs_run += 1;
+            // One allocation per epoch (the diff itself); folding it
+            // back keeps `last_stats` equal to the session total
+            // without cloning the full per-node vector.
+            let comm = self.driver.session().stats().diff(&self.last_stats);
+            self.last_stats.merge(&comm);
+            if !stepped.measured {
+                continue;
+            }
+            self.stats.measured_epochs += 1;
+
+            let relabeled = matches!(
+                stepped.record.action,
+                AdaptAction::Expanded { .. } | AdaptAction::Shrunk { .. }
+            );
+            let comm = Arc::new(comm);
+            let coverage = stepped.record.pct_contributing;
+            for (qi, value) in values.into_iter().enumerate() {
+                self.absorb_pane(qi, epoch, value, coverage, relabeled, &comm, &mut reports);
+            }
+        }
+        reports
+    }
+
+    /// Fold one measured epoch's answer into query `qi`'s pane series
+    /// and emit whatever windows close on it.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_pane(
+        &mut self,
+        qi: usize,
+        epoch: u64,
+        value: f64,
+        coverage: f64,
+        relabeled: bool,
+        comm: &Arc<CommStats>,
+        reports: &mut Vec<WindowReport>,
+    ) {
+        let q = &mut self.queries[qi];
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        self.stats.panes_built += 1;
+        self.stats.pane_coverage_sum += coverage;
+        let pane = Pane {
+            epoch,
+            value,
+            coverage,
+            relabeled,
+            comm: Arc::clone(comm),
+        };
+        if q.ring_need > 0 {
+            q.ring.push_back(pane.clone());
+            // O(1) eviction: drop exactly the pane that aged out.
+            while q.ring.len() > q.ring_need {
+                q.ring.pop_front();
+            }
+        }
+        for (wi, w) in q.windows.iter_mut().enumerate() {
+            let handle = WindowHandle {
+                query: qi,
+                window: wi,
+            };
+            if let Some(lm) = &mut w.landmark {
+                // O(1) running update; emits every pane.
+                if lm.panes == 0 {
+                    lm.start_epoch = pane.epoch;
+                    lm.min_coverage = pane.coverage;
+                    lm.acc = Some(PanePartial::of(pane.value));
+                } else {
+                    lm.acc
+                        .as_mut()
+                        .expect("landmark accumulator seeded")
+                        .merge(&PanePartial::of(pane.value));
+                    self.stats.pane_merges += 1;
+                    lm.min_coverage = lm.min_coverage.min(pane.coverage);
+                    if lm.pending_relabel {
+                        lm.relabels += 1;
+                    }
+                }
+                lm.panes += 1;
+                lm.coverage_sum += pane.coverage;
+                lm.pending_relabel = pane.relabeled;
+                let acc = lm.acc.expect("landmark accumulator seeded");
+                reports.push(WindowReport {
+                    handle,
+                    query_name: q.name.clone(),
+                    spec: w.spec,
+                    merge: w.merge,
+                    start_epoch: lm.start_epoch,
+                    end_epoch: pane.epoch,
+                    panes: lm.panes as usize,
+                    expected_panes: lm.panes as usize,
+                    answer: acc.evaluate(w.merge),
+                    coverage: lm.coverage_sum / lm.panes as f64,
+                    min_coverage: lm.min_coverage,
+                    relabels: lm.relabels,
+                    // The newest pane's true per-epoch stats (see the
+                    // `pane_stats` field docs).
+                    pane_stats: vec![PaneStats {
+                        epoch: pane.epoch,
+                        coverage: pane.coverage,
+                        relabeled: pane.relabeled,
+                        comm: Arc::clone(&pane.comm),
+                    }],
+                });
+                self.stats.reports_emitted += 1;
+                continue;
+            }
+            if !w.spec.emits_after(seq) {
+                continue;
+            }
+            let span = w.spec.span_at(seq).min(q.ring.len());
+            let window_panes: Vec<&Pane> = q.ring.iter().skip(q.ring.len() - span).collect();
+            let mut acc = PanePartial::of(window_panes[0].value);
+            let mut coverage_sum = window_panes[0].coverage;
+            let mut min_coverage = window_panes[0].coverage;
+            let mut relabels = 0u32;
+            for pair in window_panes.windows(2) {
+                let (prev, cur) = (pair[0], pair[1]);
+                acc.merge(&PanePartial::of(cur.value));
+                self.stats.pane_merges += 1;
+                coverage_sum += cur.coverage;
+                min_coverage = min_coverage.min(cur.coverage);
+                // A relabel flagged on `prev` happened between prev and
+                // cur — inside this window.
+                if prev.relabeled {
+                    relabels += 1;
+                }
+            }
+            reports.push(WindowReport {
+                handle,
+                query_name: q.name.clone(),
+                spec: w.spec,
+                merge: w.merge,
+                start_epoch: window_panes[0].epoch,
+                end_epoch: window_panes[span - 1].epoch,
+                panes: span,
+                expected_panes: w.spec.full_span().unwrap_or(span),
+                answer: acc.evaluate(w.merge),
+                coverage: coverage_sum / span as f64,
+                min_coverage,
+                relabels,
+                pane_stats: window_panes
+                    .iter()
+                    .map(|p| PaneStats {
+                        epoch: p.epoch,
+                        coverage: p.coverage,
+                        relabeled: p.relabeled,
+                        comm: Arc::clone(&p.comm),
+                    })
+                    .collect(),
+            });
+            self.stats.reports_emitted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::StreamQuery;
+    use td_aggregates::sum::Sum;
+    use td_netsim::loss::{Global, NoLoss};
+    use td_netsim::network::Network;
+    use td_netsim::node::Position;
+    use td_netsim::rng::rng_from_seed;
+    use tributary_delta::driver::FixedReadings;
+    use tributary_delta::session::{Scheme, SessionBuilder};
+
+    fn net(seed: u64, sensors: usize) -> Network {
+        let mut rng = rng_from_seed(seed);
+        Network::random_connected(sensors, 10.0, 10.0, Position::new(5.0, 5.0), 2.5, &mut rng)
+    }
+
+    fn stream(
+        scheme: Scheme,
+        net: &Network,
+        warmup: u64,
+        seed: u64,
+    ) -> (StreamSession, rand::rngs::StdRng) {
+        let mut rng = rng_from_seed(seed);
+        let session = SessionBuilder::new(scheme).build(net, &mut rng);
+        (StreamSession::new(Driver::new(session, warmup)), rng)
+    }
+
+    #[test]
+    fn tumbling_emission_schedule_and_totals() {
+        let net = net(301, 80);
+        let values: Vec<u64> = vec![2; net.len()];
+        let truth = 2.0 * net.num_sensors() as f64;
+        let (mut ss, mut rng) = stream(Scheme::Tag, &net, 2, 302);
+        let handles = ss.register(
+            StreamQuery::scalar(Sum::default()).window(WindowSpec::tumbling(3), EpochMerge::Add),
+        );
+        assert_eq!(
+            handles,
+            vec![WindowHandle {
+                query: 0,
+                window: 0
+            }]
+        );
+        let reports = ss.run(&FixedReadings(values), &NoLoss, 9, &mut rng);
+        // 9 measured panes → windows close after panes 2, 5, 8.
+        assert_eq!(reports.len(), 3);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.panes, 3);
+            assert_eq!(r.expected_panes, 3);
+            // Lossless TAG: each pane is the exact sum, window = 3×.
+            assert_eq!(r.answer, 3.0 * truth);
+            assert_eq!(r.coverage, 1.0);
+            assert!(!r.is_lossy());
+            assert_eq!(r.relabels, 0);
+            // Warmup epochs 0-1 produce no panes: first window spans
+            // epochs 2-4.
+            assert_eq!(r.start_epoch, 2 + 3 * i as u64);
+            assert_eq!(r.end_epoch, 4 + 3 * i as u64);
+            assert_eq!(r.pane_stats.len(), 3);
+            assert!(r.comm_bytes() > 0);
+        }
+        let st = ss.stream_stats();
+        assert_eq!(st.epochs_run, 11);
+        assert_eq!(st.measured_epochs, 9);
+        assert_eq!(st.panes_built, 9);
+        assert_eq!(st.reports_emitted, 3);
+    }
+
+    #[test]
+    fn sliding_window_emits_partial_prefix_then_full() {
+        let net = net(303, 80);
+        let values: Vec<u64> = vec![1; net.len()];
+        let (mut ss, mut rng) = stream(Scheme::Tag, &net, 0, 304);
+        let _ = ss.register(
+            StreamQuery::scalar(Sum::default()).window(WindowSpec::sliding(4, 2), EpochMerge::Mean),
+        );
+        let reports = ss.run(&FixedReadings(values), &NoLoss, 8, &mut rng);
+        // Emissions after panes 1, 3, 5, 7: spans 2, 4, 4, 4.
+        let spans: Vec<usize> = reports.iter().map(|r| r.panes).collect();
+        assert_eq!(spans, vec![2, 4, 4, 4]);
+        assert!(reports[0].panes < reports[0].expected_panes);
+        assert_eq!(reports[1].panes, reports[1].expected_panes);
+        let truth = net.num_sensors() as f64;
+        for r in &reports {
+            assert_eq!(r.answer, truth, "mean of identical panes");
+        }
+        // Overlapping windows share panes: epochs overlap across reports.
+        assert_eq!(reports[1].start_epoch, 0);
+        assert_eq!(reports[2].start_epoch, 2);
+    }
+
+    #[test]
+    fn landmark_window_runs_from_stream_start_in_constant_state() {
+        let net = net(305, 80);
+        let values: Vec<u64> = vec![3; net.len()];
+        let truth = 3.0 * net.num_sensors() as f64;
+        let (mut ss, mut rng) = stream(Scheme::Tag, &net, 1, 306);
+        let _ = ss.register(
+            StreamQuery::scalar(Sum::default()).window(WindowSpec::landmark(), EpochMerge::Add),
+        );
+        let reports = ss.run(&FixedReadings(values), &NoLoss, 6, &mut rng);
+        assert_eq!(reports.len(), 6);
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.panes, i + 1);
+            assert_eq!(r.start_epoch, 1, "landmark anchors at first measured epoch");
+            assert_eq!(r.answer, (i + 1) as f64 * truth);
+            // O(1) state: exactly one (running) pane-stats entry.
+            assert_eq!(r.pane_stats.len(), 1);
+        }
+        // No ring retained for landmark-only queries.
+        assert_eq!(ss.queries[0].ring.len(), 0);
+    }
+
+    #[test]
+    fn many_windows_share_one_pane_series_and_one_traversal() {
+        let net = net(307, 120);
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 13).collect();
+        let epochs = 12u64;
+        let model = Global::new(0.15);
+
+        // Baseline: a plain single-query driver run, same seed.
+        let mut rng = rng_from_seed(308);
+        let session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+        let mut driver = Driver::new(session, 0);
+        driver.run_scalar(
+            &Sum::default(),
+            &FixedReadings(values.clone()),
+            &model,
+            epochs,
+            |_| 0.0,
+            &mut rng,
+        );
+        let baseline_rounds = driver.session().stats().total_rounds();
+
+        // Stream: THREE windows over one query — still one traversal.
+        let (mut ss, mut rng) = stream(Scheme::Td, &net, 0, 308);
+        let handles = ss.register(
+            StreamQuery::scalar(Sum::default())
+                .window(WindowSpec::sliding(6, 1), EpochMerge::Add)
+                .window(WindowSpec::tumbling(4), EpochMerge::Max)
+                .window(WindowSpec::landmark(), EpochMerge::Mean),
+        );
+        assert_eq!(handles.len(), 3);
+        let reports = ss.run(&FixedReadings(values), &model, epochs, &mut rng);
+        let st = ss.stream_stats();
+        assert_eq!(st.panes_built, epochs, "one pane per epoch per query");
+        assert_eq!(
+            ss.session().stats().total_rounds(),
+            baseline_rounds,
+            "three windows must not add traversals"
+        );
+        // Every window reported; handles partition the reports.
+        for h in &handles {
+            assert!(reports.iter().any(|r| r.handle == *h));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one window")]
+    fn windowless_query_rejected() {
+        let net = net(309, 60);
+        let (mut ss, _) = stream(Scheme::Tag, &net, 0, 310);
+        let _ = ss.register(StreamQuery::scalar(Sum::default()));
+    }
+}

@@ -1,0 +1,309 @@
+//! Window shapes and the cross-epoch pane algebra.
+//!
+//! A *pane* is one measured epoch's contribution to a windowed query:
+//! the epoch answer plus its instrumentation. Windows never re-traverse
+//! history — they merge panes, and the merge must therefore be
+//! associative and commutative so panes can combine in ring order, hop
+//! order, or eviction order interchangeably. [`PanePartial`] is that
+//! merge: the product of the scalar aggregates' tree-merge laws
+//! (`Sum`/`Count` addition, `Min`/`Max` extrema, `Average`'s
+//! `(sum, count)` pair) lifted to the `f64` answers epochs produce, and
+//! [`EpochMerge`] selects which component a window evaluates.
+
+/// The shape of a window over the measured-epoch pane sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// Non-overlapping windows of `len` panes: one answer every `len`
+    /// epochs, covering exactly the panes since the previous answer.
+    Tumbling {
+        /// Window length in panes (≥ 1).
+        len: u32,
+    },
+    /// Overlapping windows of `len` panes emitted every `hop` panes
+    /// (`hop < len` overlaps; `hop == len` degenerates to tumbling).
+    /// Until `len` panes exist the emitted window is a partial prefix.
+    Sliding {
+        /// Window length in panes (≥ 1).
+        len: u32,
+        /// Panes between emissions (≥ 1).
+        hop: u32,
+    },
+    /// The landmark window: every answer covers all panes since the
+    /// stream's first measured epoch, emitted every pane. Maintained as
+    /// a running accumulator — O(1) state and merge work per epoch, no
+    /// pane ring at all.
+    Landmark,
+}
+
+impl WindowSpec {
+    /// A tumbling window of `len` panes.
+    ///
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn tumbling(len: u32) -> Self {
+        assert!(len >= 1, "a window needs at least one pane");
+        WindowSpec::Tumbling { len }
+    }
+
+    /// A sliding window of `len` panes emitted every `hop` panes.
+    ///
+    /// # Panics
+    /// Panics if `len` or `hop` is zero, or if `hop > len` (that would
+    /// silently drop panes from every window — use tumbling plus a
+    /// longer length instead).
+    pub fn sliding(len: u32, hop: u32) -> Self {
+        assert!(len >= 1, "a window needs at least one pane");
+        assert!(hop >= 1, "a hop advances by at least one pane");
+        assert!(hop <= len, "hop {hop} > len {len} would drop panes");
+        WindowSpec::Sliding { len, hop }
+    }
+
+    /// The landmark window.
+    pub fn landmark() -> Self {
+        WindowSpec::Landmark
+    }
+
+    /// Panes the shared ring must retain for this window (0 for the
+    /// landmark window, which keeps a running accumulator instead).
+    pub(crate) fn ring_need(&self) -> usize {
+        match *self {
+            WindowSpec::Tumbling { len } | WindowSpec::Sliding { len, .. } => len as usize,
+            WindowSpec::Landmark => 0,
+        }
+    }
+
+    /// Whether a window closes after pane `seq` (0-based sequence number
+    /// in the measured-epoch pane series).
+    pub(crate) fn emits_after(&self, seq: u64) -> bool {
+        match *self {
+            WindowSpec::Tumbling { len } => (seq + 1).is_multiple_of(len as u64),
+            WindowSpec::Sliding { hop, .. } => (seq + 1).is_multiple_of(hop as u64),
+            WindowSpec::Landmark => true,
+        }
+    }
+
+    /// How many panes the window closing after pane `seq` merges.
+    pub(crate) fn span_at(&self, seq: u64) -> usize {
+        match *self {
+            WindowSpec::Tumbling { len } => len as usize,
+            WindowSpec::Sliding { len, .. } => (len as u64).min(seq + 1) as usize,
+            WindowSpec::Landmark => (seq + 1) as usize,
+        }
+    }
+
+    /// The full pane count of a complete window (`None` for landmark,
+    /// which never completes).
+    pub(crate) fn full_span(&self) -> Option<usize> {
+        match *self {
+            WindowSpec::Tumbling { len } | WindowSpec::Sliding { len, .. } => Some(len as usize),
+            WindowSpec::Landmark => None,
+        }
+    }
+
+    /// Display name, e.g. `tumbling(8)` / `sliding(8,2)` / `landmark`.
+    pub fn name(&self) -> String {
+        match *self {
+            WindowSpec::Tumbling { len } => format!("tumbling({len})"),
+            WindowSpec::Sliding { len, hop } => format!("sliding({len},{hop})"),
+            WindowSpec::Landmark => "landmark".to_string(),
+        }
+    }
+}
+
+/// Which component of the pane algebra a window's answer evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochMerge {
+    /// Sum of per-epoch answers — windowed totals of `Sum`/`Count`
+    /// queries ("total readings over the last 10 epochs").
+    Add,
+    /// Minimum of per-epoch answers (windowed `Min`).
+    Min,
+    /// Maximum of per-epoch answers (windowed `Max`).
+    Max,
+    /// Mean of per-epoch answers — windowed rates, or the
+    /// average-of-averages of an `Average` query.
+    Mean,
+}
+
+impl EpochMerge {
+    /// Display name for reports and CSV rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EpochMerge::Add => "add",
+            EpochMerge::Min => "min",
+            EpochMerge::Max => "max",
+            EpochMerge::Mean => "mean",
+        }
+    }
+}
+
+/// The cross-epoch window partial: every component of the pane algebra,
+/// merged field-wise. Merging is associative and commutative by
+/// construction — each field is one scalar aggregate's tree-merge law
+/// (exactly so for `min`/`max`/`count` and for integer-valued sums;
+/// up to floating-point rounding for fractional multi-path estimates).
+/// A single-pane partial evaluates bit-for-bit to its pane value under
+/// every [`EpochMerge`], which is what pins `tumbling(1)` to the
+/// per-epoch answers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PanePartial {
+    /// Sum of pane values.
+    pub sum: f64,
+    /// Minimum pane value.
+    pub min: f64,
+    /// Maximum pane value.
+    pub max: f64,
+    /// Number of panes merged.
+    pub count: u64,
+}
+
+impl PanePartial {
+    /// The partial of a single pane.
+    pub fn of(value: f64) -> Self {
+        PanePartial {
+            sum: value,
+            min: value,
+            max: value,
+            count: 1,
+        }
+    }
+
+    /// Field-wise merge (associative + commutative ⊎).
+    pub fn merge(&mut self, other: &Self) {
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+
+    /// Evaluate the window answer under `merge`.
+    pub fn evaluate(&self, merge: EpochMerge) -> f64 {
+        match merge {
+            EpochMerge::Add => self.sum,
+            EpochMerge::Min => self.min,
+            EpochMerge::Max => self.max,
+            EpochMerge::Mean => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use td_aggregates::laws::merge_all;
+    use td_aggregates::minmax::{Max, Min};
+    use td_aggregates::sum::Sum;
+    use td_aggregates::traits::Aggregate;
+
+    fn fold(values: &[f64]) -> PanePartial {
+        let mut acc = PanePartial::of(values[0]);
+        for &v in &values[1..] {
+            acc.merge(&PanePartial::of(v));
+        }
+        acc
+    }
+
+    #[test]
+    fn single_pane_evaluates_to_its_value_exactly() {
+        for v in [0.0, -3.25, 1234.5678, 1e-12] {
+            let p = PanePartial::of(v);
+            for m in [
+                EpochMerge::Add,
+                EpochMerge::Min,
+                EpochMerge::Max,
+                EpochMerge::Mean,
+            ] {
+                assert_eq!(p.evaluate(m).to_bits(), v.to_bits(), "{m:?} on {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_emission_schedule() {
+        let t = WindowSpec::tumbling(3);
+        let emits: Vec<bool> = (0..7).map(|s| t.emits_after(s)).collect();
+        assert_eq!(emits, [false, false, true, false, false, true, false]);
+        assert_eq!(t.span_at(2), 3);
+
+        let s = WindowSpec::sliding(4, 2);
+        let emits: Vec<bool> = (0..6).map(|q| s.emits_after(q)).collect();
+        assert_eq!(emits, [false, true, false, true, false, true]);
+        // Partial prefix until 4 panes exist.
+        assert_eq!(s.span_at(1), 2);
+        assert_eq!(s.span_at(3), 4);
+        assert_eq!(s.span_at(5), 4);
+
+        let l = WindowSpec::landmark();
+        assert!(l.emits_after(0) && l.emits_after(9));
+        assert_eq!(l.span_at(9), 10);
+        assert_eq!(l.ring_need(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "would drop panes")]
+    fn sliding_hop_beyond_len_rejected() {
+        let _ = WindowSpec::sliding(2, 3);
+    }
+
+    // On integer-valued panes the Add/Min/Max components coincide with
+    // the corresponding `td_aggregates` tree-merge laws — the window
+    // algebra *is* the aggregate merge law lifted across epochs.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn pane_merge_matches_aggregate_merge_laws(
+            values in proptest::collection::vec(0u64..1_000_000, 1..24),
+        ) {
+            let readings: Vec<(u32, u64)> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as u32 + 1, v))
+                .collect();
+            let panes: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+            let acc = fold(&panes);
+
+            let sum = Sum::default();
+            let sum_partial = merge_all(&sum, &readings).expect("non-empty");
+            prop_assert_eq!(acc.evaluate(EpochMerge::Add), sum.evaluate_tree(&sum_partial));
+            let min_partial = merge_all(&Min, &readings).expect("non-empty");
+            prop_assert_eq!(acc.evaluate(EpochMerge::Min), Min.evaluate_tree(&min_partial));
+            let max_partial = merge_all(&Max, &readings).expect("non-empty");
+            prop_assert_eq!(acc.evaluate(EpochMerge::Max), Max.evaluate_tree(&max_partial));
+        }
+
+        #[test]
+        fn pane_merge_is_order_and_grouping_invariant(
+            values in proptest::collection::vec(0u64..1_000_000, 2..24),
+            split in 1usize..23,
+            rotate in 0usize..23,
+        ) {
+            // Integer-valued panes: f64 addition is exact below 2^53, so
+            // associativity/commutativity hold bit-for-bit — the same
+            // precondition the aggregates' own merge laws rely on.
+            let panes: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+            let forward = fold(&panes);
+
+            let mut reversed: Vec<f64> = panes.clone();
+            reversed.reverse();
+            prop_assert_eq!(forward, fold(&reversed));
+
+            let mut rotated = panes.clone();
+            rotated.rotate_left(rotate % panes.len());
+            prop_assert_eq!(forward, fold(&rotated));
+
+            // Grouping: (prefix ⊎) ⊎ (suffix ⊎) = linear fold.
+            let split = split % (panes.len() - 1) + 1;
+            let mut grouped = fold(&panes[..split]);
+            grouped.merge(&fold(&panes[split..]));
+            prop_assert_eq!(forward, grouped);
+        }
+    }
+}

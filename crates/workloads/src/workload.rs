@@ -10,11 +10,16 @@
 //! * [`SyntheticSum`] wraps [`Synthetic::sum_readings`]'s seeded
 //!   per-epoch readings;
 //! * [`Synthetic::count_workload`] yields the constant all-ones readings
-//!   Count queries use (a [`FixedReadings`]).
+//!   Count queries use (a [`FixedReadings`]);
+//! * [`DriftingStream`] replays any workload as a non-stationary
+//!   stream (seasonal swing + regime shifts) — the shape windowed
+//!   stream queries exist for.
 
 use crate::labdata::LabData;
 use crate::synthetic::Synthetic;
+use rand::Rng;
 use td_netsim::network::Network;
+use td_netsim::rng::substream;
 use tributary_delta::driver::{FixedReadings, Workload};
 
 impl Workload for LabData {
@@ -48,6 +53,91 @@ impl Workload for SyntheticSum {
     }
 }
 
+/// Replays any [`Workload`] as a *drifting* stream: per-epoch readings
+/// are scaled by a deterministic drift factor combining a slow seasonal
+/// swing (a triangle wave of the configured period and amplitude) with
+/// occasional regime shifts (a step change to a new level every
+/// `shift_every` epochs, drawn from the seed substream). Windowed
+/// queries over a stationary workload are trivially right; this is the
+/// non-stationary shape — diurnal load, deployment-wide mode changes —
+/// that cross-epoch windows exist to track. Deterministic in
+/// `(seed, epoch)`.
+#[derive(Clone, Copy, Debug)]
+pub struct DriftingStream<W> {
+    inner: W,
+    seed: u64,
+    /// Epochs per seasonal cycle.
+    pub period: u64,
+    /// Peak fractional swing of the seasonal component (0.4 = ±40%).
+    pub amplitude: f64,
+    /// Epochs between regime shifts (0 disables them).
+    pub shift_every: u64,
+}
+
+impl<W: Workload> DriftingStream<W> {
+    /// Wrap a workload with the default drift: a 40-epoch season of
+    /// ±40% plus a regime shift every 25 epochs.
+    pub fn new(inner: W, seed: u64) -> Self {
+        DriftingStream {
+            inner,
+            seed,
+            period: 40,
+            amplitude: 0.4,
+            shift_every: 25,
+        }
+    }
+
+    /// Override the seasonal cycle length (builder-style).
+    pub fn period(mut self, epochs: u64) -> Self {
+        assert!(epochs >= 1, "a season spans at least one epoch");
+        self.period = epochs;
+        self
+    }
+
+    /// Override the seasonal swing (builder-style).
+    pub fn amplitude(mut self, amplitude: f64) -> Self {
+        self.amplitude = amplitude;
+        self
+    }
+
+    /// Override the regime-shift cadence (builder-style; 0 disables).
+    pub fn shift_every(mut self, epochs: u64) -> Self {
+        self.shift_every = epochs;
+        self
+    }
+
+    /// The drift multiplier applied at `epoch` (exposed so experiments
+    /// can compute ground truth without replaying readings).
+    pub fn factor(&self, epoch: u64) -> f64 {
+        // Triangle wave through [1 − a, 1 + a] over `period` epochs.
+        let phase = (epoch % self.period) as f64 / self.period as f64;
+        let tri = 1.0 - (2.0 * phase - 1.0).abs(); // 0 → 1 → 0
+        let season = 1.0 - self.amplitude + 2.0 * self.amplitude * tri;
+        // One level per regime index, stable within the regime
+        // (`checked_div` also covers the shift-free configuration).
+        let regime = match epoch.checked_div(self.shift_every) {
+            None => 1.0,
+            Some(regime_index) => {
+                let mut rng = substream(self.seed, 0xD21F7 ^ regime_index);
+                rng.gen_range(0.6..1.4)
+            }
+        };
+        season * regime
+    }
+}
+
+impl<W: Workload> Workload for DriftingStream<W> {
+    fn readings(&self, epoch: u64) -> Vec<u64> {
+        let factor = self.factor(epoch);
+        let mut readings = self.inner.readings(epoch);
+        // The base station's slot is scaled too: aggregates ignore it.
+        for v in &mut readings {
+            *v = (*v as f64 * factor).round() as u64;
+        }
+        readings
+    }
+}
+
 impl Synthetic {
     /// The constant Count workload (reading 1 per node) for `net`.
     pub fn count_workload(net: &Network) -> FixedReadings {
@@ -76,6 +166,41 @@ mod tests {
     fn labdata_workload_is_its_readings() {
         let lab = LabData::new(9);
         assert_eq!(Workload::readings(&lab, 42), lab.readings(42));
+    }
+
+    #[test]
+    fn drifting_stream_is_deterministic_and_actually_drifts() {
+        let net = Synthetic::small(70).build(9);
+        let w = DriftingStream::new(Synthetic::sum_workload(&net, 5), 77);
+        assert_eq!(w.readings(12), w.readings(12), "deterministic per epoch");
+        // Readings are the inner readings scaled by the advertised factor.
+        let inner = Synthetic::sum_workload(&net, 5).readings(12);
+        let f = w.factor(12);
+        for (d, i) in w.readings(12).iter().zip(&inner) {
+            assert_eq!(*d, (*i as f64 * f).round() as u64);
+        }
+        // The factor moves over a season and across regimes.
+        let factors: Vec<f64> = (0..120).map(|e| w.factor(e)).collect();
+        let min = factors.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = factors.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max / min > 1.3, "drift too flat: {min}..{max}");
+        // Regimes are stable within a shift interval's season-detrended
+        // level: same phase, different regime index ⇒ different factor.
+        let same_phase = (w.factor(0), w.factor(w.period * 5));
+        assert_ne!(same_phase.0, same_phase.1, "regime shifts missing");
+    }
+
+    #[test]
+    fn drifting_stream_builder_overrides() {
+        let w = DriftingStream::new(FixedReadings(vec![0, 100]), 1)
+            .period(10)
+            .amplitude(0.0)
+            .shift_every(0);
+        // No seasonal swing, no regimes: the stream is the inner workload.
+        for epoch in 0..20 {
+            assert_eq!(w.factor(epoch), 1.0);
+            assert_eq!(w.readings(epoch), vec![0, 100]);
+        }
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Streaming windows: answer "total readings over the last 12 epochs,
+//! updated every 3" (plus a tumbling mean and an all-time landmark max)
+//! over a drifting workload on an adapting Tributary-Delta session —
+//! three windows, one query, one traversal per epoch.
+//!
+//! ```sh
+//! cargo run --release --example streaming_windows
+//! ```
+
+use td_suite::aggregates::sum::Sum;
+use td_suite::core::driver::Driver;
+use td_suite::core::session::{Scheme, SessionBuilder};
+use td_suite::netsim::loss::Global;
+use td_suite::netsim::rng::rng_from_seed;
+use td_suite::stream::{EpochMerge, StreamQuery, StreamSession, WindowSpec};
+use td_suite::workloads::synthetic::Synthetic;
+use td_suite::workloads::workload::DriftingStream;
+
+fn main() {
+    // A 300-sensor deployment with a drifting Sum workload: a ±40%
+    // seasonal swing plus a regime shift every 25 epochs — the shape
+    // per-epoch answers can't summarize but windows can.
+    let net = Synthetic::small(300).build(7);
+    let workload = DriftingStream::new(Synthetic::sum_workload(&net, 7), 8);
+    let channel = Global::new(0.2);
+
+    let mut rng = rng_from_seed(9);
+    let session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+    let mut stream = StreamSession::new(Driver::new(session, 10));
+
+    // Three windows over ONE underlying Sum query: they share one pane
+    // series, and the whole stream session still sends one message
+    // bundle per node per epoch.
+    let handles = stream.register(
+        StreamQuery::scalar(Sum::default())
+            .window(WindowSpec::sliding(12, 3), EpochMerge::Add)
+            .window(WindowSpec::tumbling(12), EpochMerge::Mean)
+            .window(WindowSpec::landmark(), EpochMerge::Max),
+    );
+    let [sliding, tumbling, landmark] = handles[..] else {
+        unreachable!("three windows registered");
+    };
+
+    let reports = stream.run(&workload, &channel, 60, &mut rng);
+
+    println!(
+        "{:<28} {:>6} {:>6} {:>14} {:>9} {:>9} {:>9}",
+        "window", "from", "to", "answer", "coverage", "worst", "relabels"
+    );
+    for r in &reports {
+        let label = match r.handle {
+            h if h == sliding => "sliding(12,3) sum",
+            h if h == tumbling => "tumbling(12) mean",
+            h if h == landmark => "landmark max",
+            _ => unreachable!(),
+        };
+        // Landmark reports every epoch; keep the printout readable.
+        if r.handle == landmark && (r.end_epoch + 1) % 12 != 0 {
+            continue;
+        }
+        println!(
+            "{label:<28} {:>6} {:>6} {:>14.1} {:>8.1}% {:>8.1}% {:>9}{}",
+            r.start_epoch,
+            r.end_epoch,
+            r.answer,
+            r.coverage * 100.0,
+            r.min_coverage * 100.0,
+            r.relabels,
+            if r.is_lossy() { "  (lossy)" } else { "" },
+        );
+    }
+
+    let st = stream.stream_stats();
+    println!(
+        "\n{} measured epochs → {} panes ({} queries), {} reports from {} pane merges;\n\
+         every epoch sent one bundle per node — the three windows ride the same\n\
+         pane series, and lossy panes degrade answers visibly (coverage columns)\n\
+         instead of silently.",
+        st.measured_epochs,
+        st.panes_built,
+        stream.query_count(),
+        st.reports_emitted,
+        st.pane_merges,
+    );
+}

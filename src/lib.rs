@@ -15,6 +15,9 @@
 //!   queries), the scenario `Driver`, and the adaptation strategies (§3–4)
 //! - [`workloads`] — LabData / Synthetic scenarios, failure models, and
 //!   their `Workload` adapters for the driver (§7.1)
+//! - [`stream`] — the cross-epoch streaming window engine:
+//!   tumbling/sliding/landmark windows over the session engine, one
+//!   shared pane series per protocol (extension)
 //!
 //! The typical entry point is the session engine:
 //!
@@ -49,6 +52,7 @@ pub use td_frequent as frequent;
 pub use td_netsim as netsim;
 pub use td_quantiles as quantiles;
 pub use td_sketches as sketches;
+pub use td_stream as stream;
 pub use td_topology as topology;
 pub use td_workloads as workloads;
 pub use tributary_delta as core;

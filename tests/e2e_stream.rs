@@ -1,0 +1,236 @@
+//! End-to-end streaming window engine pins:
+//!
+//! (a) a `tumbling(1)` window is bit-identical to the per-epoch
+//!     `run_set` answers under every scheme;
+//! (b) sliding windows are recompute-free — panes per epoch equal the
+//!     underlying query count (never the window count) and the
+//!     traversal cost equals a plain single-query session's;
+//! (c) window answers are stable across an adaptation relabel
+//!     mid-window: every report is exactly the pane-algebra fold of the
+//!     recorded per-epoch answers, even when the topology was relabeled
+//!     between its panes.
+
+use proptest::prelude::*;
+use td_suite::aggregates::sum::Sum;
+use td_suite::core::driver::Driver;
+use td_suite::core::protocol::ScalarProtocol;
+use td_suite::core::session::{Scheme, SessionBuilder};
+use td_suite::netsim::loss::Global;
+use td_suite::netsim::network::Network;
+use td_suite::netsim::node::Position;
+use td_suite::netsim::rng::rng_from_seed;
+use td_suite::stream::{EpochMerge, StreamQuery, StreamSession, WindowSpec};
+use td_suite::workloads::synthetic::Synthetic;
+use td_suite::workloads::workload::DriftingStream;
+use tributary_delta::driver::Workload;
+
+fn net(seed: u64, sensors: usize) -> Network {
+    let mut rng = rng_from_seed(seed);
+    Network::random_connected(sensors, 12.0, 12.0, Position::new(6.0, 6.0), 2.5, &mut rng)
+}
+
+/// Per-epoch baseline: the same session construction and rng stream as
+/// the `StreamSession` run, answered one epoch at a time through
+/// `run_epoch`. Returns the measured epochs' `(epoch, answer)` pairs.
+fn baseline_epochs<W: Workload>(
+    scheme: Scheme,
+    net: &Network,
+    workload: &W,
+    loss: f64,
+    warmup: u64,
+    epochs: u64,
+    seed: u64,
+) -> Vec<(u64, f64)> {
+    let model = Global::new(loss);
+    let mut rng = rng_from_seed(seed);
+    let mut session = SessionBuilder::new(scheme).build(net, &mut rng);
+    let mut out = Vec::new();
+    for epoch in 0..warmup + epochs {
+        let readings = workload.readings(epoch);
+        let proto = ScalarProtocol::new(Sum::default(), &readings);
+        let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
+        if epoch >= warmup {
+            out.push((epoch, rec.output));
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stream_run<W: Workload>(
+    scheme: Scheme,
+    net: &Network,
+    workload: &W,
+    loss: f64,
+    warmup: u64,
+    epochs: u64,
+    seed: u64,
+    windows: &[(WindowSpec, EpochMerge)],
+) -> (StreamSession, Vec<td_suite::stream::WindowReport>) {
+    let mut rng = rng_from_seed(seed);
+    let session = SessionBuilder::new(scheme).build(net, &mut rng);
+    let mut stream = StreamSession::new(Driver::new(session, warmup));
+    let mut query = StreamQuery::scalar(Sum::default());
+    for &(spec, merge) in windows {
+        query = query.window(spec, merge);
+    }
+    let _ = stream.register(query);
+    let reports = stream.run(workload, &Global::new(loss), epochs, &mut rng);
+    (stream, reports)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// (a) `tumbling(1)` ≡ per-epoch answers, bit for bit, per scheme —
+    /// pinned as a property over seeds and loss rates.
+    #[test]
+    fn tumbling_one_is_bit_identical_to_per_epoch_answers(
+        seed in 1000u64..4000,
+        loss in 0.0f64..0.35,
+    ) {
+        let net = net(seed, 150);
+        let workload = DriftingStream::new(Synthetic::sum_workload(&net, seed), seed ^ 9);
+        let (warmup, epochs) = (3u64, 12u64);
+        for scheme in Scheme::all() {
+            let baseline =
+                baseline_epochs(scheme, &net, &workload, loss, warmup, epochs, seed ^ 0xE2E);
+            let (_, reports) = stream_run(
+                scheme,
+                &net,
+                &workload,
+                loss,
+                warmup,
+                epochs,
+                seed ^ 0xE2E,
+                &[(WindowSpec::tumbling(1), EpochMerge::Add)],
+            );
+            prop_assert_eq!(reports.len(), baseline.len(), "{}", scheme.name());
+            for (r, (epoch, answer)) in reports.iter().zip(&baseline) {
+                prop_assert_eq!(r.start_epoch, *epoch);
+                prop_assert_eq!(r.end_epoch, *epoch);
+                prop_assert_eq!(
+                    r.answer.to_bits(),
+                    answer.to_bits(),
+                    "{} epoch {} diverged: {} vs {}",
+                    scheme.name(),
+                    epoch,
+                    r.answer,
+                    answer
+                );
+            }
+        }
+    }
+}
+
+/// (b) sliding windows are recompute-free: one pane per query per
+/// measured epoch regardless of window count, and exactly one
+/// traversal's rounds — all verified through stats.
+#[test]
+fn sliding_windows_are_recompute_free() {
+    let net = net(501, 200);
+    let workload = DriftingStream::new(Synthetic::sum_workload(&net, 501), 502);
+    let (warmup, epochs, loss, seed) = (2u64, 20u64, 0.2, 503u64);
+
+    // Plain single-query baseline for the traversal budget.
+    let model = Global::new(loss);
+    let mut rng = rng_from_seed(seed);
+    let mut session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+    for epoch in 0..warmup + epochs {
+        let readings = workload.readings(epoch);
+        let proto = ScalarProtocol::new(Sum::default(), &readings);
+        session.run_epoch(&proto, &model, epoch, &mut rng);
+    }
+    let baseline_rounds = session.stats().total_rounds();
+
+    // Four windows over ONE query.
+    let (stream, reports) = stream_run(
+        Scheme::Td,
+        &net,
+        &workload,
+        loss,
+        warmup,
+        epochs,
+        seed,
+        &[
+            (WindowSpec::sliding(8, 1), EpochMerge::Add),
+            (WindowSpec::sliding(8, 4), EpochMerge::Mean),
+            (WindowSpec::tumbling(5), EpochMerge::Max),
+            (WindowSpec::landmark(), EpochMerge::Add),
+        ],
+    );
+    let st = stream.stream_stats();
+    assert_eq!(st.measured_epochs, epochs);
+    assert_eq!(
+        st.panes_built,
+        epochs * stream.query_count() as u64,
+        "pane count per epoch must equal the query count, not the window count"
+    );
+    assert_eq!(stream.query_count(), 1);
+    assert_eq!(
+        stream.session().stats().total_rounds(),
+        baseline_rounds,
+        "four windows must cost exactly one traversal per epoch"
+    );
+    // Emission schedules: sliding(8,1) every pane, sliding(8,4) every
+    // 4th, tumbling(5) every 5th, landmark every pane.
+    let count_of = |w: usize| reports.iter().filter(|r| r.handle.window == w).count();
+    assert_eq!(count_of(0), epochs as usize);
+    assert_eq!(count_of(1), (epochs / 4) as usize);
+    assert_eq!(count_of(2), (epochs / 5) as usize);
+    assert_eq!(count_of(3), epochs as usize);
+    // Under loss, degradation is visible, not silent.
+    assert!(reports.iter().all(|r| r.min_coverage > 0.0));
+    assert!(reports.iter().any(|r| r.is_lossy()));
+}
+
+/// (c) window answers are stable across a mid-window relabel: each
+/// report is exactly the fold of the recorded per-epoch answers over
+/// its span, relabels included — completed panes are never invalidated.
+#[test]
+fn window_answers_stable_across_adaptation_relabel() {
+    let net = net(601, 300);
+    let workload = DriftingStream::new(Synthetic::sum_workload(&net, 601), 602);
+    // 25% global loss forces TD-Coarse to expand its delta during the
+    // run; warmup 0 so the relabels land inside measured windows.
+    let (warmup, epochs, loss, seed) = (0u64, 60u64, 0.25, 603u64);
+    let baseline = baseline_epochs(
+        Scheme::TdCoarse,
+        &net,
+        &workload,
+        loss,
+        warmup,
+        epochs,
+        seed,
+    );
+    let (_, reports) = stream_run(
+        Scheme::TdCoarse,
+        &net,
+        &workload,
+        loss,
+        warmup,
+        epochs,
+        seed,
+        &[(WindowSpec::sliding(10, 1), EpochMerge::Add)],
+    );
+    assert!(
+        reports.iter().any(|r| r.relabels > 0),
+        "no adaptation relabel landed inside any window — test needs a harsher channel"
+    );
+    for r in &reports {
+        let expected: f64 = baseline
+            .iter()
+            .filter(|(e, _)| (r.start_epoch..=r.end_epoch).contains(e))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(
+            r.answer.to_bits(),
+            expected.to_bits(),
+            "window [{}, {}] (relabels {}) diverged from the pane fold",
+            r.start_epoch,
+            r.end_epoch,
+            r.relabels
+        );
+        assert_eq!(r.pane_stats.len(), r.panes);
+    }
+}
