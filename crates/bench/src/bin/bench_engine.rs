@@ -12,9 +12,15 @@ use std::time::Instant;
 
 use td_netsim::loss::Global;
 use td_netsim::rng::rng_from_seed;
+use td_netsim::stats::CommStats;
+use td_topology::bushy::{build_bushy_tree, BushyOptions};
+use td_topology::rings::Rings;
+use td_topology::td::TdTopology;
 use td_workloads::synthetic::Synthetic;
 use tributary_delta::driver::{Driver, FixedReadings, TrialPool};
 use tributary_delta::protocol::ScalarProtocol;
+use tributary_delta::query::QuerySet;
+use tributary_delta::runner::{EpochPlan, RunnerConfig};
 use tributary_delta::session::{Scheme, Session};
 
 const TRIALS: u64 = 8;
@@ -69,6 +75,100 @@ fn timed_epochs(net: &td_netsim::network::Network, values: &[u64], rebuild: bool
     t0.elapsed().as_nanos() as f64 / epochs as f64
 }
 
+/// One §4.2-sized oscillating mutation: expand a subtree on even steps,
+/// switch its children back on odd steps — the worst-case relabel
+/// pattern for plan maintenance.
+fn oscillate(td: &mut TdTopology, root: td_netsim::node::NodeId, step: u64) {
+    if step.is_multiple_of(2) {
+        td.expand_subtree(root).expect("root stays M");
+    } else {
+        let kids: Vec<_> = td.tree().children(root).to_vec();
+        for c in kids {
+            let _ = td.switch_to_t(c);
+        }
+    }
+}
+
+/// Plan-maintenance operations per second, isolated from epoch
+/// execution: one op = one §4.2 oscillating mutation plus bringing the
+/// compiled plan back in line (in-place patch vs full recompile). This
+/// is the gate metric with teeth — in the end-to-end adaptation
+/// numbers `run_set` dominates the epoch, so a patch-path regression
+/// all the way back to recompile cost would hide inside the gate
+/// budget there; here it shows up at full magnitude.
+fn timed_plan_maintenance(net: &td_netsim::network::Network, patch: bool) -> f64 {
+    let mut rng = rng_from_seed(99);
+    let rings = Rings::build(net);
+    let tree = build_bushy_tree(net, &rings, BushyOptions::default(), &mut rng);
+    let mut td = TdTopology::new(rings, tree, 2);
+    let mut plan = EpochPlan::compile_td(&td);
+    let root = td
+        .switchable_m_nodes()
+        .into_iter()
+        .find(|&u| !td.tree().children(u).is_empty())
+        .expect("a switchable M vertex with children");
+    let ops = 20_000u64;
+    let t0 = Instant::now();
+    for op in 0..ops {
+        oscillate(&mut td, root, op);
+        if patch {
+            assert!(
+                plan.patch(&td, td.len()).is_some(),
+                "patch refused mid-bench"
+            );
+        } else {
+            plan = EpochPlan::compile_td(&td);
+        }
+    }
+    ops as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Epochs per second when **every epoch forces a §4.2-sized relabel**
+/// (the oscillation above), with the plan either patched in place from
+/// the topology's delta log or recompiled from scratch each epoch. The
+/// ratio is the end-to-end adaptation-cost win the incremental patch
+/// path buys.
+fn timed_adaptation(net: &td_netsim::network::Network, values: &[u64], patch: bool) -> f64 {
+    let mut rng = rng_from_seed(88);
+    let rings = Rings::build(net);
+    let tree = build_bushy_tree(net, &rings, BushyOptions::default(), &mut rng);
+    let mut td = TdTopology::new(rings, tree, 2);
+    let model = Global::new(0.1);
+    let mut stats = CommStats::new(net.len());
+    let mut plan = EpochPlan::compile_td(&td);
+    let root = td
+        .switchable_m_nodes()
+        .into_iter()
+        .find(|&u| !td.tree().children(u).is_empty())
+        .expect("a switchable M vertex with children");
+    let epochs = 120u64;
+    let t0 = Instant::now();
+    for epoch in 0..epochs {
+        oscillate(&mut td, root, epoch);
+        if patch {
+            assert!(
+                plan.patch(&td, td.len()).is_some(),
+                "patch refused mid-bench"
+            );
+        } else {
+            plan = EpochPlan::compile_td(&td);
+        }
+        let proto = ScalarProtocol::new(td_aggregates::sum::Sum::default(), values);
+        let mut set = QuerySet::new();
+        set.register(&proto);
+        plan.run_set(
+            &set,
+            net,
+            &model,
+            RunnerConfig::default(),
+            epoch,
+            &mut stats,
+            &mut rng,
+        );
+    }
+    epochs as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
 fn main() {
     let net = Synthetic::small(SENSORS).build(5);
     let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 50).collect();
@@ -81,18 +181,31 @@ fn main() {
     let reuse_ns = timed_epochs(&net, &values, false);
     let rebuild_ns = timed_epochs(&net, &values, true);
 
+    let adapt_patch = timed_adaptation(&net, &values, true);
+    let adapt_recompile = timed_adaptation(&net, &values, false);
+    let maint_patch = timed_plan_maintenance(&net, true);
+    let maint_recompile = timed_plan_maintenance(&net, false);
+
     let json = format!(
         "{{\n  \"sensors\": {SENSORS},\n  \"trials\": {TRIALS},\n  \"epochs_total\": {epochs},\n  \
          \"threads\": {},\n  \"sequential_s\": {seq_s:.4},\n  \"pool_s\": {pool_s:.4},\n  \
          \"speedup\": {:.3},\n  \"epochs_per_sec_sequential\": {:.1},\n  \
          \"epochs_per_sec_pool\": {:.1},\n  \"total_bytes\": {bytes},\n  \
          \"epoch_ns_plan_reuse\": {reuse_ns:.0},\n  \"epoch_ns_rebuild\": {rebuild_ns:.0},\n  \
-         \"plan_reuse_ratio\": {:.3}\n}}\n",
+         \"plan_reuse_ratio\": {:.3},\n  \
+         \"adaptation_epochs_per_sec_patch\": {adapt_patch:.1},\n  \
+         \"adaptation_epochs_per_sec_recompile\": {adapt_recompile:.1},\n  \
+         \"adaptation_patch_speedup\": {:.3},\n  \
+         \"plan_patches_per_sec\": {maint_patch:.1},\n  \
+         \"plan_recompiles_per_sec\": {maint_recompile:.1},\n  \
+         \"plan_patch_speedup\": {:.3}\n}}\n",
         pool.threads(),
         seq_s / pool_s.max(1e-9),
         epochs as f64 / seq_s.max(1e-9),
         epochs as f64 / pool_s.max(1e-9),
         rebuild_ns / reuse_ns.max(1.0),
+        adapt_patch / adapt_recompile.max(1e-9),
+        maint_patch / maint_recompile.max(1e-9),
     );
     print!("{json}");
 

@@ -1,22 +1,36 @@
 //! CI perf gate over `results/bench_engine.json`.
 //!
 //! ```sh
-//! perf_gate <baseline.json> <fresh.json> [--key epochs_per_sec_pool] \
-//!           [--max-regression 0.20]
+//! perf_gate <baseline.json> <fresh.json> [--key K]... [--max-regression 0.20]
 //! ```
 //!
-//! Exits non-zero when the gated throughput key regressed by more than
-//! the threshold (default 20%, per the ROADMAP budget; overridable with
-//! `--max-regression` or the `PERF_GATE_MAX_REGRESSION` env var). A
-//! missing baseline file passes with a notice — the first run on a
-//! fresh branch has nothing to compare against.
+//! Exits non-zero when **any** gated throughput key regressed by more
+//! than the threshold (default 20%, per the ROADMAP budget; overridable
+//! with `--max-regression` or the `PERF_GATE_MAX_REGRESSION` env var).
+//! `--key` repeats to gate several keys in one run; without it the gate
+//! covers steady-state epochs/sec *and* adaptation epochs/sec (the
+//! patch path). A missing baseline file passes with a notice — the
+//! first run on a fresh branch has nothing to compare against — and a
+//! key missing from the baseline (a newly introduced metric) passes for
+//! that key alone.
 
 use td_bench::gate;
+
+/// The default gated keys: steady-state throughput, end-to-end
+/// adaptation-epoch throughput, and the isolated plan-maintenance
+/// (patch-path) throughput — the last is where a patch regression to
+/// recompile cost shows at full magnitude instead of being diluted by
+/// epoch execution.
+const DEFAULT_KEYS: &[&str] = &[
+    "epochs_per_sec_pool",
+    "adaptation_epochs_per_sec_patch",
+    "plan_patches_per_sec",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
-    let mut key = "epochs_per_sec_pool".to_string();
+    let mut keys: Vec<String> = Vec::new();
     let mut max_regression: f64 = std::env::var("PERF_GATE_MAX_REGRESSION")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -24,7 +38,7 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--key" => key = it.next().expect("--key needs a value"),
+            "--key" => keys.push(it.next().expect("--key needs a value")),
             "--max-regression" => {
                 max_regression = it
                     .next()
@@ -35,8 +49,13 @@ fn main() {
             _ => paths.push(arg),
         }
     }
+    if keys.is_empty() {
+        keys = DEFAULT_KEYS.iter().map(|k| k.to_string()).collect();
+    }
     let [baseline_path, fresh_path] = paths.as_slice() else {
-        eprintln!("usage: perf_gate <baseline.json> <fresh.json> [--key K] [--max-regression R]");
+        eprintln!(
+            "usage: perf_gate <baseline.json> <fresh.json> [--key K]... [--max-regression R]"
+        );
         std::process::exit(2);
     };
 
@@ -57,17 +76,32 @@ fn main() {
     let fresh = std::fs::read_to_string(fresh_path)
         .unwrap_or_else(|e| panic!("fresh results missing at {fresh_path}: {e}"));
 
-    match gate::check(&baseline, &fresh, &key, max_regression) {
-        Ok(out) => {
-            println!(
-                "perf gate: {key} baseline {:.1} → fresh {:.1} ({:+.1}% change, budget -{:.0}%)",
-                out.baseline,
-                out.fresh,
-                -out.regression * 100.0,
-                max_regression * 100.0
-            );
-            if out.failed {
-                eprintln!("perf gate FAILED: {key} regressed beyond the budget");
+    let key_refs: Vec<&str> = keys.iter().map(|k| k.as_str()).collect();
+    match gate::check_all(&baseline, &fresh, &key_refs, max_regression) {
+        Ok(outcomes) => {
+            let mut failed = false;
+            for (key, outcome) in &outcomes {
+                match outcome {
+                    gate::KeyOutcome::Checked(out) => {
+                        println!(
+                            "perf gate: {key} baseline {:.1} → fresh {:.1} \
+                             ({:+.1}% change, budget -{:.0}%)",
+                            out.baseline,
+                            out.fresh,
+                            -out.regression * 100.0,
+                            max_regression * 100.0
+                        );
+                        if out.failed {
+                            eprintln!("perf gate FAILED: {key} regressed beyond the budget");
+                            failed = true;
+                        }
+                    }
+                    gate::KeyOutcome::NewKey => {
+                        println!("perf gate: {key} is new (no baseline value); passing");
+                    }
+                }
+            }
+            if failed {
                 std::process::exit(1);
             }
         }

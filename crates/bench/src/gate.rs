@@ -59,30 +59,70 @@ pub struct GateOutcome {
 /// Gate `key` (a higher-is-better throughput metric) between two flat
 /// JSON documents: fail when the fresh value has dropped by more than
 /// `max_regression` (e.g. `0.2` = 20%) relative to the baseline.
+/// Single-key strict form of [`check_all`]: a key absent from either
+/// document is an error here.
 pub fn check(
     baseline_json: &str,
     fresh_json: &str,
     key: &str,
     max_regression: f64,
 ) -> Result<GateOutcome, String> {
-    let baseline = *parse_flat_json(baseline_json)
-        .map_err(|e| format!("baseline: {e}"))?
-        .get(key)
-        .ok_or_else(|| format!("baseline has no key {key:?}"))?;
-    let fresh = *parse_flat_json(fresh_json)
-        .map_err(|e| format!("fresh run: {e}"))?
-        .get(key)
-        .ok_or_else(|| format!("fresh run has no key {key:?}"))?;
-    if baseline <= 0.0 {
-        return Err(format!("baseline {key} is non-positive ({baseline})"));
+    let outcomes = check_all(baseline_json, fresh_json, &[key], max_regression)?;
+    match outcomes.into_iter().next() {
+        Some((_, KeyOutcome::Checked(out))) => Ok(out),
+        Some((_, KeyOutcome::NewKey)) => Err(format!("baseline has no key {key:?}")),
+        None => unreachable!("check_all returns one outcome per key"),
     }
-    let regression = 1.0 - fresh / baseline;
-    Ok(GateOutcome {
-        baseline,
-        fresh,
-        regression,
-        failed: regression > max_regression,
-    })
+}
+
+/// One gated key's result in a [`check_all`] run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KeyOutcome {
+    /// The key was compared.
+    Checked(GateOutcome),
+    /// The baseline predates this key (a newly introduced metric):
+    /// nothing to compare against, passes with a notice — the key is
+    /// gated from the next baseline refresh onward.
+    NewKey,
+}
+
+/// Gate several throughput keys between the same two documents: each
+/// key fails independently on a drop beyond `max_regression`. A key
+/// missing from the **baseline** passes as [`KeyOutcome::NewKey`]
+/// (metrics are added over time; the committed baseline catches up at
+/// its next refresh); a key missing from the **fresh** run is an error —
+/// the bench must always emit everything it gates.
+pub fn check_all(
+    baseline_json: &str,
+    fresh_json: &str,
+    keys: &[&str],
+    max_regression: f64,
+) -> Result<Vec<(String, KeyOutcome)>, String> {
+    let baseline = parse_flat_json(baseline_json).map_err(|e| format!("baseline: {e}"))?;
+    let fresh = parse_flat_json(fresh_json).map_err(|e| format!("fresh run: {e}"))?;
+    keys.iter()
+        .map(|&key| {
+            let fresh_value = *fresh
+                .get(key)
+                .ok_or_else(|| format!("fresh run has no key {key:?}"))?;
+            let outcome = match baseline.get(key) {
+                None => KeyOutcome::NewKey,
+                Some(&b) if b <= 0.0 => {
+                    return Err(format!("baseline {key} is non-positive ({b})"))
+                }
+                Some(&b) => {
+                    let regression = 1.0 - fresh_value / b;
+                    KeyOutcome::Checked(GateOutcome {
+                        baseline: b,
+                        fresh: fresh_value,
+                        regression,
+                        failed: regression > max_regression,
+                    })
+                }
+            };
+            Ok((key.to_string(), outcome))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -132,5 +172,42 @@ mod tests {
     fn gate_reports_missing_keys() {
         assert!(check(SAMPLE, "{}", "epochs_per_sec_pool", 0.2).is_err());
         assert!(check(SAMPLE, SAMPLE, "nope", 0.2).is_err());
+    }
+
+    #[test]
+    fn check_all_gates_each_key_independently() {
+        let fresh = r#"{
+  "epochs_per_sec_pool": 240.0,
+  "adaptation_epochs_per_sec_patch": 900.0
+}"#;
+        let out = check_all(
+            SAMPLE,
+            fresh,
+            &["epochs_per_sec_pool", "adaptation_epochs_per_sec_patch"],
+            0.2,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        // The old key is compared against its baseline...
+        match &out[0].1 {
+            KeyOutcome::Checked(o) => assert!(!o.failed),
+            other => panic!("expected a checked outcome, got {other:?}"),
+        }
+        // ...the new key has no baseline yet and passes as NewKey.
+        assert_eq!(out[1].1, KeyOutcome::NewKey);
+
+        // A regression on any gated key is reported as failed.
+        let regressed = r#"{
+  "epochs_per_sec_pool": 100.0,
+  "adaptation_epochs_per_sec_patch": 900.0
+}"#;
+        let out = check_all(SAMPLE, regressed, &["epochs_per_sec_pool"], 0.2).unwrap();
+        match &out[0].1 {
+            KeyOutcome::Checked(o) => assert!(o.failed),
+            other => panic!("expected a checked outcome, got {other:?}"),
+        }
+
+        // A gated key absent from the fresh run is a hard error.
+        assert!(check_all(SAMPLE, "{}", &["epochs_per_sec_pool"], 0.2).is_err());
     }
 }

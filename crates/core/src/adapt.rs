@@ -131,6 +131,12 @@ impl Adapter {
     ///   fraction (in-band estimate or instrumented ground truth).
     /// * `max_noncontrib` / `min_noncontrib` — the §4.2 top-k extremum
     ///   reports fused through the delta (used by [`Strategy::Td`]).
+    ///
+    /// Every label switch this step applies is recorded by the topology
+    /// as a structured [`td_topology::td::TopologyDelta`] (relabeled
+    /// vertices, modes before/after, affected subtree roots) alongside
+    /// the version bump — the session's plan cache replays those deltas
+    /// to patch its compiled schedule in place instead of recompiling.
     pub fn step(
         &mut self,
         topo: &mut TdTopology,
@@ -223,10 +229,7 @@ impl Adapter {
         }
         if switched == 0 {
             let sizes = topo.tree().subtree_sizes();
-            let target = topo
-                .switchable_m_nodes()
-                .into_iter()
-                .max_by_key(|n| sizes[n.index()]);
+            let target = topo.switchable_m_iter().max_by_key(|n| sizes[n.index()]);
             if let Some(node) = target {
                 switched = topo.expand_subtree(node).unwrap_or(0);
             }
@@ -255,10 +258,7 @@ impl Adapter {
                 // No reports (e.g. delta is only the base station): shrink
                 // the smallest-subtree switchable vertex.
                 let sizes = topo.tree().subtree_sizes();
-                let target = topo
-                    .switchable_m_nodes()
-                    .into_iter()
-                    .min_by_key(|n| sizes[n.index()]);
+                let target = topo.switchable_m_iter().min_by_key(|n| sizes[n.index()]);
                 match target {
                     Some(n) => topo.switch_to_t(n).map(|_| 1).unwrap_or(0),
                     None => 0,

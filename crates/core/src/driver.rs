@@ -134,6 +134,19 @@ impl Driver {
         &self.session
     }
 
+    /// Mutable access to the wrapped session (e.g. to clear the cached
+    /// epoch plan when a bench wants the recompile-every-epoch path).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// The session's plan-cache counters: compiles vs in-place patches
+    /// across this driver's run — the adaptation-cost telemetry benches
+    /// report next to epochs/sec.
+    pub fn plan_stats(&self) -> crate::session::PlanCacheStats {
+        self.session.plan_stats()
+    }
+
     /// Unwrap the session (keeps its topology and statistics).
     pub fn into_session(self) -> Session {
         self.session

@@ -187,12 +187,26 @@ impl<S> MpEnvelope<S> {
     /// [`MpEnvelope::local`] over a recycled contributor set (must be
     /// cleared, capacity already sized to the network) — the
     /// allocation-free path driven by the runner arena's free-list.
-    pub fn local_in(mut contributors: IdSet, node: NodeId, msg: Option<S>) -> Self {
+    pub fn local_in(contributors: IdSet, node: NodeId, msg: Option<S>) -> Self {
+        Self::local_pooled(contributors, FmSketch::new(COUNT_SKETCH_BITMAPS), node, msg)
+    }
+
+    /// [`MpEnvelope::local_in`] with the count sketch recycled too (must
+    /// be cleared, [`COUNT_SKETCH_BITMAPS`] wide) — the fully
+    /// allocation-free path: both per-envelope heap parts come from the
+    /// runner arena's free-lists.
+    pub fn local_pooled(
+        mut contributors: IdSet,
+        mut count_sketch: FmSketch,
+        node: NodeId,
+        msg: Option<S>,
+    ) -> Self {
         debug_assert!(
             contributors.is_empty(),
             "recycled contributor set not cleared"
         );
-        let mut count_sketch = FmSketch::new(COUNT_SKETCH_BITMAPS);
+        debug_assert!(count_sketch.is_empty(), "recycled count sketch not cleared");
+        debug_assert_eq!(count_sketch.num_bitmaps(), COUNT_SKETCH_BITMAPS);
         if !node.is_base() {
             contributors.insert(node.0);
             count_sketch.insert_distinct(td_sketches::hash::keyed(0xC0C0, node.0 as u64));

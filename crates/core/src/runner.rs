@@ -11,9 +11,37 @@
 //! `(node, query)` bundle-slot slab local messages are staged in. A
 //! cached plan makes steady-state epochs **schedule-recomputation-free**
 //! (no per-epoch height/subtree/level sorts) and **growth-free** (inboxes
-//! and slabs keep their capacity across epochs); [`crate::session::Session`]
-//! caches one per topology version and recompiles only when adaptation
-//! actually relabels vertices.
+//! and slabs keep their capacity across epochs).
+//!
+//! ## Plan lifecycle: compile once, patch on adaptation
+//!
+//! [`crate::session::Session`] caches one plan per topology. While the
+//! labeling holds still (`TdTopology::version` unchanged) the plan is
+//! reused as-is. When §4.2 adaptation relabels vertices, the plan is
+//! **patched in place** ([`EpochPlan::patch`]): the topology records
+//! each mutation as a structured `TopologyDelta`, and the patch rewrites
+//! only the touched schedule state — per-vertex mode, unicast parent,
+//! switchability flags, and the `is M` bits of the flat broadcast table —
+//! in O(|delta| · ring degree), reusing every arena (inbox slabs,
+//! local-bundle slab, all free-lists) untouched. This works because the
+//! step order, receiver-table layout, heights, and subtree sizes depend
+//! only on the rings and the tree, never on the labeling, so a patched
+//! plan is field-for-field identical to a fresh compile (pinned by
+//! [`EpochPlan::structural_digest`] and a debug assertion in the session
+//! cache). The session falls back to a full [`EpochPlan::compile_td`]
+//! only when the relabel set exceeds the configured
+//! `patch_relabel_fraction` of the network (default 25%), or when the
+//! topology's bounded delta log no longer reaches back to the plan's
+//! version — e.g. after the topology object itself was rebuilt by a
+//! structural `maintain_tree` change.
+//!
+//! ## Arenas
+//!
+//! Compilation also allocates the epoch arenas; at steady state an epoch
+//! performs no per-envelope allocation at all: contributor bitsets,
+//! count sketches, and bundle `Vec`s all cycle through the plan's
+//! free-lists (`Pools`), drawn at build time and returned when the
+//! envelope is consumed.
 //!
 //! [`EpochPlan::run_set`] executes a query epoch over the compiled
 //! schedule: tributary (`T`) vertices merge their children's tree
@@ -50,6 +78,7 @@ use td_netsim::loss::{unicast, LossModel, Retransmit};
 use td_netsim::network::Network;
 use td_netsim::node::{NodeId, BASE_STATION};
 use td_netsim::stats::CommStats;
+use td_sketches::fm::FmSketch;
 use td_sketches::idset::IdSet;
 use td_sketches::rle as sketch_rle;
 use td_topology::td::{Mode, TdTopology};
@@ -141,28 +170,105 @@ fn bundle_mp_wire(set: &QuerySet<'_>, bundle: &Bundle) -> (usize, usize) {
         .fold((0, 0), |(b, w), wire| (b + wire.bytes, w + wire.words))
 }
 
+/// The envelope-part free-lists shared by every build/consume step: a
+/// consumed envelope returns its contributor bitset, its count sketch
+/// (multi-path only), and its bundle `Vec` here, and every envelope the
+/// plan constructs draws from here first — so steady-state epochs
+/// allocate no per-envelope parts at all.
+struct Pools {
+    /// Recycled contributor bitsets (invariant: cleared, capacity `n`).
+    idsets: Vec<IdSet>,
+    /// Recycled count sketches (invariant: cleared,
+    /// [`crate::envelope::COUNT_SKETCH_BITMAPS`] bitmaps).
+    sketches: Vec<FmSketch>,
+    /// Recycled bundle `Vec`s (invariant: empty, capacity retained).
+    bundles: Vec<Bundle>,
+}
+
+impl Pools {
+    fn new() -> Pools {
+        Pools {
+            idsets: Vec::new(),
+            sketches: Vec::new(),
+            bundles: Vec::new(),
+        }
+    }
+
+    /// A cleared contributor set: recycled, or freshly allocated only
+    /// while the pool is still warming up.
+    fn idset(&mut self, n: usize) -> IdSet {
+        self.idsets.pop().unwrap_or_else(|| IdSet::new(n))
+    }
+
+    /// A cleared count sketch: recycled, or fresh during warm-up.
+    fn sketch(&mut self) -> FmSketch {
+        self.sketches
+            .pop()
+            .unwrap_or_else(|| FmSketch::new(crate::envelope::COUNT_SKETCH_BITMAPS))
+    }
+
+    /// An empty bundle `Vec`: recycled, or fresh during warm-up.
+    fn bundle(&mut self) -> Bundle {
+        self.bundles.pop().unwrap_or_default()
+    }
+}
+
 /// Return a consumed envelope's contributor set to the arena free-list
 /// (the pool invariant: every pooled set is cleared and `n`-capacity).
-fn recycle_idset(pool: &mut Vec<IdSet>, mut contributors: IdSet) {
+fn recycle_idset(pools: &mut Pools, mut contributors: IdSet) {
     contributors.clear();
-    pool.push(contributors);
+    pools.idsets.push(contributors);
+}
+
+/// Return a consumed multi-path envelope's count sketch to the free-list.
+fn recycle_sketch(pools: &mut Pools, mut sketch: FmSketch) {
+    sketch.clear();
+    pools.sketches.push(sketch);
+}
+
+/// Return a drained bundle `Vec` to the free-list (capacity retained).
+fn recycle_bundle(pools: &mut Pools, mut bundle: Bundle) {
+    bundle.clear();
+    pools.bundles.push(bundle);
+}
+
+/// Recycle every pooled part of a consumed tree envelope.
+fn recycle_tree_env(pools: &mut Pools, mut env: TreeEnvelope<Bundle>) {
+    if let Some(bundle) = env.msg.take() {
+        recycle_bundle(pools, bundle);
+    }
+    recycle_idset(pools, env.contributors);
+}
+
+/// Recycle every pooled part of a consumed multi-path envelope.
+fn recycle_mp_env(pools: &mut Pools, mut env: MpEnvelope<Bundle>) {
+    if let Some(bundle) = env.msg.take() {
+        recycle_bundle(pools, bundle);
+    }
+    recycle_idset(pools, env.contributors);
+    recycle_sketch(pools, env.count_sketch);
 }
 
 /// Clone a multi-path envelope for one broadcast receiver with its
-/// contributor bitset drawn from the free-list instead of a fresh
-/// allocation — the per-link copies would otherwise grow the pool by
-/// one set per delivered broadcast every epoch.
-fn clone_mp_pooled(
-    env: &MpEnvelope<Bundle>,
-    n: usize,
-    pool: &mut Vec<IdSet>,
-) -> MpEnvelope<Bundle> {
-    let mut contributors = pool.pop().unwrap_or_else(|| IdSet::new(n));
+/// contributor bitset, count sketch, and bundle `Vec` all drawn from the
+/// free-lists instead of fresh allocations — the per-link copies would
+/// otherwise grow the heap by one of each per delivered broadcast every
+/// epoch. (The bundle's *elements* are protocol messages and still clone
+/// individually.)
+fn clone_mp_pooled(env: &MpEnvelope<Bundle>, n: usize, pools: &mut Pools) -> MpEnvelope<Bundle> {
+    let mut contributors = pools.idset(n);
     contributors.copy_from(&env.contributors);
+    let mut count_sketch = pools.sketch();
+    count_sketch.copy_from(&env.count_sketch);
+    let msg = env.msg.as_ref().map(|b| {
+        let mut bundle = pools.bundle();
+        bundle.extend(b.iter().cloned());
+        bundle
+    });
     MpEnvelope {
-        msg: env.msg.clone(),
+        msg,
         contributors,
-        count_sketch: env.count_sketch.clone(),
+        count_sketch,
         max_noncontrib: env.max_noncontrib.clone(),
         min_noncontrib: env.min_noncontrib.clone(),
     }
@@ -178,21 +284,25 @@ fn build_tree_envelope_set(
     contributors: IdSet,
     local: Bundle,
     children: &mut Vec<TreeEnvelope<Bundle>>,
-    pool: &mut Vec<IdSet>,
+    pools: &mut Pools,
 ) -> TreeEnvelope<Bundle> {
     let mut env = TreeEnvelope::local_in(contributors, u, Some(local));
-    for child in children.drain(..) {
+    for mut child in children.drain(..) {
         env.absorb_counts(&child);
-        recycle_idset(pool, child.contributors);
-        let child_bundle = child.msg.expect("bundle envelopes always carry a bundle");
+        let mut child_bundle = child
+            .msg
+            .take()
+            .expect("bundle envelopes always carry a bundle");
         let own = env.msg.as_mut().expect("just constructed with a bundle");
-        for (i, from) in child_bundle.into_iter().enumerate() {
+        for (i, from) in child_bundle.drain(..).enumerate() {
             let Some(from) = from else { continue };
             match &mut own[i] {
                 Some(acc) => set.query(i).merge_tree(acc, &from),
                 slot @ None => *slot = Some(from),
             }
         }
+        recycle_bundle(pools, child_bundle);
+        recycle_idset(pools, child.contributors);
     }
     let own = env.msg.as_mut().expect("constructed with a bundle");
     for (i, slot) in own.iter_mut().enumerate() {
@@ -213,14 +323,15 @@ fn build_mp_envelope_set(
     set: &QuerySet<'_>,
     u: NodeId,
     contributors: IdSet,
+    count_sketch: FmSketch,
     subtree_size: u64,
     switchable_m: bool,
     local: Bundle,
     tree_msgs: &mut Vec<TreeEnvelope<Bundle>>,
     mp_msgs: &mut Vec<MpEnvelope<Bundle>>,
-    pool: &mut Vec<IdSet>,
+    pools: &mut Pools,
 ) -> MpEnvelope<Bundle> {
-    let mut env = MpEnvelope::local_in(contributors, u, Some(local));
+    let mut env = MpEnvelope::local_pooled(contributors, count_sketch, u, Some(local));
     // §4.2: a switchable M vertex is the root of a unique (all-tree)
     // subtree; it reports how many of its subtree's nodes are missing.
     if switchable_m {
@@ -230,9 +341,9 @@ fn build_mp_envelope_set(
         let received: u64 = tree_msgs.iter().map(|e| e.count).sum();
         env.report_noncontrib(u, expected.saturating_sub(received));
     }
-    for te in tree_msgs.drain(..) {
+    for mut te in tree_msgs.drain(..) {
         env.absorb_tree_counts(&te);
-        let bundle = te.msg.as_ref().expect("bundle envelopes carry a bundle");
+        let bundle = te.msg.take().expect("bundle envelopes carry a bundle");
         let own = env.msg.as_mut().expect("constructed with a bundle");
         for (i, slot) in bundle.iter().enumerate() {
             let Some(m) = slot else { continue };
@@ -242,20 +353,23 @@ fn build_mp_envelope_set(
                 empty @ None => *empty = Some(converted),
             }
         }
-        recycle_idset(pool, te.contributors);
+        recycle_bundle(pools, bundle);
+        recycle_idset(pools, te.contributors);
     }
-    for me in mp_msgs.drain(..) {
+    for mut me in mp_msgs.drain(..) {
         env.fuse_counts(&me);
-        let bundle = me.msg.expect("bundle envelopes carry a bundle");
+        let mut bundle = me.msg.take().expect("bundle envelopes carry a bundle");
         let own = env.msg.as_mut().expect("constructed with a bundle");
-        for (i, from) in bundle.into_iter().enumerate() {
+        for (i, from) in bundle.drain(..).enumerate() {
             let Some(from) = from else { continue };
             match &mut own[i] {
                 Some(acc) => set.query(i).fuse(acc, &from),
                 slot @ None => *slot = Some(from),
             }
         }
-        recycle_idset(pool, me.contributors);
+        recycle_bundle(pools, bundle);
+        recycle_idset(pools, me.contributors);
+        recycle_sketch(pools, me.count_sketch);
     }
     env
 }
@@ -268,7 +382,7 @@ fn evaluate_tree_base(
     set: &QuerySet<'_>,
     children: &mut Vec<TreeEnvelope<Bundle>>,
     base_height: u32,
-    pool: &mut Vec<IdSet>,
+    pools: &mut Pools,
 ) -> Vec<Box<dyn Any>> {
     let outputs = (0..set.len())
         .map(|i| {
@@ -282,7 +396,7 @@ fn evaluate_tree_base(
         })
         .collect();
     for env in children.drain(..) {
-        recycle_idset(pool, env.contributors);
+        recycle_tree_env(pools, env);
     }
     outputs
 }
@@ -292,19 +406,22 @@ fn evaluate_tree_base(
 // ---------------------------------------------------------------------
 
 /// One scheduled sender of a compiled Tributary-Delta epoch.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct TdStep {
     node: NodeId,
     mode: Mode,
     /// §6.1 height (the `finalize_tree` argument for T steps).
     height: u32,
-    /// Tree parent (T steps; undefined for M steps).
+    /// Tree parent (T steps; the node itself for M steps).
     parent: NodeId,
     /// Static subtree size (the M-step non-contribution baseline).
     subtree_size: u64,
     /// Whether the vertex is a switchable M vertex under this labeling.
     switchable_m: bool,
-    /// Range into the flat receiver table (M steps).
+    /// Range into the flat receiver table. Compiled for every step —
+    /// ring links are label-independent, so the table layout survives
+    /// relabeling and a patch only flips per-entry `is M` flags — but
+    /// only M steps read their range (T steps unicast to `parent`).
     recv_start: u32,
     recv_end: u32,
 }
@@ -324,18 +441,80 @@ enum Schedule {
 }
 
 /// The compiled Tributary-Delta schedule.
+///
+/// The step order (outermost ring first, id order within a level), the
+/// receiver-table layout, and the `step_of` index depend only on the
+/// rings and the tree — never on the labeling — so a label switch
+/// invalidates nothing structural: [`EpochPlan::patch`] rewrites the
+/// per-vertex mode/parent/switchability fields and the touched `is M`
+/// receiver flags in place and the result is field-for-field identical
+/// to compiling fresh at the new version.
 struct TdSchedule {
-    /// Topology version this plan was compiled against.
+    /// Topology version this plan currently matches (advanced by
+    /// [`EpochPlan::patch`] without recompiling).
     version: u64,
     /// Senders, outermost ring first, id order within a level.
     steps: Vec<TdStep>,
     /// Flat broadcast delivery table: `(receiver, receiver is M)`,
-    /// indexed by each M step's `recv_start..recv_end`.
+    /// indexed by each step's `recv_start..recv_end`.
     receivers: Vec<(NodeId, bool)>,
+    /// `step_of[node.index()]` = index into `steps`, or `NO_STEP` for
+    /// the base station and disconnected nodes. The patch path's way
+    /// from a relabeled vertex to its schedule entry.
+    step_of: Vec<u32>,
     base_mode: Mode,
     base_height: u32,
     base_subtree: u64,
     base_switchable_m: bool,
+}
+
+/// `step_of` marker for nodes without a schedule entry.
+const NO_STEP: u32 = u32::MAX;
+
+impl TdSchedule {
+    /// Bring every schedule field that depends on `u`'s label in line
+    /// with `topo`'s current labeling: `u`'s own step (mode, unicast
+    /// parent, switchability), the `is M` flag of every broadcast-table
+    /// entry naming `u` (they live in the ranges of `u`'s ring sources,
+    /// one level up), and the switchability of the vertices `u`
+    /// broadcasts to (they have `u` as a ring source).
+    fn apply_relabel(&mut self, topo: &TdTopology, u: NodeId) {
+        let rings = topo.rings();
+        let mode = topo.mode(u);
+        if u == BASE_STATION {
+            self.base_mode = mode;
+            self.base_switchable_m = topo.is_switchable_m(BASE_STATION);
+        } else {
+            let step = &mut self.steps[self.step_of[u.index()] as usize];
+            step.mode = mode;
+            step.parent = match mode {
+                Mode::T => topo
+                    .tree()
+                    .parent(u)
+                    .expect("connected non-base T vertex has a parent"),
+                Mode::M => u,
+            };
+            step.switchable_m = topo.is_switchable_m(u);
+        }
+        let is_m = mode == Mode::M;
+        for &s in rings.sources(u) {
+            let sender = &self.steps[self.step_of[s.index()] as usize];
+            let range = sender.recv_start as usize..sender.recv_end as usize;
+            for entry in &mut self.receivers[range] {
+                if entry.0 == u {
+                    entry.1 = is_m;
+                }
+            }
+        }
+        for &r in rings.receivers(u) {
+            if r == BASE_STATION {
+                self.base_switchable_m = topo.is_switchable_m(BASE_STATION);
+            } else {
+                let step = &mut self.steps[self.step_of[r.index()] as usize];
+                step.switchable_m = topo.is_switchable_m(r);
+            }
+        }
+    }
 }
 
 /// The compiled pure-TAG schedule.
@@ -358,11 +537,11 @@ struct Arenas {
     /// `node * set.len() + query` stages the node's local tree or
     /// multi-path message until its send step assembles the bundle.
     locals: Vec<Option<ErasedMsg>>,
-    /// Free-list of recycled contributor bitsets (invariant: every
-    /// pooled set is cleared, capacity `n`). Every envelope the plan
-    /// builds draws from here and every consumed envelope returns here,
-    /// so steady-state epochs allocate no per-node bitsets.
-    idsets: Vec<IdSet>,
+    /// The envelope-part free-lists (contributor bitsets, count
+    /// sketches, bundle `Vec`s). Every envelope the plan builds draws
+    /// from here and every consumed envelope returns here, so
+    /// steady-state epochs allocate no per-envelope parts.
+    pools: Pools,
 }
 
 impl Arenas {
@@ -376,20 +555,20 @@ impl Arenas {
                 Vec::new()
             },
             locals: Vec::new(),
-            idsets: Vec::new(),
+            pools: Pools::new(),
         }
     }
 
     /// A cleared contributor set: recycled from the free-list, or a
     /// fresh allocation only while the pool is still warming up.
     fn idset(&mut self) -> IdSet {
-        self.idsets.pop().unwrap_or_else(|| IdSet::new(self.n))
+        self.pools.idset(self.n)
     }
 
-    /// One node's tree inbox plus the free-list, split-borrowed for the
+    /// One node's tree inbox plus the free-lists, split-borrowed for the
     /// tree-envelope build step.
-    fn tree_ctx(&mut self, u: NodeId) -> (&mut Vec<TreeEnvelope<Bundle>>, &mut Vec<IdSet>) {
-        (&mut self.tree_inbox[u.index()], &mut self.idsets)
+    fn tree_ctx(&mut self, u: NodeId) -> (&mut Vec<TreeEnvelope<Bundle>>, &mut Pools) {
+        (&mut self.tree_inbox[u.index()], &mut self.pools)
     }
 
     /// Reset the local-message slab for an epoch carrying `q` queries.
@@ -412,16 +591,20 @@ impl Arenas {
         }
     }
 
-    /// Move a node's staged local messages out of the slab into a bundle.
+    /// Move a node's staged local messages out of the slab into a
+    /// bundle drawn from the free-list (capacity retained across epochs).
     fn take_local_bundle(&mut self, u: NodeId, q: usize) -> Bundle {
+        let mut bundle = self.pools.bundle();
         let base = u.index() * q;
-        self.locals[base..base + q]
-            .iter_mut()
-            .map(|slot| slot.take())
-            .collect()
+        bundle.extend(
+            self.locals[base..base + q]
+                .iter_mut()
+                .map(|slot| slot.take()),
+        );
+        bundle
     }
 
-    /// Both inbox arenas of one node plus the free-list, split-borrowed
+    /// Both inbox arenas of one node plus the free-lists, split-borrowed
     /// for the M-vertex build step.
     #[allow(clippy::type_complexity)]
     fn inboxes_of(
@@ -430,12 +613,12 @@ impl Arenas {
     ) -> (
         &mut Vec<TreeEnvelope<Bundle>>,
         &mut Vec<MpEnvelope<Bundle>>,
-        &mut Vec<IdSet>,
+        &mut Pools,
     ) {
         (
             &mut self.tree_inbox[u.index()],
             &mut self.mp_inbox[u.index()],
-            &mut self.idsets,
+            &mut self.pools,
         )
     }
 }
@@ -464,26 +647,28 @@ impl EpochPlan {
         let n = rings.len();
         let mut steps = Vec::new();
         let mut receivers = Vec::new();
+        let mut step_of = vec![NO_STEP; n];
         for level in (1..=rings.max_level()).rev() {
             for u in rings.nodes_at_level(level) {
                 let mode = topo.mode(u);
-                let (parent, switchable_m, recv_start, recv_end) = match mode {
+                // The receiver range is compiled for every vertex (the
+                // ring links never change) so that a later T→M patch
+                // finds its broadcast list already in place.
+                let recv_start = receivers.len() as u32;
+                for &r in rings.receivers(u) {
+                    receivers.push((r, topo.mode(r) == Mode::M));
+                }
+                let recv_end = receivers.len() as u32;
+                let (parent, switchable_m) = match mode {
                     Mode::T => (
                         topo.tree()
                             .parent(u)
                             .expect("connected non-base T vertex has a parent"),
                         false,
-                        0,
-                        0,
                     ),
-                    Mode::M => {
-                        let start = receivers.len() as u32;
-                        for &r in rings.receivers(u) {
-                            receivers.push((r, topo.mode(r) == Mode::M));
-                        }
-                        (u, topo.is_switchable_m(u), start, receivers.len() as u32)
-                    }
+                    Mode::M => (u, topo.is_switchable_m(u)),
                 };
+                step_of[u.index()] = steps.len() as u32;
                 steps.push(TdStep {
                     node: u,
                     mode,
@@ -501,6 +686,7 @@ impl EpochPlan {
                 version: topo.version(),
                 steps,
                 receivers,
+                step_of,
                 base_mode: topo.mode(BASE_STATION),
                 base_height: heights[BASE_STATION.index()],
                 base_subtree: subtree_sizes[BASE_STATION.index()] as u64,
@@ -538,16 +724,147 @@ impl EpochPlan {
     /// recycled set, and steady-state epochs neither grow nor drain it
     /// below the per-epoch working need).
     pub fn recycled_bitsets(&self) -> usize {
-        self.arenas.idsets.len()
+        self.arenas.pools.idsets.len()
     }
 
-    /// The topology version a TD plan was compiled against (`None` for
-    /// TAG plans, whose tree never changes).
+    /// Size of the arena's count-sketch free-list (same steady-state
+    /// introspection as [`recycled_bitsets`](Self::recycled_bitsets)).
+    pub fn recycled_sketches(&self) -> usize {
+        self.arenas.pools.sketches.len()
+    }
+
+    /// Size of the arena's bundle-`Vec` free-list (same steady-state
+    /// introspection as [`recycled_bitsets`](Self::recycled_bitsets)).
+    pub fn recycled_bundles(&self) -> usize {
+        self.arenas.pools.bundles.len()
+    }
+
+    /// The topology version a TD plan currently matches (`None` for
+    /// TAG plans, whose tree never changes). Advanced by
+    /// [`patch`](Self::patch) without recompiling.
     pub fn compiled_version(&self) -> Option<u64> {
         match &self.sched {
             Schedule::Td(td) => Some(td.version),
             Schedule::Tag(_) => None,
         }
+    }
+
+    /// Update the compiled TD schedule **in place** to match `topo`'s
+    /// current labeling, replaying the topology's recorded
+    /// [`TopologyDelta`]s instead of recompiling: only the relabeled
+    /// vertices' steps (mode, unicast parent, switchability), the
+    /// broadcast-table `is M` flags naming them, and their ring
+    /// neighbors' switchability are rewritten — O(|delta| · degree)
+    /// work — and every arena (inbox slabs, local-bundle slab, all
+    /// free-lists) is reused untouched. The patched schedule is
+    /// field-for-field identical to [`compile_td`](Self::compile_td) at
+    /// the new version (the step order, receiver-table layout, heights,
+    /// and subtree sizes depend only on the rings and the tree).
+    ///
+    /// Returns `Some(touched)` — the number of **distinct** vertices
+    /// whose schedule state was rewritten (0 when the plan already
+    /// matched `topo.version()`) — when the plan now matches the
+    /// topology. Returns `None` — caller must recompile — when the plan
+    /// is a TAG plan, the delta log no longer reaches back to the
+    /// plan's version (e.g. the topology object was rebuilt, as
+    /// structural `maintain_tree` changes do), or more than
+    /// `max_relabels` **distinct** vertices changed (past that point a
+    /// fresh compile is cheaper than chasing neighborhoods — a vertex
+    /// switched back and forth counts once, matching the actual patch
+    /// work). This is the single home of the patch-eligibility rule;
+    /// callers only pick the budget.
+    pub fn patch(&mut self, topo: &TdTopology, max_relabels: usize) -> Option<usize> {
+        let Schedule::Td(sched) = &mut self.sched else {
+            return None;
+        };
+        if sched.version == topo.version() {
+            return Some(0);
+        }
+        let deltas = topo.deltas_since(sched.version)?;
+        // Collect the touched vertices once; the final state is read
+        // straight from `topo`, so replay order is irrelevant and a
+        // vertex switched back and forth costs a single pass — and is
+        // budgeted as one, since the budget bounds patch work.
+        let mut touched: Vec<NodeId> = deltas
+            .flat_map(|d| d.relabeled.iter().map(|r| r.node))
+            .collect();
+        touched.sort_unstable_by_key(|u| u.0);
+        touched.dedup();
+        if touched.len() > max_relabels {
+            return None;
+        }
+        for &u in &touched {
+            sched.apply_relabel(topo, u);
+        }
+        sched.version = topo.version();
+        Some(touched.len())
+    }
+
+    /// A deterministic digest of everything structural: the full
+    /// compiled schedule (every step field, the receiver table, the
+    /// step index, the base-station fields, the version) plus the arena
+    /// *layout* (node count, inbox-slab shape) — but not the free-list
+    /// fill levels, which legitimately differ between a warmed-up plan
+    /// and a fresh compile. Two plans with equal digests execute epochs
+    /// bit-identically; the patch tests (and a debug assertion in the
+    /// session cache) compare patched plans against fresh compiles
+    /// through this.
+    pub fn structural_digest(&self) -> u64 {
+        // FNV-1a over a canonical u64 serialization.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut put = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        let mode_tag = |m: Mode| match m {
+            Mode::T => 0u64,
+            Mode::M => 1,
+        };
+        match &self.sched {
+            Schedule::Td(td) => {
+                put(1);
+                put(td.version);
+                put(td.steps.len() as u64);
+                for s in &td.steps {
+                    put(s.node.0 as u64);
+                    put(mode_tag(s.mode));
+                    put(s.height as u64);
+                    put(s.parent.0 as u64);
+                    put(s.subtree_size);
+                    put(s.switchable_m as u64);
+                    put(s.recv_start as u64);
+                    put(s.recv_end as u64);
+                }
+                put(td.receivers.len() as u64);
+                for &(r, is_m) in &td.receivers {
+                    put(r.0 as u64);
+                    put(is_m as u64);
+                }
+                for &i in &td.step_of {
+                    put(i as u64);
+                }
+                put(mode_tag(td.base_mode));
+                put(td.base_height as u64);
+                put(td.base_subtree);
+                put(td.base_switchable_m as u64);
+            }
+            Schedule::Tag(tag) => {
+                put(2);
+                put(tag.steps.len() as u64);
+                for s in &tag.steps {
+                    put(s.node.0 as u64);
+                    put(s.height as u64);
+                    put(s.parent.map_or(u64::MAX, |p| p.0 as u64));
+                }
+                put(tag.base_height as u64);
+            }
+        }
+        put(self.arenas.n as u64);
+        put(self.arenas.tree_inbox.len() as u64);
+        put(self.arenas.mp_inbox.len() as u64);
+        h
     }
 
     /// Execute one epoch for every query in `set` over the compiled
@@ -625,7 +942,7 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
             Mode::T => {
                 let local = arenas.take_local_bundle(step.node, q);
                 let contributors = arenas.idset();
-                let (children, pool) = arenas.tree_ctx(step.node);
+                let (children, pools) = arenas.tree_ctx(step.node);
                 let env = build_tree_envelope_set(
                     set,
                     step.node,
@@ -633,7 +950,7 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
                     contributors,
                     local,
                     children,
-                    pool,
+                    pools,
                 );
                 let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
                 let overhead = if config.charge_adaptation_overhead {
@@ -655,23 +972,25 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
                 if outcome.delivered {
                     arenas.tree_inbox[step.parent.index()].push(env);
                 } else {
-                    recycle_idset(&mut arenas.idsets, env.contributors);
+                    recycle_tree_env(&mut arenas.pools, env);
                 }
             }
             Mode::M => {
                 let local = arenas.take_local_bundle(step.node, q);
                 let contributors = arenas.idset();
-                let (tree_in, mp_in, pool) = arenas.inboxes_of(step.node);
+                let count_sketch = arenas.pools.sketch();
+                let (tree_in, mp_in, pools) = arenas.inboxes_of(step.node);
                 let env = build_mp_envelope_set(
                     set,
                     step.node,
                     contributors,
+                    count_sketch,
                     step.subtree_size,
                     step.switchable_m,
                     local,
                     tree_in,
                     mp_in,
-                    pool,
+                    pools,
                 );
                 let (payload_bytes, payload_words) =
                     bundle_mp_wire(set, env.msg.as_ref().expect("bundle present"));
@@ -690,11 +1009,11 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
                 for &(r, is_m) in &sched.receivers[step.recv_start as usize..step.recv_end as usize]
                 {
                     if model.delivered(step.node, r, net, epoch, rng) && is_m {
-                        let copy = clone_mp_pooled(&env, arenas.n, &mut arenas.idsets);
+                        let copy = clone_mp_pooled(&env, arenas.n, &mut arenas.pools);
                         arenas.mp_inbox[r.index()].push(copy);
                     }
                 }
-                recycle_idset(&mut arenas.idsets, env.contributors);
+                recycle_mp_env(&mut arenas.pools, env);
             }
         }
     }
@@ -703,16 +1022,16 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
     match sched.base_mode {
         Mode::T => {
             let mut contributors = arenas.idset();
-            let (children, pool) = arenas.tree_ctx(BASE_STATION);
+            let (children, pools) = arenas.tree_ctx(BASE_STATION);
             let mut exact_count = 0u64;
             for env in children.iter() {
                 exact_count += env.count;
                 contributors.union(&env.contributors);
             }
             let contributing = contributors.len();
-            recycle_idset(pool, contributors);
+            recycle_idset(pools, contributors);
             SetEpochOutput {
-                outputs: evaluate_tree_base(set, children, sched.base_height, pool),
+                outputs: evaluate_tree_base(set, children, sched.base_height, pools),
                 contributing,
                 contributing_est: exact_count as f64,
                 max_noncontrib: crate::envelope::ExtremaSet::largest(),
@@ -722,25 +1041,28 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
         Mode::M => {
             let local = arenas.take_local_bundle(BASE_STATION, q);
             let contributors = arenas.idset();
-            let (tree_in, mp_in, pool) = arenas.inboxes_of(BASE_STATION);
-            let env = build_mp_envelope_set(
+            let count_sketch = arenas.pools.sketch();
+            let (tree_in, mp_in, pools) = arenas.inboxes_of(BASE_STATION);
+            let mut env = build_mp_envelope_set(
                 set,
                 BASE_STATION,
                 contributors,
+                count_sketch,
                 sched.base_subtree,
                 sched.base_switchable_m,
                 local,
                 tree_in,
                 mp_in,
-                pool,
+                pools,
             );
-            let bundle = env.msg.as_ref().expect("bundle present");
+            let bundle = env.msg.take().expect("bundle present");
             let outputs = (0..set.len())
                 .map(|i| {
                     set.query(i)
                         .evaluate(Vec::new(), bundle[i].as_ref(), sched.base_height)
                 })
                 .collect();
+            recycle_bundle(&mut arenas.pools, bundle);
             let MpEnvelope {
                 contributors,
                 count_sketch,
@@ -749,11 +1071,13 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
                 ..
             } = env;
             let contributing = contributors.len();
-            recycle_idset(&mut arenas.idsets, contributors);
+            let contributing_est = count_sketch.estimate();
+            recycle_idset(&mut arenas.pools, contributors);
+            recycle_sketch(&mut arenas.pools, count_sketch);
             SetEpochOutput {
                 outputs,
                 contributing,
-                contributing_est: count_sketch.estimate(),
+                contributing_est,
                 max_noncontrib,
                 min_noncontrib,
             }
@@ -783,7 +1107,7 @@ fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
     for step in &sched.steps {
         let local = arenas.take_local_bundle(step.node, q);
         let contributors = arenas.idset();
-        let (children, pool) = arenas.tree_ctx(step.node);
+        let (children, pools) = arenas.tree_ctx(step.node);
         let env = build_tree_envelope_set(
             set,
             step.node,
@@ -791,7 +1115,7 @@ fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
             contributors,
             local,
             children,
-            pool,
+            pools,
         );
         match step.parent {
             None => base_children.push(env),
@@ -808,7 +1132,7 @@ fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
                 if outcome.delivered {
                     arenas.tree_inbox[p.index()].push(env);
                 } else {
-                    recycle_idset(&mut arenas.idsets, env.contributors);
+                    recycle_tree_env(&mut arenas.pools, env);
                 }
             }
         }
@@ -821,13 +1145,13 @@ fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
         contributors.union(&env.contributors);
     }
     let contributing = contributors.len();
-    recycle_idset(&mut arenas.idsets, contributors);
+    recycle_idset(&mut arenas.pools, contributors);
     SetEpochOutput {
         outputs: evaluate_tree_base(
             set,
             &mut base_children,
             sched.base_height,
-            &mut arenas.idsets,
+            &mut arenas.pools,
         ),
         contributing,
         contributing_est: exact as f64,
@@ -1263,6 +1587,176 @@ mod tests {
                 "pool still growing at delta {delta_levels}: {after:?}"
             );
         }
+    }
+
+    /// The count-sketch and bundle-`Vec` free-lists reach the same
+    /// steady state as the bitset pool: after warm-up, further epochs
+    /// allocate no per-envelope sketches and no per-node bundle `Vec`s.
+    #[test]
+    fn sketch_and_bundle_pools_reach_steady_state() {
+        for delta_levels in [0u16, 2] {
+            let (net, td) = topo(138, 180, delta_levels);
+            let values: Vec<u64> = vec![3; net.len()];
+            let mut plan = EpochPlan::compile_td(&td);
+            let mut stats = CommStats::new(net.len());
+            let mut rng = rng_from_seed(139);
+            assert_eq!(plan.recycled_sketches(), 0);
+            assert_eq!(plan.recycled_bundles(), 0);
+            let mut sketches = Vec::new();
+            let mut bundles = Vec::new();
+            for epoch in 0..4u64 {
+                let proto = ScalarProtocol::new(Sum::default(), &values);
+                let mut set = QuerySet::new();
+                set.register(&proto);
+                plan.run_set(
+                    &set,
+                    &net,
+                    &NoLoss,
+                    RunnerConfig::default(),
+                    epoch,
+                    &mut stats,
+                    &mut rng,
+                );
+                sketches.push(plan.recycled_sketches());
+                bundles.push(plan.recycled_bundles());
+            }
+            // Every node stages a bundle, so the bundle pool is always
+            // exercised; sketches only exist where a delta does.
+            assert!(bundles[0] > 0, "no bundles recycled at {delta_levels}");
+            if delta_levels > 0 {
+                assert!(sketches[0] > 0, "no sketches recycled at {delta_levels}");
+            }
+            assert_eq!(
+                sketches[1], sketches[3],
+                "sketch pool still growing at delta {delta_levels}: {sketches:?}"
+            );
+            assert_eq!(
+                bundles[1], bundles[3],
+                "bundle pool still growing at delta {delta_levels}: {bundles:?}"
+            );
+        }
+    }
+
+    /// Patching a compiled plan across adaptation mutations yields a
+    /// schedule structurally identical to compiling fresh — and epochs
+    /// run over the patched plan match the fresh plan bit-for-bit.
+    #[test]
+    fn patched_plan_is_identical_to_fresh_compile() {
+        let (net, mut td) = topo(140, 200, 2);
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 40).collect();
+        let model = Global::new(0.2);
+        let mut plan = EpochPlan::compile_td(&td);
+
+        for round in 0..6u64 {
+            // Mutate: alternate fine-grained expansion, single shrinks,
+            // and whole-level moves.
+            match round % 3 {
+                0 => {
+                    let root = td
+                        .switchable_m_nodes()
+                        .into_iter()
+                        .find(|&u| !td.tree().children(u).is_empty())
+                        .expect("switchable M with children");
+                    td.expand_subtree(root).unwrap();
+                }
+                1 => {
+                    let m = td.switchable_m_nodes()[0];
+                    td.switch_to_t(m).unwrap();
+                }
+                _ => {
+                    td.expand_all();
+                }
+            }
+            assert!(
+                plan.patch(&td, td.len()).is_some(),
+                "patch refused at {round}"
+            );
+            let fresh = EpochPlan::compile_td(&td);
+            assert_eq!(
+                plan.structural_digest(),
+                fresh.structural_digest(),
+                "digest diverged after round {round}"
+            );
+            assert_eq!(plan.compiled_version(), Some(td.version()));
+
+            // And the epoch results are bit-identical.
+            let proto = ScalarProtocol::new(Sum::default(), &values);
+            let mut set = QuerySet::new();
+            set.register(&proto);
+            let mut patched_plan_stats = CommStats::new(net.len());
+            let mut fresh_stats = CommStats::new(net.len());
+            let mut fresh = fresh;
+            let mut rng_a = rng_from_seed(9000 + round);
+            let mut rng_b = rng_from_seed(9000 + round);
+            let a = plan.run_set(
+                &set,
+                &net,
+                &model,
+                RunnerConfig::default(),
+                round,
+                &mut patched_plan_stats,
+                &mut rng_a,
+            );
+            let b = fresh.run_set(
+                &set,
+                &net,
+                &model,
+                RunnerConfig::default(),
+                round,
+                &mut fresh_stats,
+                &mut rng_b,
+            );
+            assert_eq!(
+                a.outputs[0].downcast_ref::<f64>(),
+                b.outputs[0].downcast_ref::<f64>()
+            );
+            assert_eq!(a.contributing, b.contributing);
+            assert_eq!(a.contributing_est, b.contributing_est);
+            assert_eq!(a.max_noncontrib, b.max_noncontrib);
+            assert_eq!(a.min_noncontrib, b.min_noncontrib);
+            assert_eq!(patched_plan_stats, fresh_stats);
+        }
+    }
+
+    /// `patch` declines (instead of corrupting) when it cannot help:
+    /// TAG plans, over-budget relabel sets, and gaps the delta log no
+    /// longer covers.
+    #[test]
+    fn patch_falls_back_when_it_cannot_patch() {
+        let (_, mut td) = topo(141, 150, 1);
+
+        // TAG plans have no labeling to patch.
+        let mut tag = EpochPlan::compile_tag(td.tree());
+        assert!(tag.patch(&td, td.len()).is_none());
+
+        // Relabel budget exceeded.
+        let mut plan = EpochPlan::compile_td(&td);
+        let switched = td.expand_all();
+        assert!(switched > 1);
+        assert!(
+            plan.patch(&td, switched - 1).is_none(),
+            "over-budget patch accepted"
+        );
+        // The refused plan is untouched and still patchable within budget.
+        assert_eq!(plan.patch(&td, switched), Some(switched));
+        assert_eq!(plan.compiled_version(), Some(td.version()));
+
+        // A no-op patch at the current version succeeds trivially.
+        assert_eq!(plan.patch(&td, 0), Some(0));
+
+        // A plan too far behind the delta log must recompile.
+        let stale_version = td.version();
+        for _ in 0..80 {
+            match td.switchable_t_nodes().first().copied() {
+                Some(u) => td.switch_to_m(u).unwrap(),
+                None => {
+                    let m = td.switchable_m_nodes()[0];
+                    td.switch_to_t(m).unwrap();
+                }
+            }
+        }
+        assert!(td.deltas_since(stale_version).is_none());
+        assert!(plan.patch(&td, td.len()).is_none());
     }
 
     /// The same reuse-vs-rebuild identity for the TAG plan.

@@ -14,6 +14,19 @@
 //! through the same bundled engine, so a dedicated session and a bundled
 //! one produce bit-identical per-query answers under the same seed.
 //!
+//! ## Plan cache: compile, reuse, patch
+//!
+//! The session compiles its [`EpochPlan`] once and reuses it while the
+//! topology version holds still. When adaptation relabels vertices it
+//! does **not** recompile: the cached plan is patched in place from the
+//! topology's recorded deltas ([`EpochPlan::patch`]) — O(|delta|) work
+//! against O(network) for a compile, with every arena reused — falling
+//! back to a full recompile only past the
+//! [`SessionConfig::patch_relabel_fraction`] threshold (default 25% of
+//! the network) or when the delta log no longer covers the gap. All
+//! three paths (reuse, patch, recompile) are bit-identical by
+//! construction; [`Session::plan_stats`] counts how often each ran.
+//!
 //! The four schemes of §7:
 //!
 //! * [`Scheme::Tag`] — tree aggregation on a standard TAG tree [10];
@@ -95,6 +108,13 @@ pub struct SessionConfig {
     /// Whether the TAG tree may pick same-level parents (§6.1.3 notes the
     /// standard algorithm allows it; hurts the domination factor).
     pub tag_allow_same_level: bool,
+    /// Patch-vs-recompile threshold for the cached epoch plan: when
+    /// adaptation relabels at most this fraction of the network since
+    /// the plan's version, the plan is patched in place
+    /// ([`EpochPlan::patch`]); past it — or when the topology's delta
+    /// log no longer covers the gap — the plan is recompiled. 0 forces
+    /// recompilation always (the patch-ablation escape hatch).
+    pub patch_relabel_fraction: f64,
 }
 
 impl SessionConfig {
@@ -119,8 +139,27 @@ impl SessionConfig {
             initial_delta_levels: 1,
             use_exact_contrib_signal: true,
             tag_allow_same_level: false,
+            patch_relabel_fraction: 0.25,
         }
     }
+}
+
+/// Counters for the session's plan-cache maintenance: how often the
+/// cached [`EpochPlan`] was compiled from scratch versus patched in
+/// place after adaptation ([`EpochPlan::patch`]), and how many vertex
+/// relabels the patches absorbed. Kept outside [`CommStats`] on
+/// purpose — plan maintenance is simulator work, not radio traffic, and
+/// the determinism tests pin `CommStats` equality across cache
+/// strategies that *should* differ here.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Full compilations (initial build, fallback past the patch
+    /// threshold, delta log exhausted, or [`Session::clear_cached_plan`]).
+    pub compiles: u64,
+    /// In-place patches after adaptation relabeled the topology.
+    pub patches: u64,
+    /// Total vertices relabeled across all patches.
+    pub patched_relabels: u64,
 }
 
 /// Fluent constructor for [`Session`]s: start from a scheme's paper
@@ -190,6 +229,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Max fraction of the network adaptation may relabel before the
+    /// cached plan is recompiled instead of patched (0 = always
+    /// recompile; paper-default 0.25).
+    pub fn patch_relabel_fraction(mut self, fraction: f64) -> Self {
+        self.config.patch_relabel_fraction = fraction;
+        self
+    }
+
     /// The configuration as currently assembled.
     pub fn config(&self) -> &SessionConfig {
         &self.config
@@ -220,11 +267,16 @@ pub struct Session {
     kind: SessionKind,
     stats: CommStats,
     sensors: usize,
-    /// The compiled epoch plan, reused across epochs. Invalidated (and
-    /// lazily recompiled) only when adaptation relabels the topology —
-    /// steady-state epochs run schedule-recomputation-free and reuse the
-    /// plan's inbox/bundle arenas.
+    /// The compiled epoch plan, reused across epochs. Steady-state
+    /// epochs run schedule-recomputation-free and reuse the plan's
+    /// inbox/bundle arenas; when adaptation relabels the topology the
+    /// plan is **patched in place** from the topology's delta log
+    /// (arenas untouched), recompiling only when the relabel set
+    /// exceeds [`SessionConfig::patch_relabel_fraction`] or the log no
+    /// longer covers the gap.
     plan: Option<EpochPlan>,
+    /// Compile/patch counters for the cached plan.
+    plan_stats: PlanCacheStats,
 }
 
 /// The per-epoch record a session reports for a single-query run.
@@ -302,6 +354,7 @@ impl Session {
             stats: CommStats::new(net.len()),
             sensors,
             plan: None,
+            plan_stats: PlanCacheStats::default(),
         }
     }
 
@@ -333,8 +386,24 @@ impl Session {
     pub fn delta_nodes(&self) -> Vec<td_netsim::node::NodeId> {
         match &self.kind {
             SessionKind::Tag { .. } => Vec::new(),
-            SessionKind::Td { topo, .. } => topo.delta_nodes(),
+            SessionKind::Td { topo, .. } => topo.delta_nodes().collect(),
         }
+    }
+
+    /// Current delta size (0 for TAG) without collecting the membership.
+    pub fn delta_size(&self) -> usize {
+        match &self.kind {
+            SessionKind::Tag { .. } => 0,
+            SessionKind::Td { topo, .. } => topo.delta_size(),
+        }
+    }
+
+    /// Plan-cache maintenance counters: full compiles vs in-place
+    /// patches (and the relabels the patches absorbed). The win of the
+    /// incremental path is `patches / (patches + compiles)` trending
+    /// toward 1 for an adapting session.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.plan_stats
     }
 
     /// The Tributary-Delta topology, when the scheme has one.
@@ -356,9 +425,11 @@ impl Session {
     }
 
     /// Drop the cached [`EpochPlan`], forcing the next epoch to
-    /// recompile from the topology. Results are unaffected (the rebuild
-    /// and reuse paths are bit-identical); this exists so benchmarks and
-    /// tests can drive the per-epoch-rebuild path explicitly.
+    /// recompile from the topology (patching needs a live plan, so this
+    /// bypasses the patch path too). Results are unaffected (the
+    /// rebuild, reuse, and patch paths are bit-identical); this exists
+    /// so benchmarks and tests can drive the per-epoch-rebuild path
+    /// explicitly.
     pub fn clear_cached_plan(&mut self) {
         self.plan = None;
     }
@@ -389,9 +460,11 @@ impl Session {
         match &mut self.kind {
             SessionKind::Tag { tree } => {
                 // The TAG tree never changes: compile the plan once.
-                let plan = self
-                    .plan
-                    .get_or_insert_with(|| EpochPlan::compile_tag(tree));
+                if self.plan.is_none() {
+                    self.plan = Some(EpochPlan::compile_tag(tree));
+                    self.plan_stats.compiles += 1;
+                }
+                let plan = self.plan.as_mut().expect("plan just ensured");
                 let out = plan.run_set(
                     set,
                     &self.net,
@@ -411,14 +484,40 @@ impl Session {
                 }
             }
             SessionKind::Td { topo, adapter } => {
-                // Reuse the cached plan while the labeling holds still;
-                // recompile only after adaptation bumped the version.
-                if self
+                // Reuse the cached plan while the labeling holds still.
+                // After adaptation bumped the version, patch the plan in
+                // place from the topology's delta log (O(|delta|), all
+                // arenas reused); recompile only when the relabel set is
+                // too large or the log no longer covers the gap.
+                let stale = self
                     .plan
                     .as_ref()
-                    .is_none_or(|p| p.compiled_version() != Some(topo.version()))
-                {
-                    self.plan = Some(EpochPlan::compile_td(topo));
+                    .is_none_or(|p| p.compiled_version() != Some(topo.version()));
+                if stale {
+                    let max_relabels =
+                        (topo.len() as f64 * self.config.patch_relabel_fraction).floor() as usize;
+                    let patched = self
+                        .plan
+                        .as_mut()
+                        .and_then(|plan| plan.patch(topo, max_relabels));
+                    match patched {
+                        Some(relabels) => {
+                            self.plan_stats.patches += 1;
+                            self.plan_stats.patched_relabels += relabels as u64;
+                            debug_assert_eq!(
+                                self.plan
+                                    .as_ref()
+                                    .expect("just patched")
+                                    .structural_digest(),
+                                EpochPlan::compile_td(topo).structural_digest(),
+                                "patched plan diverged from a fresh compile"
+                            );
+                        }
+                        None => {
+                            self.plan = Some(EpochPlan::compile_td(topo));
+                            self.plan_stats.compiles += 1;
+                        }
+                    }
                 }
                 let plan = self.plan.as_mut().expect("plan just ensured");
                 let out = plan.run_set(

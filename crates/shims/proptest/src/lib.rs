@@ -70,7 +70,7 @@ macro_rules! range_strategy {
     )*};
 }
 
-range_strategy!(u64, u32, usize, i64, i32);
+range_strategy!(u64, u32, u16, u8, usize, i64, i32);
 
 impl Strategy for core::ops::Range<f64> {
     type Value = f64;

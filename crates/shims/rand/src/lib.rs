@@ -106,7 +106,7 @@ macro_rules! int_sample_range {
     )*};
 }
 
-int_sample_range!(u64, u32, usize, i64, i32);
+int_sample_range!(u64, u32, u16, u8, usize, i64, i32);
 
 impl SampleRange<f64> for core::ops::Range<f64> {
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {

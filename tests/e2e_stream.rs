@@ -8,7 +8,10 @@
 //! (c) window answers are stable across an adaptation relabel
 //!     mid-window: every report is exactly the pane-algebra fold of the
 //!     recorded per-epoch answers, even when the topology was relabeled
-//!     between its panes.
+//!     between its panes;
+//! (d) the stream engine inherits incremental plan patching unchanged:
+//!     a windowed run over a session whose plan cache patches on
+//!     relabel is bit-identical to one that recompiles on relabel.
 
 use proptest::prelude::*;
 use td_suite::aggregates::sum::Sum;
@@ -233,4 +236,70 @@ fn window_answers_stable_across_adaptation_relabel() {
         );
         assert_eq!(r.pane_stats.len(), r.panes);
     }
+}
+
+/// (d) cheap adaptation is inherited, not re-implemented: the same
+/// windowed TD-Coarse run over a patch-on-relabel session (the default)
+/// and over a recompile-on-relabel session
+/// (`patch_relabel_fraction(0.0)`) produces bit-identical window
+/// reports and per-pane accounting — and the default run really did
+/// patch (one compile for the whole run).
+#[test]
+fn stream_windows_identical_under_patched_and_recompiled_plans() {
+    let net = net(701, 300);
+    let workload = DriftingStream::new(Synthetic::sum_workload(&net, 701), 702);
+    let (warmup, epochs, loss, seed) = (0u64, 60u64, 0.25, 703u64);
+    let run = |patch_fraction: f64| {
+        let mut rng = rng_from_seed(seed);
+        let session = SessionBuilder::new(Scheme::TdCoarse)
+            .patch_relabel_fraction(patch_fraction)
+            .build(&net, &mut rng);
+        let mut stream = StreamSession::new(Driver::new(session, warmup));
+        let query = StreamQuery::scalar(Sum::default())
+            .window(WindowSpec::sliding(10, 1), EpochMerge::Add)
+            .window(WindowSpec::tumbling(6), EpochMerge::Add);
+        let _ = stream.register(query);
+        let reports = stream.run(&workload, &Global::new(loss), epochs, &mut rng);
+        let plan_stats = stream.session().plan_stats();
+        let summary: Vec<_> = reports
+            .iter()
+            .map(|r| {
+                (
+                    r.start_epoch,
+                    r.end_epoch,
+                    r.answer.to_bits(),
+                    r.relabels,
+                    r.pane_stats
+                        .iter()
+                        .map(|s| s.comm.total_bytes())
+                        .sum::<u64>(),
+                )
+            })
+            .collect();
+        (summary, plan_stats)
+    };
+    let (patched, patched_plan) = run(1.0);
+    let (recompiled, recompiled_plan) = run(0.0);
+    assert_eq!(
+        patched, recompiled,
+        "stream reports diverged across plan-cache strategies"
+    );
+    assert!(
+        patched.iter().any(|&(_, _, _, relabels, _)| relabels > 0),
+        "no relabel landed inside any window — test needs a harsher channel"
+    );
+    assert_eq!(
+        patched_plan.compiles, 1,
+        "patched run recompiled: {patched_plan:?}"
+    );
+    assert!(
+        patched_plan.patches > 0,
+        "nothing patched: {patched_plan:?}"
+    );
+    assert_eq!(recompiled_plan.patches, 0);
+    assert_eq!(
+        recompiled_plan.compiles,
+        1 + patched_plan.patches,
+        "one recompile per relabel epoch: {recompiled_plan:?}"
+    );
 }
