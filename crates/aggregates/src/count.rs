@@ -1,7 +1,7 @@
 //! The Count aggregate: how many nodes contributed.
 //!
 //! The tree side counts exactly. The multi-path side uses the FM bit
-//! vector of [5,7] — the `bv` of Figure 3 — with ≈12% approximation error
+//! vector of \[5,7\] — the `bv` of Figure 3 — with ≈12% approximation error
 //! at the paper's 40-bitmap configuration. The conversion function takes a
 //! subtree count `c` and generates a synopsis the multi-path scheme
 //! equates with the value `c` (FM value-insertion salted by the tributary

@@ -1,7 +1,7 @@
 //! The Sum aggregate (the paper's workhorse in §7.3).
 //!
 //! Tree side: exact integer sums. Multi-path side: FM sketches with
-//! Considine-style value insertion [5] — a node holding reading `v`
+//! Considine-style value insertion \[5\] — a node holding reading `v`
 //! inserts `v` pseudo-elements salted by its id. Conversion inserts a
 //! subtree's sum the same way, salted by the tributary root.
 

@@ -1,0 +1,22 @@
+//! Regenerates the correlated-failure sweep (`results/churn.csv`):
+//! per-epoch Sum RMS, bytes/epoch, coverage, and epoch-plan
+//! patch-vs-rebuild counters versus Gilbert–Elliott burst length and
+//! node-churn rate, across all four schemes, at a fixed 20% average
+//! loss. Respects `TD_SCALE=smoke|paper`; runs at smoke scale by
+//! default so CI can emit the CSV on every push.
+
+use td_bench::experiments::churn;
+use td_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_or(Scale::smoke());
+    let t0 = std::time::Instant::now();
+    let rows = churn::run(scale, 0xC4012);
+    let table = churn::table(&rows);
+    table.print();
+    match table.write_csv("churn") {
+        Some(path) => println!("wrote {}", path.display()),
+        None => std::process::exit(1),
+    }
+    println!("done in {:.1}s", t0.elapsed().as_secs_f64());
+}

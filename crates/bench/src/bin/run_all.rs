@@ -2,7 +2,8 @@
 //! `TD_SCALE=smoke|paper`; paper scale takes several minutes.
 
 use td_bench::experiments::{
-    ablation, fig04, fig06, fig07, fig08, fig09, labdata_sum, rms, stream_windows, tab01, tab02,
+    ablation, churn, fig04, fig06, fig07, fig08, fig09, labdata_sum, rms, stream_windows, tab01,
+    tab02,
 };
 use td_bench::Scale;
 
@@ -78,6 +79,10 @@ fn main() {
     let rows = stream_windows::run(scale, 0x57E2EA);
     stream_windows::table(&rows).print();
     stream_windows::table(&rows).write_csv("stream_windows");
+
+    let rows = churn::run(scale, 0xC4012);
+    churn::table(&rows).print();
+    churn::table(&rows).write_csv("churn");
 
     ablation::signal_ablation(scale, 0xAB1A).print();
     ablation::tree_construction_ablation(scale, 0xAB1B).print();

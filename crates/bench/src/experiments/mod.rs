@@ -1,6 +1,7 @@
 //! The experiment implementations, one module per paper artifact.
 
 pub mod ablation;
+pub mod churn;
 pub mod fig04;
 pub mod fig06;
 pub mod fig07;

@@ -28,12 +28,20 @@
 //! only on the rings and the tree, never on the labeling, so a patched
 //! plan is field-for-field identical to a fresh compile (pinned by
 //! [`EpochPlan::structural_digest`] and a debug assertion in the session
-//! cache). The session falls back to a full [`EpochPlan::compile_td`]
-//! only when the relabel set exceeds the configured
-//! `patch_relabel_fraction` of the network (default 25%), or when the
-//! topology's bounded delta log no longer reaches back to the plan's
-//! version — e.g. after the topology object itself was rebuilt by a
-//! structural `maintain_tree` change.
+//! cache).
+//!
+//! The same path absorbs **structural** deltas: a §4.1 parent switch (a
+//! churn reroute via `apply_churn`, or an in-place `maintain_td`
+//! round) preserves every vertex's depth, so the step order and
+//! receiver table survive and the patch only rewrites the moved
+//! vertices' unicast parents and re-derives heights/subtree sizes along
+//! the switch endpoints' ancestor chains (O(|delta| · depth)). The
+//! session falls back to a full [`EpochPlan::compile_td`] only when the
+//! changed-vertex set exceeds the configured `patch_relabel_fraction`
+//! of the network (default 25%), or when the topology's bounded delta
+//! log no longer reaches back to the plan's version — e.g. after the
+//! topology object itself was rebuilt around a wholesale
+//! `maintain_tree` round.
 //!
 //! ## Arenas
 //!
@@ -515,6 +523,83 @@ impl TdSchedule {
             }
         }
     }
+
+    /// Bring `u`'s unicast parent in line with the topology's current
+    /// tree (the reparent counterpart of
+    /// [`apply_relabel`](Self::apply_relabel); M steps keep the
+    /// self-parent convention [`compile_td`](EpochPlan::compile_td)
+    /// uses).
+    fn apply_reparent(&mut self, topo: &TdTopology, u: NodeId) {
+        let step = &mut self.steps[self.step_of[u.index()] as usize];
+        step.parent = match step.mode {
+            Mode::T => topo
+                .tree()
+                .parent(u)
+                .expect("connected non-base T vertex has a parent"),
+            Mode::M => u,
+        };
+    }
+
+    /// Re-derive heights and subtree sizes **incrementally** after a
+    /// batch of parent switches: only the vertices on the (final-tree)
+    /// ancestor chains of the switch endpoints can have changed, so
+    /// recompute exactly that closure bottom-up from the children's
+    /// cached step values — O(|delta| · depth) against the O(n log n)
+    /// full passes a compile runs. Parent switches preserve depth
+    /// (§4.1: tree parents sit one ring level down), so the step order
+    /// and receiver table stay valid and children always carry correct
+    /// values by the time their ancestor is recomputed (the closure is
+    /// processed outermost ring first, and any child whose value
+    /// changed is itself on one of the chains).
+    ///
+    /// `seeds` are the chain starting points: for every recorded
+    /// [`Reparent`] event, its node and both parent endpoints. Walking
+    /// *final-tree* chains from all of them covers every intermediate
+    /// tree's affected ancestors too: an old-chain vertex either kept
+    /// its own parent (so it is on the final chain of the endpoint
+    /// below it) or was itself reparented (so it seeds its own event's
+    /// chains).
+    fn refresh_structure(&mut self, topo: &TdTopology, seeds: &[NodeId]) {
+        let tree = topo.tree();
+        let rings = topo.rings();
+        let mut seen = vec![false; self.step_of.len()];
+        let mut affected: Vec<NodeId> = Vec::new();
+        for &s in seeds {
+            let mut cur = Some(s);
+            while let Some(v) = cur {
+                if std::mem::replace(&mut seen[v.index()], true) {
+                    break; // the rest of this chain is already queued
+                }
+                affected.push(v);
+                cur = tree.parent(v);
+            }
+        }
+        // Children before parents: outermost ring level first (depth ==
+        // ring level for §4.1-restricted trees), ids for determinism.
+        affected.sort_unstable_by_key(|v| {
+            (
+                std::cmp::Reverse(rings.level(*v).expect("scheduled vertices are connected")),
+                v.0,
+            )
+        });
+        for &v in &affected {
+            let mut height = 1u32;
+            let mut subtree = 1u64;
+            for &c in tree.children(v) {
+                let cs = &self.steps[self.step_of[c.index()] as usize];
+                height = height.max(cs.height + 1);
+                subtree += cs.subtree_size;
+            }
+            if v == BASE_STATION {
+                self.base_height = height;
+                self.base_subtree = subtree;
+            } else {
+                let step = &mut self.steps[self.step_of[v.index()] as usize];
+                step.height = height;
+                step.subtree_size = subtree;
+            }
+        }
+    }
 }
 
 /// The compiled pure-TAG schedule.
@@ -750,29 +835,33 @@ impl EpochPlan {
     }
 
     /// Update the compiled TD schedule **in place** to match `topo`'s
-    /// current labeling, replaying the topology's recorded
-    /// [`TopologyDelta`]s instead of recompiling: only the relabeled
-    /// vertices' steps (mode, unicast parent, switchability), the
-    /// broadcast-table `is M` flags naming them, and their ring
-    /// neighbors' switchability are rewritten — O(|delta| · degree)
-    /// work — and every arena (inbox slabs, local-bundle slab, all
-    /// free-lists) is reused untouched. The patched schedule is
+    /// current labeling *and tree*, replaying the topology's recorded
+    /// [`td_topology::td::TopologyDelta`]s instead of recompiling. Label switches
+    /// rewrite only the relabeled vertices' steps (mode, unicast
+    /// parent, switchability), the broadcast-table `is M` flags naming
+    /// them, and their ring neighbors' switchability — O(|delta| ·
+    /// degree) work. Parent switches (churn reroutes, in-place
+    /// maintenance rounds) rewrite the moved vertices' unicast parents
+    /// and re-derive heights and subtree sizes over the switch
+    /// endpoints' ancestor chains — O(|delta| · depth) — which is
+    /// enough because §4.1 parent switches preserve every vertex's
+    /// depth, so the step order and receiver-table layout survive. In
+    /// both cases every arena (inbox slabs, local-bundle slab, all
+    /// free-lists) is reused untouched, and the patched schedule is
     /// field-for-field identical to [`compile_td`](Self::compile_td) at
-    /// the new version (the step order, receiver-table layout, heights,
-    /// and subtree sizes depend only on the rings and the tree).
+    /// the new version.
     ///
     /// Returns `Some(touched)` — the number of **distinct** vertices
-    /// whose schedule state was rewritten (0 when the plan already
+    /// whose mode or parent was rewritten (0 when the plan already
     /// matched `topo.version()`) — when the plan now matches the
     /// topology. Returns `None` — caller must recompile — when the plan
     /// is a TAG plan, the delta log no longer reaches back to the
-    /// plan's version (e.g. the topology object was rebuilt, as
-    /// structural `maintain_tree` changes do), or more than
-    /// `max_relabels` **distinct** vertices changed (past that point a
-    /// fresh compile is cheaper than chasing neighborhoods — a vertex
-    /// switched back and forth counts once, matching the actual patch
-    /// work). This is the single home of the patch-eligibility rule;
-    /// callers only pick the budget.
+    /// plan's version (e.g. the topology object itself was rebuilt), or
+    /// more than `max_relabels` **distinct** vertices changed (past
+    /// that point a fresh compile is cheaper than chasing
+    /// neighborhoods — a vertex switched back and forth counts once,
+    /// matching the actual patch work). This is the single home of the
+    /// patch-eligibility rule; callers only pick the budget.
     pub fn patch(&mut self, topo: &TdTopology, max_relabels: usize) -> Option<usize> {
         let Schedule::Td(sched) = &mut self.sched else {
             return None;
@@ -785,19 +874,42 @@ impl EpochPlan {
         // straight from `topo`, so replay order is irrelevant and a
         // vertex switched back and forth costs a single pass — and is
         // budgeted as one, since the budget bounds patch work.
-        let mut touched: Vec<NodeId> = deltas
-            .flat_map(|d| d.relabeled.iter().map(|r| r.node))
-            .collect();
-        touched.sort_unstable_by_key(|u| u.0);
-        touched.dedup();
-        if touched.len() > max_relabels {
+        let mut relabeled: Vec<NodeId> = Vec::new();
+        let mut reparents: Vec<td_topology::td::Reparent> = Vec::new();
+        for d in deltas {
+            relabeled.extend(d.relabeled.iter().map(|r| r.node));
+            reparents.extend(d.reparented.iter().copied());
+        }
+        relabeled.sort_unstable_by_key(|u| u.0);
+        relabeled.dedup();
+        let mut moved: Vec<NodeId> = reparents.iter().map(|r| r.node).collect();
+        moved.sort_unstable_by_key(|u| u.0);
+        moved.dedup();
+        let distinct = {
+            let mut all = relabeled.clone();
+            all.extend(moved.iter().copied());
+            all.sort_unstable_by_key(|u| u.0);
+            all.dedup();
+            all.len()
+        };
+        if distinct > max_relabels {
             return None;
         }
-        for &u in &touched {
+        for &u in &relabeled {
             sched.apply_relabel(topo, u);
         }
+        if !reparents.is_empty() {
+            for &u in &moved {
+                sched.apply_reparent(topo, u);
+            }
+            let seeds: Vec<NodeId> = reparents
+                .iter()
+                .flat_map(|r| [r.node, r.from, r.to])
+                .collect();
+            sched.refresh_structure(topo, &seeds);
+        }
         sched.version = topo.version();
-        Some(touched.len())
+        Some(distinct)
     }
 
     /// A deterministic digest of everything structural: the full

@@ -29,8 +29,8 @@
 //!
 //! The four schemes of §7:
 //!
-//! * [`Scheme::Tag`] — tree aggregation on a standard TAG tree [10];
-//! * [`Scheme::Sd`] — synopsis diffusion over rings [16] (an all-delta
+//! * [`Scheme::Tag`] — tree aggregation on a standard TAG tree \[10\];
+//! * [`Scheme::Sd`] — synopsis diffusion over rings \[16\] (an all-delta
 //!   labeling, no adaptation);
 //! * [`Scheme::TdCoarse`] / [`Scheme::Td`] — Tributary-Delta with the
 //!   §4.2 coarse / fine-grained strategies.
@@ -39,10 +39,12 @@ use crate::adapt::{AdaptAction, Adapter, AdapterConfig, Strategy};
 use crate::protocol::Protocol;
 use crate::query::{Answers, QuerySet};
 use crate::runner::{EpochPlan, RunnerConfig};
+use td_netsim::churn::ChurnEvents;
 use td_netsim::loss::LossModel;
 use td_netsim::network::Network;
 use td_netsim::stats::CommStats;
 use td_topology::bushy::{build_bushy_tree, BushyOptions};
+use td_topology::maintenance::{apply_churn, ChurnReport};
 use td_topology::rings::Rings;
 use td_topology::td::TdTopology;
 use td_topology::tree::{build_tag_tree, ParentSelection, Tree};
@@ -434,6 +436,93 @@ impl Session {
         self.plan = None;
     }
 
+    /// Apply one epoch's churn events **before** running that epoch:
+    /// re-route the aggregation structure around the departed nodes and
+    /// record the membership change in [`stats`](Self::stats) (so
+    /// per-epoch snapshots attribute churn to the right panes).
+    ///
+    /// * TD/SD schemes route around churn as a **bounded structural
+    ///   delta** ([`td_topology::maintenance::apply_churn`] →
+    ///   [`TdTopology::switch_parents`]): orphaned children re-parent
+    ///   onto surviving ring receivers, rejoining nodes re-attach, and
+    ///   the cached epoch plan **patches in place** on the next epoch
+    ///   exactly like an adaptation relabel — counted in
+    ///   [`plan_stats`](Self::plan_stats), bit-identical to a rebuild.
+    /// * TAG re-parents orphans onto surviving radio neighbors one tree
+    ///   depth up and recompiles its (cheap, label-free) plan — TAG
+    ///   trees are not ring-restricted, so a parent switch there may
+    ///   change depths and the bottom-up order.
+    ///
+    /// The policy is deterministic (no RNG draws), so churn-afflicted
+    /// runs replay bit-for-bit and schemes stay comparable. The caller
+    /// still decides how absent nodes sound on the channel — wrap the
+    /// epoch's loss model in
+    /// [`ChurnLoss`](td_netsim::churn::ChurnLoss) (or anything
+    /// equivalent); the session only handles structure and accounting.
+    pub fn apply_churn(&mut self, events: &ChurnEvents) -> ChurnReport {
+        self.stats
+            .record_churn(events.joined.len() as u64, events.left.len() as u64);
+        match &mut self.kind {
+            SessionKind::Td { topo, .. } => {
+                apply_churn(topo, &events.left, &events.joined, &events.absent)
+            }
+            SessionKind::Tag { tree } => {
+                let mut absent = vec![false; tree.len()];
+                for n in &events.absent {
+                    if n.index() < absent.len() {
+                        absent[n.index()] = true;
+                    }
+                }
+                let mut report = ChurnReport::default();
+                let mut moves: Vec<(td_netsim::node::NodeId, td_netsim::node::NodeId)> = Vec::new();
+                {
+                    let tree = &*tree;
+                    // Lowest-id present radio neighbor one depth up (the
+                    // depth a parent must sit at, so the switch is legal).
+                    let best = |c: td_netsim::node::NodeId, avoid: td_netsim::node::NodeId| {
+                        let need = tree.depth(c)?.checked_sub(1)?;
+                        self.net.neighbors(c).iter().copied().find(|&n| {
+                            n != avoid && !absent[n.index()] && tree.depth(n) == Some(need)
+                        })
+                    };
+                    for &u in &events.left {
+                        if u.index() >= tree.len() {
+                            continue;
+                        }
+                        for &c in tree.children(u) {
+                            match best(c, u) {
+                                Some(b) => {
+                                    moves.push((c, b));
+                                    report.reparented += 1;
+                                }
+                                None => report.stranded += 1,
+                            }
+                        }
+                    }
+                    for &j in &events.joined {
+                        let Some(p) = tree.parent(j) else { continue };
+                        if !absent[p.index()] {
+                            continue;
+                        }
+                        if let Some(b) = best(j, p) {
+                            moves.push((j, b));
+                            report.rejoined += 1;
+                        }
+                    }
+                }
+                for &(c, p) in &moves {
+                    tree.switch_parent(c, p);
+                }
+                if !moves.is_empty() {
+                    // TAG plans carry no version/delta machinery; a
+                    // structural change recompiles the (small) plan.
+                    self.plan = None;
+                }
+                report
+            }
+        }
+    }
+
     /// The TAG tree, when the scheme is TAG.
     pub fn tag_tree(&self) -> Option<&Tree> {
         match &self.kind {
@@ -757,6 +846,75 @@ mod tests {
         );
         let mean = tail_pct.iter().sum::<f64>() / tail_pct.len() as f64;
         assert!(mean > 0.55, "in-band-signal adaptation stuck at {mean}");
+    }
+
+    /// A small churn event (a few departures) reaches the next epoch as
+    /// an in-place plan patch — never a recompile — and the patched
+    /// session stays bit-identical to one that recompiles every epoch.
+    #[test]
+    fn churn_patches_the_cached_plan_and_stays_bit_identical() {
+        use td_netsim::churn::ChurnSchedule;
+        let net = net(171, 250);
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 11).collect();
+        let schedule = ChurnSchedule::new(net.len(), 0.01, 8.0, 99);
+        let epochs = 40u64;
+        for scheme in [Scheme::Sd, Scheme::TdCoarse, Scheme::Td] {
+            let run = |rebuild_every_epoch: bool| {
+                let mut rng = rng_from_seed(172);
+                let mut session = Session::with_paper_defaults(scheme, &net, &mut rng);
+                let mut outs = Vec::new();
+                for epoch in 0..epochs {
+                    let events = schedule.events_at(epoch);
+                    session.apply_churn(&events);
+                    if rebuild_every_epoch {
+                        session.clear_cached_plan();
+                    }
+                    let proto = ScalarProtocol::new(Sum::default(), &values);
+                    let model = schedule.overlay(Global::new(0.1));
+                    let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
+                    outs.push((rec.output, rec.contributing, rec.delta_size));
+                }
+                (outs, session.stats().clone(), session.plan_stats())
+            };
+            let (patched, patched_stats, plan) = run(false);
+            let (rebuilt, rebuilt_stats, _) = run(true);
+            assert_eq!(patched, rebuilt, "{} diverged under churn", scheme.name());
+            assert_eq!(patched_stats, rebuilt_stats);
+            assert_eq!(
+                plan.compiles,
+                1,
+                "{}: churn recompiled: {plan:?}",
+                scheme.name()
+            );
+            assert!(plan.patches > 0, "{}: churn never patched", scheme.name());
+            assert!(patched_stats.nodes_left() > 0, "schedule never fired");
+        }
+    }
+
+    /// TAG sessions survive churn too: orphans re-route onto surviving
+    /// equal-depth neighbors and the (label-free) plan recompiles.
+    #[test]
+    fn tag_sessions_route_around_churn() {
+        use td_netsim::churn::ChurnSchedule;
+        let net = net(173, 200);
+        let values: Vec<u64> = vec![1; net.len()];
+        let schedule = ChurnSchedule::new(net.len(), 0.02, 6.0, 5);
+        let mut rng = rng_from_seed(174);
+        let mut session = Session::with_paper_defaults(Scheme::Tag, &net, &mut rng);
+        let mut rerouted = 0usize;
+        for epoch in 0..60 {
+            let events = schedule.events_at(epoch);
+            let report = session.apply_churn(&events);
+            rerouted += report.reparented + report.rejoined;
+            let proto = ScalarProtocol::new(Count::default(), &values);
+            let model = schedule.overlay(NoLoss);
+            let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
+            // Sanity: the lossless channel still delivers everyone who
+            // is present and routed around the absent set.
+            assert!(rec.contributing <= net.num_sensors());
+        }
+        assert!(rerouted > 0, "TAG churn never re-routed an orphan");
+        assert!(session.stats().nodes_left() > 0);
     }
 
     /// Plan caching across an adapting run is invisible: a session that

@@ -12,9 +12,9 @@
 //!   an ε(k)-summary at a height-k node).
 //! * [`tree`] — the tree algorithms: Algorithm 1 driven over an
 //!   aggregation tree under a precision gradient — `Min Total-load`
-//!   (Lemma 3), `Min Max-load` [13], `Hybrid` (§6.1.4) — with
+//!   (Lemma 3), `Min Max-load` \[13\], `Hybrid` (§6.1.4) — with
 //!   communication-load accounting for Figure 8.
-//! * [`quantile_based`] — the Quantiles-based baseline [8]: GK summaries
+//! * [`quantile_based`] — the Quantiles-based baseline \[8\]: GK summaries
 //!   up the tree, frequencies extracted from ranks.
 //! * [`multipath`] — the paper's new multi-path algorithm (§6.2):
 //!   class-indexed synopses with duplicate-insensitive counters, rising

@@ -1,4 +1,4 @@
-//! The Quantiles-based frequent-items baseline ([8], Figure 8).
+//! The Quantiles-based frequent-items baseline (\[8\], Figure 8).
 //!
 //! "Frequent items can be computed from quantiles" (§7.4.2, footnote 5):
 //! run Greenwald–Khanna summaries up the tree under a precision gradient,

@@ -8,7 +8,7 @@
 //!
 //! * `Min Total-load` (the paper's contribution, Lemma 3) — total
 //!   communication ≤ `(1 + 2/(√d−1))·m/ε` words on a d-dominating tree;
-//! * `Min Max-load` [13] — per-link load ≤ `h/ε` words;
+//! * `Min Max-load` \[13\] — per-link load ≤ `h/ε` words;
 //! * `Hybrid` (§6.1.4) — within 2× of both simultaneously;
 //! * `Uniform` — naive baseline (no intermediate pruning budget).
 
@@ -27,7 +27,7 @@ use td_topology::tree::Tree;
 pub enum GradientKind {
     /// The paper's Min Total-load (Lemma 3).
     MinTotalLoad,
-    /// Min Max-load of [13].
+    /// Min Max-load of \[13\].
     MinMaxLoad,
     /// §6.1.4's Hybrid of the two.
     Hybrid,

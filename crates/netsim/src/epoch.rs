@@ -6,7 +6,7 @@
 //! duration and the number of levels" (§2). Table 1 tracks latency as a
 //! first-class metric, and §7.4.3 notes the two costs retransmission adds:
 //! each retry waits for an acknowledgment (latency grows linearly with
-//! retries), and the ack traffic costs ~25% of channel capacity [23].
+//! retries), and the ack traffic costs ~25% of channel capacity \[23\].
 //!
 //! This module models those costs explicitly so experiments can report
 //! latency next to energy and error.

@@ -8,10 +8,16 @@
 //!   base station, positioned in a 2-D deployment area, with a fixed radio
 //!   range inducing a symmetric connectivity graph.
 //! * **Lossy communication** ([`loss`]): every transmission is dropped
-//!   independently according to a pluggable [`loss::LossModel`] — the paper's
+//!   according to a pluggable [`loss::LossModel`] — the paper's
 //!   `Global(p)` and `Regional(p1,p2)` failure models, distance-based link
-//!   quality for the LabData reconstruction, and epoch-indexed timelines for
-//!   the dynamic scenarios of Figure 6.
+//!   quality for the LabData reconstruction, epoch-indexed timelines for
+//!   the dynamic scenarios of Figure 6, and the correlated
+//!   [`loss::GilbertElliott`] burst channel (a seeded per-sender/per-link
+//!   Good/Bad Markov chain, [`markov`]).
+//! * **Node churn** ([`churn`]): seeded join/leave schedules
+//!   ([`churn::ChurnSchedule`]) with a [`churn::ChurnLoss`] channel
+//!   overlay silencing absent nodes — the epoch-dependent counterpart of
+//!   [`loss::DeadNodes`].
 //! * **Epoch-synchronized rounds**: aggregation proceeds level-by-level,
 //!   one level per slot within an epoch (TAG-style). The scheduling loop
 //!   itself lives in the `tributary-delta` crate; this crate supplies the
@@ -46,14 +52,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod epoch;
 pub mod loss;
+pub mod markov;
 pub mod message;
 pub mod network;
 pub mod node;
 pub mod rng;
 pub mod stats;
 
+pub use churn::{ChurnEvents, ChurnSchedule};
 pub use loss::LossModel;
 pub use message::TINYDB_PAYLOAD_BYTES;
 pub use network::Network;

@@ -1,6 +1,6 @@
 //! Message-loss models and delivery primitives.
 //!
-//! Wireless sensor networks commonly see up to 30% message loss ([23] in
+//! Wireless sensor networks commonly see up to 30% message loss (\[23\] in
 //! the paper), and the evaluation sweeps loss rates from 0 to 1 under two
 //! failure models (§7.1):
 //!
@@ -16,6 +16,11 @@
 //! * [`Timeline`] — switches between models at given epochs, for the
 //!   dynamic scenario of Figure 6.
 //! * [`DeadNodes`] — failure injection: listed nodes never deliver.
+//! * [`GilbertElliott`] — temporally **correlated** burst loss: a
+//!   per-sender (or per-link) two-state Good/Bad Markov channel stepped
+//!   once per epoch. With equal Good/Bad drop rates it reduces bit for
+//!   bit to [`Global`] — the state machinery draws from its own seeded
+//!   substream, never from the delivery RNG.
 //!
 //! Loss is receiver-independent for unicast and receiver-*dependent* for
 //! broadcast: when a node broadcasts, each potential receiver flips its own
@@ -161,7 +166,7 @@ impl LossModel for Regional {
 /// (d / range)^steepness`, clamped to `[floor, ceiling]`.
 ///
 /// This is the standard empirical shape for mote radios (loss low in the
-/// connected region, rising sharply near the range edge [23]) and is what
+/// connected region, rising sharply near the range edge \[23\]) and is what
 /// the LabData reconstruction uses in place of the measured per-link rates.
 #[derive(Clone, Copy, Debug)]
 pub struct DistanceLoss {
@@ -263,6 +268,174 @@ impl<M: LossModel> LossModel for DeadNodes<M> {
             1.0
         } else {
             self.inner.loss_rate(from, to, net, epoch)
+        }
+    }
+}
+
+/// Whose channel state a [`GilbertElliott`] chain tracks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BurstScope {
+    /// One Good/Bad chain per **sender**: a node in a bad state loses
+    /// every transmission it makes that epoch (interference or a duty
+    /// cycle local to the mote). This is the default — it correlates a
+    /// sender's unicast and broadcast fates the way a shared radio does.
+    #[default]
+    PerSender,
+    /// One chain per **directed link**: fading is local to a pair, so a
+    /// sender can be bad toward one receiver and fine toward another.
+    PerLink,
+}
+
+/// The Gilbert–Elliott two-state burst-loss channel: each sender (or
+/// directed link, per [`BurstScope`]) is in a *Good* or *Bad* state,
+/// dropping transmissions with `p_good` / `p_bad` respectively, and the
+/// state evolves once per **epoch** as a two-state Markov chain
+/// (`p_enter_bad` = P(Good→Bad), `p_exit_bad` = P(Bad→Good), so the
+/// mean burst lasts `1/p_exit_bad` epochs). This is the standard model
+/// for temporally correlated wireless loss — the failure shape i.i.d.
+/// Bernoulli sweeps can't produce: entire epochs where a subtree's
+/// uplink is gone, then quiet stretches at the same average rate.
+///
+/// Chain states start in the stationary distribution (rate-matched from
+/// epoch 0) and are a pure function of `(seed, entity, epoch)` drawn
+/// from a private hash substream ([`crate::markov::BinaryMarkov`]) —
+/// **not** from the delivery RNG passed to
+/// [`delivered`](LossModel::delivered). Two consequences:
+///
+/// * simulations stay bit-for-bit reproducible and scheme-comparable
+///   (every scheme sees the identical burst trajectory under one seed);
+/// * with `p_good == p_bad == p` the model is **bit-identical** to
+///   [`Global`]`(p)`: the returned rate is the constant `p` whatever
+///   the hidden state, and the delivery RNG consumption is unchanged.
+///
+/// ```
+/// use td_netsim::loss::{GilbertElliott, Global, LossModel};
+/// use td_netsim::network::Network;
+/// use td_netsim::node::{NodeId, Position};
+/// use td_netsim::rng::rng_from_seed;
+///
+/// let net = Network::new(vec![Position::new(0.0, 0.0), Position::new(1.0, 0.0)], 1.5);
+/// // ~20% average loss arriving in bursts of mean length 8 epochs.
+/// let bursty = GilbertElliott::bursty(0.2, 8.0, 0.9, 7);
+/// assert!((bursty.stationary_loss() - 0.2).abs() < 1e-12);
+///
+/// // Equal Good/Bad rates reduce to Bernoulli bit for bit.
+/// let ge = GilbertElliott::new(0.3, 0.3, 0.1, 0.2, 7);
+/// let (mut a, mut b) = (rng_from_seed(1), rng_from_seed(1));
+/// for epoch in 0..50 {
+///     assert_eq!(
+///         ge.delivered(NodeId(1), NodeId(0), &net, epoch, &mut a),
+///         Global::new(0.3).delivered(NodeId(1), NodeId(0), &net, epoch, &mut b),
+///     );
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct GilbertElliott {
+    p_good: f64,
+    p_bad: f64,
+    chain: crate::markov::BinaryMarkov,
+    scope: BurstScope,
+}
+
+impl GilbertElliott {
+    /// Create a per-sender burst channel. `p_good`/`p_bad` are the drop
+    /// probabilities in the Good/Bad states; `p_enter_bad`/`p_exit_bad`
+    /// are the per-epoch transition probabilities. `seed` drives the
+    /// state chains only (derive it per trial via
+    /// [`crate::rng::derive_seed`] so trials see independent bursts).
+    ///
+    /// # Panics
+    /// Panics unless all four probabilities are in `[0, 1]`.
+    pub fn new(p_good: f64, p_bad: f64, p_enter_bad: f64, p_exit_bad: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_good), "p_good out of [0,1]");
+        assert!((0.0..=1.0).contains(&p_bad), "p_bad out of [0,1]");
+        GilbertElliott {
+            p_good,
+            p_bad,
+            chain: crate::markov::BinaryMarkov::new(
+                p_enter_bad,
+                p_exit_bad,
+                crate::markov::StartState::Stationary,
+                seed,
+            ),
+            scope: BurstScope::PerSender,
+        }
+    }
+
+    /// A burst channel hitting an average loss rate of `mean_loss` with
+    /// bursts of mean length `mean_burst_len` epochs: the Bad state
+    /// drops at `p_bad`, the Good state at 0, and the stationary Bad
+    /// occupancy is sized to `mean_loss / p_bad`. This is the
+    /// rate-matched counterpart of [`Global`]`(mean_loss)` for burst
+    /// sweeps: same long-run loss, different temporal clustering.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= mean_loss < p_bad <= 1`,
+    /// `mean_burst_len >= 1`, and the combination is feasible: hitting
+    /// the target occupancy needs `P(Good→Bad) ≤ 1`, i.e. the mean Good
+    /// sojourn `(1 − π_bad)·burst/π_bad` must last at least one epoch.
+    /// (Rejecting infeasible points beats silently clamping to a
+    /// channel whose realized loss undershoots the requested mean.)
+    pub fn bursty(mean_loss: f64, mean_burst_len: f64, p_bad: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_bad), "p_bad out of [0,1]");
+        assert!(
+            (0.0..p_bad).contains(&mean_loss),
+            "mean_loss {mean_loss} must sit below p_bad {p_bad}"
+        );
+        assert!(mean_burst_len >= 1.0, "bursts last at least one epoch");
+        let pi_bad = mean_loss / p_bad;
+        let p_exit = 1.0 / mean_burst_len;
+        let p_enter = pi_bad * p_exit / (1.0 - pi_bad);
+        assert!(
+            p_enter <= 1.0,
+            "infeasible burst shape: occupancy {pi_bad:.3} with bursts of \
+             {mean_burst_len} epochs needs P(Good->Bad) = {p_enter:.3} > 1; \
+             lengthen the bursts or lower mean_loss/raise p_bad"
+        );
+        GilbertElliott::new(0.0, p_bad, p_enter, p_exit, seed)
+    }
+
+    /// Track one chain per directed link instead of per sender.
+    pub fn per_link(mut self) -> Self {
+        self.scope = BurstScope::PerLink;
+        self
+    }
+
+    /// The long-run average loss rate
+    /// (`π_bad · p_bad + (1 − π_bad) · p_good`).
+    pub fn stationary_loss(&self) -> f64 {
+        let pi = self.chain.stationary_p1();
+        pi * self.p_bad + (1.0 - pi) * self.p_good
+    }
+
+    /// Mean Bad-state sojourn in epochs (`1 / p_exit_bad`; infinite if
+    /// the Bad state never exits).
+    pub fn mean_burst_len(&self) -> f64 {
+        1.0 / self.chain.rates().1
+    }
+
+    /// Whether the entity behind `from -> to` is in the Bad state at
+    /// `epoch` (introspection for tests and telemetry).
+    pub fn in_bad_state(&self, from: NodeId, to: NodeId, epoch: u64) -> bool {
+        self.chain.state_at(self.key(from, to), epoch)
+    }
+
+    /// The chain key of a transmission under the configured scope.
+    #[inline]
+    fn key(&self, from: NodeId, to: NodeId) -> u64 {
+        match self.scope {
+            BurstScope::PerSender => from.0 as u64,
+            BurstScope::PerLink => ((from.0 as u64) << 32) | to.0 as u64,
+        }
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn loss_rate(&self, from: NodeId, to: NodeId, _: &Network, epoch: u64) -> f64 {
+        if self.chain.state_at(self.key(from, to), epoch) {
+            self.p_bad
+        } else {
+            self.p_good
         }
     }
 }
@@ -595,5 +768,90 @@ mod tests {
         }
         let frac = exactly_one as f64 / trials as f64;
         assert!((frac - 0.5).abs() < 0.03, "{frac}");
+    }
+
+    #[test]
+    fn gilbert_elliott_equal_rates_is_bernoulli_bit_for_bit() {
+        let net = line_net();
+        for p in [0.0, 0.3, 1.0] {
+            let ge = GilbertElliott::new(p, p, 0.15, 0.4, 99);
+            let global = Global::new(p);
+            let mut rng_a = rng_from_seed(1234);
+            let mut rng_b = rng_from_seed(1234);
+            for epoch in 0..200 {
+                assert_eq!(
+                    ge.delivered(NodeId(1), NodeId(0), &net, epoch, &mut rng_a),
+                    global.delivered(NodeId(1), NodeId(0), &net, epoch, &mut rng_b),
+                    "p={p} epoch={epoch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_bursty_hits_target_rate_with_longer_runs() {
+        let net = line_net();
+        let mean_loss = 0.25;
+        let bursty = GilbertElliott::bursty(mean_loss, 10.0, 0.95, 5);
+        assert!((bursty.stationary_loss() - mean_loss).abs() < 1e-12);
+        assert!((bursty.mean_burst_len() - 10.0).abs() < 1e-12);
+        // Empirical rate over many senders and epochs approaches the
+        // target, and bad epochs cluster into runs.
+        let mut rng = rng_from_seed(6);
+        let mut lost = 0usize;
+        let mut total = 0usize;
+        let mut bad_runs = Vec::new();
+        for sender in 1..40u32 {
+            let mut run = 0u32;
+            for epoch in 0..400 {
+                if !bursty.delivered(NodeId(sender), NodeId(0), &net, epoch, &mut rng) {
+                    lost += 1;
+                }
+                total += 1;
+                if bursty.in_bad_state(NodeId(sender), NodeId(0), epoch) {
+                    run += 1;
+                } else if run > 0 {
+                    bad_runs.push(run);
+                    run = 0;
+                }
+            }
+        }
+        let rate = lost as f64 / total as f64;
+        assert!((rate - mean_loss).abs() < 0.03, "empirical loss {rate}");
+        let mean_run = bad_runs.iter().map(|&r| r as f64).sum::<f64>() / bad_runs.len() as f64;
+        assert!(mean_run > 4.0, "bursts too short: {mean_run}");
+    }
+
+    #[test]
+    fn gilbert_elliott_scopes_key_their_chains_differently() {
+        let net = line_net();
+        let per_sender = GilbertElliott::bursty(0.4, 6.0, 1.0, 11);
+        let per_link = per_sender.clone().per_link();
+        // Per-sender: one chain for node 1, whatever the receiver.
+        let sender_agrees = (0..300).all(|e| {
+            per_sender.in_bad_state(NodeId(1), NodeId(0), e)
+                == per_sender.in_bad_state(NodeId(1), NodeId(2), e)
+        });
+        assert!(sender_agrees, "per-sender state must ignore the receiver");
+        // Per-link: the two directed links evolve independently.
+        let links_differ = (0..300).any(|e| {
+            per_link.in_bad_state(NodeId(1), NodeId(0), e)
+                != per_link.in_bad_state(NodeId(1), NodeId(2), e)
+        });
+        assert!(links_differ, "per-link chains never diverged");
+        let _ = &net;
+    }
+
+    #[test]
+    #[should_panic(expected = "must sit below p_bad")]
+    fn gilbert_elliott_bursty_rejects_unreachable_rate() {
+        let _ = GilbertElliott::bursty(0.5, 4.0, 0.4, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible burst shape")]
+    fn gilbert_elliott_bursty_rejects_infeasible_occupancy() {
+        // Occupancy 0.917 with 1-epoch bursts would need P(Good→Bad) = 11.
+        let _ = GilbertElliott::bursty(0.55, 1.0, 0.6, 1);
     }
 }

@@ -34,6 +34,11 @@ pub struct NodeComm {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     per_node: Vec<NodeComm>,
+    /// Churn arrivals observed over the run (see
+    /// [`record_churn`](Self::record_churn)).
+    nodes_joined: u64,
+    /// Churn departures observed over the run.
+    nodes_left: u64,
 }
 
 impl CommStats {
@@ -41,6 +46,8 @@ impl CommStats {
     pub fn new(num_nodes: usize) -> Self {
         CommStats {
             per_node: vec![NodeComm::default(); num_nodes],
+            nodes_joined: 0,
+            nodes_left: 0,
         }
     }
 
@@ -59,6 +66,26 @@ impl CommStats {
         c.messages += msgs;
         c.bytes += bytes as u64 * attempts;
         c.words += words as u64;
+    }
+
+    /// Record a churn event batch: `joined` nodes (re)appeared and
+    /// `left` nodes went absent this epoch. Kept alongside the radio
+    /// counters so per-epoch snapshots ([`diff`](Self::diff)) attribute
+    /// churn to the same panes/windows they attribute traffic to —
+    /// lossy-under-churn windows degrade visibly.
+    pub fn record_churn(&mut self, joined: u64, left: u64) {
+        self.nodes_joined += joined;
+        self.nodes_left += left;
+    }
+
+    /// Total churn arrivals recorded (0 unless the run applied churn).
+    pub fn nodes_joined(&self) -> u64 {
+        self.nodes_joined
+    }
+
+    /// Total churn departures recorded.
+    pub fn nodes_left(&self) -> u64 {
+        self.nodes_left
     }
 
     /// Counters of one node.
@@ -120,6 +147,8 @@ impl CommStats {
             a.bytes += b.bytes;
             a.words += b.words;
         }
+        self.nodes_joined += other.nodes_joined;
+        self.nodes_left += other.nodes_left;
     }
 
     /// Per-node counter difference `self − earlier`: the activity
@@ -153,6 +182,8 @@ impl CommStats {
                     words: sub(a.words, b.words),
                 })
                 .collect(),
+            nodes_joined: sub(self.nodes_joined, earlier.nodes_joined),
+            nodes_left: sub(self.nodes_left, earlier.nodes_left),
         }
     }
 
@@ -233,12 +264,27 @@ mod tests {
     fn merge_adds_counters() {
         let mut a = CommStats::new(2);
         a.record_send(NodeId(1), 4, 1, 1);
+        a.record_churn(2, 1);
         let mut b = CommStats::new(2);
         b.record_send(NodeId(1), 8, 2, 1);
+        b.record_churn(0, 3);
         a.merge(&b);
         assert_eq!(a.node(NodeId(1)).bytes, 12);
         assert_eq!(a.node(NodeId(1)).words, 3);
         assert_eq!(a.node(NodeId(1)).messages, 2);
+        assert_eq!(a.nodes_joined(), 2);
+        assert_eq!(a.nodes_left(), 4);
+    }
+
+    #[test]
+    fn churn_counters_flow_through_diff() {
+        let mut s = CommStats::new(2);
+        s.record_churn(1, 2);
+        let snapshot = s.clone();
+        s.record_churn(3, 0);
+        let d = s.diff(&snapshot);
+        assert_eq!(d.nodes_joined(), 3);
+        assert_eq!(d.nodes_left(), 0);
     }
 
     #[test]

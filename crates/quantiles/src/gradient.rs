@@ -12,7 +12,7 @@
 //! * [`MinTotalLoad`] — the paper's new gradient (Lemma 3):
 //!   `ε(i) = ε·(1−t)(1+t+…+t^{i−1}) = ε·(1−t^i)` with `t = 1/√d` for a
 //!   d-dominating tree; total communication ≤ `(1 + 2/(√d−1))·m/ε`.
-//! * [`MinMaxLoad`] — the prior art [13]: `ε(i) = ε·i/h` for a tree of
+//! * [`MinMaxLoad`] — the prior art \[13\]: `ε(i) = ε·i/h` for a tree of
 //!   height `h`, minimizing the *maximum* load (≤ `h/ε` per link).
 //! * [`Hybrid`] — §6.1.4: the average of the two, within a factor 2 of
 //!   both optima simultaneously (each per-level difference is at least
@@ -81,7 +81,7 @@ impl PrecisionGradient for MinTotalLoad {
     }
 }
 
-/// The Min Max-load gradient of [13]: linear in height.
+/// The Min Max-load gradient of \[13\]: linear in height.
 #[derive(Clone, Copy, Debug)]
 pub struct MinMaxLoad {
     eps: f64,

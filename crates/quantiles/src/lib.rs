@@ -1,6 +1,6 @@
 //! # td-quantiles — Greenwald–Khanna quantile summaries for sensor trees
 //!
-//! The Greenwald–Khanna (GK) summary [8] is the classic deterministic
+//! The Greenwald–Khanna (GK) summary \[8\] is the classic deterministic
 //! ε-approximate quantile structure, and the basis of two pieces of the
 //! paper:
 //!
@@ -11,7 +11,7 @@
 //!   communication on d-dominating trees.
 //!
 //! This implementation follows the *power-conserving* formulation of
-//! GK [8], which is built for sensor trees: each node builds an exact
+//! GK \[8\], which is built for sensor trees: each node builds an exact
 //! summary of its local collection, **combines** its children's summaries
 //! (absolute rank uncertainties add), then **reduces** (compresses) the
 //! result to its height's error budget before transmitting. The

@@ -124,7 +124,7 @@ impl GkSummary {
     }
 
     /// Combine with another summary (the union of the two populations).
-    /// Absolute uncertainties add: `E = E_a + E_b` ([8] §3; this is what
+    /// Absolute uncertainties add: `E = E_a + E_b` (\[8\] §3; this is what
     /// makes the precision gradient's per-level error *differences* pay
     /// for compression).
     pub fn combine(&self, other: &Self) -> Self {

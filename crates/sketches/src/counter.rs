@@ -8,7 +8,7 @@
 //! * [`ExactCounter`] — `εc = 0`, unbounded size. A reference
 //!   implementation for tests and ground truth (stores the contributing
 //!   populations explicitly).
-//! * [`FmCounter`] — the low-overhead best-effort estimator of [7] that
+//! * [`FmCounter`] — the low-overhead best-effort estimator of \[7\] that
 //!   the paper's experiments actually use (§7.4.3): small, ~`1.1/√K`
 //!   relative error, not accuracy-preserving in the Definition 1 sense.
 //! * [`KmvCounter`] — the accuracy-preserving operator of Definition 1
@@ -106,7 +106,7 @@ impl CounterFactory for ExactFactory {
 // FM counter
 // ---------------------------------------------------------------------
 
-/// Best-effort FM counter ([7], as used in the paper's experiments).
+/// Best-effort FM counter (\[7\], as used in the paper's experiments).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FmCounter {
     sketch: FmSketch,

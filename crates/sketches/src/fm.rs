@@ -1,4 +1,4 @@
-//! Flajolet–Martin (FM) probabilistic-counting sketches [7].
+//! Flajolet–Martin (FM) probabilistic-counting sketches \[7\].
 //!
 //! An [`FmSketch`] holds `K` independent 32-bit bitmaps. Inserting a
 //! distinct element sets, in each bitmap `k`, bit `ρ(h_k(e))` where `ρ` is
@@ -15,7 +15,7 @@
 //!
 //! **Sum insertion.** To add a *value* `v` (e.g. a sensor reading or a
 //! converted subtree sum), the sketch behaves as if `v` distinct
-//! sub-elements were inserted, as in [5]. For small `v` we insert them
+//! sub-elements were inserted, as in \[5\]. For small `v` we insert them
 //! literally; for large `v` we use the standard independent-bit
 //! approximation (`P[bit j unset] = (1 − 2^{−(j+1)})^v`), with the bits
 //! drawn deterministically from the insertion salt so the operation stays

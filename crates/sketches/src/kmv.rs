@@ -4,7 +4,7 @@
 //! duplicate-insensitive sum operator* ⊕ (Definition 1): an `(εc, δc)`
 //! estimate of `X` combined with an `(εc, δc)` estimate of `Y` must yield
 //! an `(εc, δc)` estimate of `X + Y`. Distinct-element sketches in the
-//! style of Bar-Yossef et al. [3] have exactly this property; KMV is the
+//! style of Bar-Yossef et al. \[3\] have exactly this property; KMV is the
 //! standard representative. A KMV sketch keeps the `k` smallest hash
 //! values ever inserted (hashes are uniform in `[0, 2^64)`); merging takes
 //! the union and re-truncates; the estimate is `(k−1) / v_k` where `v_k`

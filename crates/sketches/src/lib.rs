@@ -6,12 +6,12 @@
 //! associative, and idempotent. This crate provides the synopses the paper
 //! builds on:
 //!
-//! * [`fm`] — Flajolet–Martin / PCSA bit-vector sketches [7], with the
-//!   Considine-style value insertion used for Sum in [5] and §7.1's
+//! * [`fm`] — Flajolet–Martin / PCSA bit-vector sketches \[7\], with the
+//!   Considine-style value insertion used for Sum in \[5\] and §7.1's
 //!   40×32-bit configuration whose averaged estimate has the ≈12%
 //!   approximation error seen in Figure 2.
 //! * [`rle`] — the run-length wire encoding that packs those 40 bitmaps
-//!   into a single 48-byte TinyDB message ([17], §7.1).
+//!   into a single 48-byte TinyDB message (\[17\], §7.1).
 //! * [`kmv`] — k-minimum-values distinct-count sketches: the
 //!   *accuracy-preserving duplicate-insensitive sum operator* of
 //!   Definition 1 (relative error `εc ≈ 1/√(k−2)`), including exact

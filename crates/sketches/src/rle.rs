@@ -3,7 +3,7 @@
 //! A raw 40×32-bit sketch is 160 bytes — four TinyDB messages. But FM
 //! bitmaps are extremely regular: a prefix of ones up to ≈ `lg(φn)`, a
 //! couple of straggler bits just above, and zeros beyond. §7.1 notes that
-//! run-length encoding ([17]) packs 40 sum synopses into a single 48-byte
+//! run-length encoding (\[17\]) packs 40 sum synopses into a single 48-byte
 //! message. This module implements a lossless encoding exploiting exactly
 //! that structure:
 //!

@@ -13,20 +13,23 @@
 //! from the front); windows merge panes through the associative
 //! [`PanePartial`] algebra and emit [`WindowReport`]s.
 //!
-//! ## Loss and adaptation visibility
+//! ## Loss, churn, and adaptation visibility
 //!
 //! Windows never hide degradation: a report carries every pane's
 //! coverage fraction and communication accounting, the window-level
-//! mean/min coverage, and the number of tributary/delta relabels that
-//! fired *between* its panes. A completed pane is a plain value — a
-//! later relabel changes how future panes are computed, never the
-//! merged history — so adaptation mid-window degrades answers visibly
+//! mean/min coverage, the number of tributary/delta relabels that
+//! fired *between* its panes, and — for
+//! [`StreamSession::run_under_churn`] — the nodes that joined or left
+//! across its panes. A completed pane is a plain value — a later
+//! relabel changes how future panes are computed, never the merged
+//! history — so adaptation mid-window degrades answers visibly
 //! (through coverage) rather than invalidating them.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use rand::Rng;
+use td_netsim::churn::ChurnSchedule;
 use td_netsim::loss::LossModel;
 use td_netsim::stats::CommStats;
 use tributary_delta::adapt::AdaptAction;
@@ -97,6 +100,15 @@ pub struct WindowReport {
     /// pane (with a successor) will count it, while for tumbling
     /// windows it fell between windows and is counted by none.
     pub relabels: u32,
+    /// Churn arrivals attributed to this window's panes (each pane's
+    /// [`CommStats::nodes_joined`] delta; for landmark windows a
+    /// running total since the stream began). 0 unless the run applied
+    /// churn ([`StreamSession::run_under_churn`]).
+    pub nodes_joined: u64,
+    /// Churn departures attributed to this window's panes — the
+    /// membership half of "lossy windows degrade visibly": a window
+    /// whose coverage dipped because nodes left says so here.
+    pub nodes_left: u64,
     /// Per-pane instrumentation, oldest first. For [`WindowSpec::Landmark`]
     /// this is a single entry — the *newest* pane's per-epoch stats (the
     /// landmark window keeps O(1) state and retains no history; its
@@ -174,6 +186,9 @@ struct LandmarkState {
     coverage_sum: f64,
     min_coverage: f64,
     relabels: u32,
+    /// Running churn totals across every absorbed pane.
+    nodes_joined: u64,
+    nodes_left: u64,
     /// Relabel flag of the most recent pane — promoted into `relabels`
     /// only once a later pane arrives (a relabel after the last pane is
     /// not *between* panes yet).
@@ -313,6 +328,50 @@ impl StreamSession {
         M: LossModel,
         R: Rng + ?Sized,
     {
+        self.run_inner(workload, model, None, epochs, rng)
+    }
+
+    /// [`run`](Self::run) under node churn: before each epoch the
+    /// schedule's membership transitions are applied to the session
+    /// ([`Session::apply_churn`] — orphans re-route, the plan patches)
+    /// and delivery runs under [`ChurnSchedule::overlay`], so absent
+    /// nodes are silent on the channel *and* routed around in the
+    /// structure. Every pane's [`CommStats`] delta carries the epoch's
+    /// joined/left counts, and reports total them in
+    /// [`WindowReport::nodes_joined`]/[`nodes_left`] — windows spanning
+    /// churn degrade visibly instead of silently.
+    ///
+    /// [`Session::apply_churn`]: tributary_delta::session::Session::apply_churn
+    /// [`nodes_left`]: WindowReport::nodes_left
+    pub fn run_under_churn<W, M, R>(
+        &mut self,
+        workload: &W,
+        model: &M,
+        churn: &ChurnSchedule,
+        epochs: u64,
+        rng: &mut R,
+    ) -> Vec<WindowReport>
+    where
+        W: Workload + ?Sized,
+        M: LossModel,
+        R: Rng + ?Sized,
+    {
+        self.run_inner(workload, model, Some(churn), epochs, rng)
+    }
+
+    fn run_inner<W, M, R>(
+        &mut self,
+        workload: &W,
+        model: &M,
+        churn: Option<&ChurnSchedule>,
+        epochs: u64,
+        rng: &mut R,
+    ) -> Vec<WindowReport>
+    where
+        W: Workload + ?Sized,
+        M: LossModel,
+        R: Rng + ?Sized,
+    {
         assert!(
             !self.protos.is_empty(),
             "register at least one stream query before running"
@@ -332,7 +391,14 @@ impl StreamSession {
                 .iter()
                 .map(|p| p.register(&mut set, &readings, epoch))
                 .collect();
-            let mut stepped = self.driver.step_set(&set, model, rng);
+            let mut stepped = match churn {
+                Some(schedule) => {
+                    let events = schedule.events_at(epoch);
+                    self.driver.session_mut().apply_churn(&events);
+                    self.driver.step_set(&set, &schedule.overlay(model), rng)
+                }
+                None => self.driver.step_set(&set, model, rng),
+            };
             let values: Vec<f64> = self
                 .protos
                 .iter()
@@ -422,6 +488,8 @@ impl StreamSession {
                 lm.panes += 1;
                 lm.coverage_sum += pane.coverage;
                 lm.pending_relabel = pane.relabeled;
+                lm.nodes_joined += pane.comm.nodes_joined();
+                lm.nodes_left += pane.comm.nodes_left();
                 let acc = lm.acc.expect("landmark accumulator seeded");
                 reports.push(WindowReport {
                     handle,
@@ -436,6 +504,8 @@ impl StreamSession {
                     coverage: lm.coverage_sum / lm.panes as f64,
                     min_coverage: lm.min_coverage,
                     relabels: lm.relabels,
+                    nodes_joined: lm.nodes_joined,
+                    nodes_left: lm.nodes_left,
                     // The newest pane's true per-epoch stats (see the
                     // `pane_stats` field docs).
                     pane_stats: vec![PaneStats {
@@ -457,12 +527,16 @@ impl StreamSession {
             let mut coverage_sum = window_panes[0].coverage;
             let mut min_coverage = window_panes[0].coverage;
             let mut relabels = 0u32;
+            let mut nodes_joined = window_panes[0].comm.nodes_joined();
+            let mut nodes_left = window_panes[0].comm.nodes_left();
             for pair in window_panes.windows(2) {
                 let (prev, cur) = (pair[0], pair[1]);
                 acc.merge(&PanePartial::of(cur.value));
                 self.stats.pane_merges += 1;
                 coverage_sum += cur.coverage;
                 min_coverage = min_coverage.min(cur.coverage);
+                nodes_joined += cur.comm.nodes_joined();
+                nodes_left += cur.comm.nodes_left();
                 // A relabel flagged on `prev` happened between prev and
                 // cur — inside this window.
                 if prev.relabeled {
@@ -482,6 +556,8 @@ impl StreamSession {
                 coverage: coverage_sum / span as f64,
                 min_coverage,
                 relabels,
+                nodes_joined,
+                nodes_left,
                 pane_stats: window_panes
                     .iter()
                     .map(|p| PaneStats {
@@ -653,6 +729,53 @@ mod tests {
         for h in &handles {
             assert!(reports.iter().any(|r| r.handle == *h));
         }
+    }
+
+    #[test]
+    fn churn_surfaces_in_reports_and_matches_a_manual_loop() {
+        use td_netsim::churn::ChurnSchedule;
+        let net = net(311, 150);
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 5).collect();
+        let schedule = ChurnSchedule::new(net.len(), 0.03, 5.0, 13);
+        let model = Global::new(0.1);
+        let epochs = 30u64;
+
+        // Manual baseline: same seed, same per-epoch churn application.
+        let mut rng = rng_from_seed(312);
+        let mut session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+        let mut manual = Vec::new();
+        for epoch in 0..epochs {
+            session.apply_churn(&schedule.events_at(epoch));
+            let proto = tributary_delta::protocol::ScalarProtocol::new(Sum::default(), &values);
+            let rec = session.run_epoch(&proto, &schedule.overlay(&model), epoch, &mut rng);
+            manual.push(rec.output);
+        }
+        assert!(session.stats().nodes_left() > 0, "schedule never fired");
+
+        // Stream engine, tumbling(1): identical answers, churn totals
+        // surfaced per report.
+        let (mut ss, mut rng) = stream(Scheme::Td, &net, 0, 312);
+        let _ = ss.register(
+            StreamQuery::scalar(Sum::default()).window(WindowSpec::tumbling(1), EpochMerge::Add),
+        );
+        let reports =
+            ss.run_under_churn(&FixedReadings(values), &model, &schedule, epochs, &mut rng);
+        let answers: Vec<f64> = reports.iter().map(|r| r.answer).collect();
+        assert_eq!(answers, manual, "stream churn run diverged from manual");
+        let joined: u64 = reports.iter().map(|r| r.nodes_joined).sum();
+        let left: u64 = reports.iter().map(|r| r.nodes_left).sum();
+        assert_eq!(left, ss.session().stats().nodes_left());
+        assert_eq!(joined, ss.session().stats().nodes_joined());
+        assert!(left > 0, "reports hid the churn");
+        // A churn-free run reports zeros.
+        let (mut quiet, mut rng) = stream(Scheme::Td, &net, 0, 313);
+        let _ = quiet.register(
+            StreamQuery::scalar(Sum::default()).window(WindowSpec::tumbling(1), EpochMerge::Add),
+        );
+        let qreports = quiet.run(&FixedReadings(vec![1; net.len()]), &model, 5, &mut rng);
+        assert!(qreports
+            .iter()
+            .all(|r| r.nodes_left == 0 && r.nodes_joined == 0));
     }
 
     #[test]

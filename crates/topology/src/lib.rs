@@ -4,11 +4,11 @@
 //! schemes run over:
 //!
 //! * [`rings`] — the multi-path **Rings** topology of synopsis diffusion
-//!   ([5,16] in the paper; §2): BFS levels outward from the base station;
+//!   (\[5,16\] in the paper; §2): BFS levels outward from the base station;
 //!   level *i+1* nodes broadcast while level *i* nodes listen.
 //! * [`tree`] — spanning **aggregation trees**: the `Tree` structure
 //!   (parents, children, levels, heights, subtree sizes) plus the standard
-//!   TAG construction [10] with optional link-quality-aware parent choice.
+//!   TAG construction \[10\] with optional link-quality-aware parent choice.
 //! * [`bushy`] — the paper's tree-construction algorithm (§6.1.3):
 //!   parents restricted to ring level *i−1* (so tree links are a subset of
 //!   ring links and switching nodes never re-synchronizes epochs, §4.1)
@@ -19,8 +19,38 @@
 //!   controls the `Min Total-load` communication bound (Lemma 3).
 //! * [`td`] — the labeled **Tributary-Delta graph** of §3: per-node
 //!   tree/multi-path modes, the edge/path correctness properties, the
-//!   switchable-vertex rules, and the expand/shrink primitives used by the
-//!   adaptation strategies of §4.
+//!   switchable-vertex rules, the expand/shrink primitives used by the
+//!   adaptation strategies of §4, and the structured
+//!   [`td::TopologyDelta`] log (label switches *and* parent switches)
+//!   that compiled epoch plans patch from instead of recompiling.
+//! * [`maintenance`] — link-quality-driven parent switching \[24\] and
+//!   churn handling ([`maintenance::apply_churn`]): both express their
+//!   structural changes as bounded deltas through
+//!   [`td::TdTopology::switch_parents`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use td_netsim::network::Network;
+//! use td_netsim::node::Position;
+//! use td_netsim::rng::rng_from_seed;
+//! use td_topology::bushy::{build_bushy_tree, BushyOptions};
+//! use td_topology::rings::Rings;
+//! use td_topology::td::TdTopology;
+//!
+//! let mut rng = rng_from_seed(7);
+//! let net = Network::random_connected(60, 10.0, 10.0, Position::new(5.0, 5.0), 2.5, &mut rng);
+//! let rings = Rings::build(&net);
+//! let tree = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
+//!
+//! // A labeled topology whose delta region is the first ring.
+//! let mut td = TdTopology::new(rings, tree, 1);
+//! let v0 = td.version();
+//! td.expand_all(); // widen the delta one level (§4.2 TD-Coarse)
+//! assert!(td.validate().is_ok());
+//! // The mutation is in the delta log: plan caches replay it in place.
+//! assert_eq!(td.deltas_since(v0).unwrap().count(), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

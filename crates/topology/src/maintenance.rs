@@ -1,4 +1,4 @@
-//! Link-quality-driven tree maintenance ([24]; §2).
+//! Link-quality-driven tree maintenance (\[24\]; §2).
 //!
 //! "To adapt the tree to changing network conditions, each node monitors
 //! the link quality to and from its neighbors. This is done less
@@ -13,10 +13,27 @@
 //! switches. For Tributary-Delta trees the candidate set is restricted to
 //! ring level *i−1* so the §4.1 epoch-synchronization constraint is
 //! preserved.
+//!
+//! Two maintenance paths exist:
+//!
+//! * [`maintain_tree`] rebuilds a fresh [`Tree`] from the monitor — the
+//!   wholesale path, forcing consumers to rebuild topologies and plans;
+//! * [`maintain_td`] applies the same policy **in place** on a
+//!   [`TdTopology`] through [`TdTopology::switch_parents`], recording
+//!   the round as one bounded structural [`TopologyDelta`] that
+//!   compiled epoch plans patch instead of recompiling.
+//!
+//! [`apply_churn`] is the churn counterpart of the in-place path: when
+//! nodes leave mid-run their orphaned tree children re-parent onto
+//! surviving ring receivers (and rejoining nodes re-attach), again as a
+//! single bounded delta.
+//!
+//! [`TopologyDelta`]: crate::td::TopologyDelta
 
 use crate::rings::Rings;
+use crate::td::{Mode, TdTopology};
 use crate::tree::Tree;
-use td_netsim::node::NodeId;
+use td_netsim::node::{NodeId, BASE_STATION};
 
 /// EWMA link-quality estimates over directed links.
 ///
@@ -120,6 +137,146 @@ pub fn maintain_tree(
     (Tree::from_parents(parent), report)
 }
 
+/// One in-place maintenance round over a Tributary-Delta topology: the
+/// [`maintain_tree`] policy (best-estimated ring receiver, hysteresis
+/// against flapping) applied through [`TdTopology::switch_parents`], so
+/// the round lands in the topology's delta log as **one** structural
+/// [`crate::td::TopologyDelta`] and a cached epoch plan patches in
+/// O(|switches|·depth) instead of being rebuilt. Candidates are
+/// label-compatible by construction: an `M` vertex only considers `M`
+/// receivers (upward closure), a `T` vertex considers them all.
+pub fn maintain_td(
+    topo: &mut TdTopology,
+    monitor: &LinkMonitor,
+    hysteresis: f64,
+    default_quality: f64,
+) -> MaintenanceReport {
+    let mut moves = Vec::new();
+    let mut report = MaintenanceReport::default();
+    for u in topo.rings().connected_nodes() {
+        let Some(current) = topo.tree().parent(u) else {
+            continue;
+        };
+        let q = |to: NodeId| monitor.estimate(u, to).unwrap_or(default_quality);
+        let needs_m = topo.mode(u) == Mode::M;
+        let best = topo
+            .rings()
+            .receivers(u)
+            .iter()
+            .copied()
+            .filter(|&r| !needs_m || topo.mode(r) == Mode::M)
+            .max_by(|&a, &b| {
+                q(a).partial_cmp(&q(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    // Deterministic tie-break by id.
+                    .then(b.0.cmp(&a.0))
+            })
+            .unwrap_or(current);
+        if best != current && q(best) > q(current) + hysteresis {
+            moves.push((u, best));
+            report.switched += 1;
+        } else {
+            report.kept += 1;
+        }
+    }
+    let applied = topo
+        .switch_parents(&moves)
+        .expect("maintenance candidates are validated ring receivers");
+    debug_assert_eq!(applied, report.switched);
+    report
+}
+
+/// Outcome of applying one epoch's churn events to a topology.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnReport {
+    /// Orphaned children re-parented onto a surviving receiver.
+    pub reparented: usize,
+    /// Orphans with no label-compatible surviving receiver: they keep
+    /// their absent parent and simply lose data until it returns (no
+    /// alternative route exists).
+    pub stranded: usize,
+    /// Rejoining nodes re-attached away from a still-absent parent.
+    pub rejoined: usize,
+}
+
+/// Route around one epoch's churn with a **bounded structural delta**:
+///
+/// * every tree child of a node in `left` switches to its lowest-id
+///   surviving ring receiver (label-compatible: `M` children need an
+///   `M` parent), through the same parent-switch path link-quality
+///   maintenance uses;
+/// * every node in `joined` whose parent is still absent re-attaches
+///   the same way (its ring level is fixed by geometry, so rejoining
+///   *is* attaching at the nearest ring level).
+///
+/// All moves land in **one** [`crate::td::TopologyDelta`], so a small
+/// churn event patches the cached epoch plan instead of rebuilding the
+/// `Tree`/`TdTopology`/plan wholesale. The policy is deterministic —
+/// no RNG — so patched and rebuilt sessions stay bit-identical.
+///
+/// `absent` is the full post-event absent set (leavers included):
+/// candidates are drawn from present nodes only, falling back to
+/// "stranded" (keep the dead parent, lose the data) when no compatible
+/// present receiver exists — the realistic outcome when a region's only
+/// uplink is down.
+pub fn apply_churn(
+    topo: &mut TdTopology,
+    left: &[NodeId],
+    joined: &[NodeId],
+    absent: &[NodeId],
+) -> ChurnReport {
+    let mut is_absent = vec![false; topo.len()];
+    for n in absent {
+        if n.index() < is_absent.len() {
+            is_absent[n.index()] = true;
+        }
+    }
+    let mut report = ChurnReport::default();
+    // Deterministic move set: BTreeMap keyed by child id, last write
+    // wins (a child can be both orphaned and rejoining in one epoch).
+    let mut moves: std::collections::BTreeMap<NodeId, NodeId> = std::collections::BTreeMap::new();
+    let best_alternative =
+        |topo: &TdTopology, c: NodeId, avoid: NodeId| -> Option<NodeId> {
+            let needs_m = topo.mode(c) == Mode::M;
+            topo.rings().receivers(c).iter().copied().find(|&r| {
+                r != avoid && !is_absent[r.index()] && (!needs_m || topo.mode(r) == Mode::M)
+            })
+        };
+    for &u in left {
+        if u == BASE_STATION || topo.rings().level(u).is_none() {
+            continue;
+        }
+        for c in topo.tree().children(u).to_vec() {
+            match best_alternative(topo, c, u) {
+                Some(best) => {
+                    moves.insert(c, best);
+                    report.reparented += 1;
+                }
+                None => report.stranded += 1,
+            }
+        }
+    }
+    for &j in joined {
+        if j == BASE_STATION || topo.rings().level(j).is_none() {
+            continue;
+        }
+        let Some(p) = topo.tree().parent(j) else {
+            continue;
+        };
+        if !is_absent[p.index()] {
+            continue;
+        }
+        if let Some(best) = best_alternative(topo, j, p) {
+            moves.insert(j, best);
+            report.rejoined += 1;
+        }
+    }
+    let moves: Vec<(NodeId, NodeId)> = moves.into_iter().collect();
+    topo.switch_parents(&moves)
+        .expect("churn reroutes are validated ring receivers");
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,6 +362,111 @@ mod tests {
             after > before,
             "maintenance did not improve quality: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn maintain_td_matches_policy_in_one_delta() {
+        let (net, rings, tree) = setup(86);
+        let model = DistanceLoss::new(0.05, 0.8, 2.0);
+        let mut monitor = LinkMonitor::new(0.3);
+        let mut rng = rng_from_seed(87);
+        for u in rings.connected_nodes() {
+            for &r in rings.receivers(u) {
+                for _ in 0..50 {
+                    monitor.observe(u, r, model.delivered(u, r, &net, 0, &mut rng));
+                }
+            }
+        }
+        let mut topo = TdTopology::all_tree(rings, tree);
+        let v0 = topo.version();
+        let report = maintain_td(&mut topo, &monitor, 0.02, 0.5);
+        assert!(report.switched > 0, "nothing switched");
+        assert!(topo.validate().is_ok());
+        let level_of = |id: NodeId| topo.rings().level(id);
+        assert!(topo.tree().respects_links(&net, Some(&level_of)));
+        // The whole round is one structural delta with every reparent.
+        let deltas: Vec<_> = topo.deltas_since(v0).expect("log covers").collect();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].reparented.len(), report.switched);
+        assert!(deltas[0].relabeled.is_empty());
+    }
+
+    #[test]
+    fn maintain_td_keeps_m_children_under_m_parents() {
+        let (net, rings, tree) = setup(88);
+        // A monitor that adores every link equally except each M
+        // vertex's current parent — pushing toward switches everywhere.
+        let mut topo = TdTopology::new(rings, tree, 2);
+        let mut monitor = LinkMonitor::new(0.5);
+        for u in topo.rings().connected_nodes() {
+            let parent = topo.tree().parent(u);
+            for &r in topo.rings().receivers(u) {
+                monitor.observe(u, r, Some(r) != parent);
+            }
+        }
+        maintain_td(&mut topo, &monitor, 0.05, 0.0);
+        assert!(topo.validate().is_ok(), "upward closure broken");
+        let _ = net;
+    }
+
+    #[test]
+    fn apply_churn_reroutes_orphans_and_reattaches_joins() {
+        let (_, rings, tree) = setup(89);
+        let mut topo = TdTopology::all_tree(rings, tree);
+        // Pick a departing node with children and a surviving
+        // alternative receiver for at least one child.
+        let u = topo
+            .rings()
+            .connected_nodes()
+            .find(|&u| {
+                u != BASE_STATION
+                    && topo
+                        .tree()
+                        .children(u)
+                        .iter()
+                        .any(|&c| topo.rings().receivers(c).len() > 1)
+            })
+            .expect("some parent with reroutable children");
+        let orphans: Vec<NodeId> = topo.tree().children(u).to_vec();
+        let v0 = topo.version();
+        let report = apply_churn(&mut topo, &[u], &[], &[u]);
+        assert_eq!(report.reparented + report.stranded, orphans.len());
+        assert!(report.reparented > 0);
+        assert!(topo.validate().is_ok());
+        for &c in &orphans {
+            let p = topo.tree().parent(c).unwrap();
+            if p == u {
+                continue; // stranded: no alternative existed
+            }
+            assert!(topo.rings().receivers(c).contains(&p));
+        }
+        // One delta for the whole event.
+        assert_eq!(topo.deltas_since(v0).unwrap().count(), 1);
+
+        // The node rejoins; its own parent is fine, so nothing moves —
+        // but a child of a *still-absent* parent re-attaches on join.
+        let vr = topo.version();
+        let rejoin = apply_churn(&mut topo, &[], &[u], &[]);
+        assert_eq!(rejoin, ChurnReport::default());
+        assert_eq!(topo.version(), vr, "no-op churn must not mint versions");
+    }
+
+    #[test]
+    fn apply_churn_is_deterministic() {
+        let (_, rings, tree) = setup(90);
+        let left: Vec<NodeId> = rings
+            .connected_nodes()
+            .filter(|n| n.0 % 7 == 1)
+            .take(6)
+            .collect();
+        let run = || {
+            let mut topo = TdTopology::new(rings.clone(), tree.clone(), 1);
+            apply_churn(&mut topo, &left, &[], &left);
+            (0..topo.len() as u32)
+                .map(|i| topo.tree().parent(NodeId(i)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

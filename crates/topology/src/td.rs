@@ -53,12 +53,30 @@ pub struct Relabel {
     pub to: Mode,
 }
 
-/// The structured record of one label mutation: which vertices switched,
-/// in which direction, and under which subtree roots. The relabel list
-/// is what compiled epoch plans replay to update themselves in place
-/// instead of recompiling (§4.2 relabels a handful of vertices per
-/// decision; the delta is the whole change); the roots are diagnostic —
-/// they name the subtrees the adaptation decision targeted, for
+/// One vertex re-parented by a structural mutation (a churn reroute or
+/// a link-quality maintenance switch), with its tree parent before and
+/// after. Parent switches preserve the vertex's depth (tree parents sit
+/// exactly one ring level down, §4.1), so — like a label switch — they
+/// invalidate nothing about a compiled plan's step order or receiver
+/// table, only the parent pointer and the heights/subtree sizes along
+/// the two ancestor chains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reparent {
+    /// The re-parented vertex.
+    pub node: NodeId,
+    /// Tree parent before the switch.
+    pub from: NodeId,
+    /// Tree parent after the switch.
+    pub to: NodeId,
+}
+
+/// The structured record of one mutation: which vertices switched
+/// label, which switched tree parent, and under which subtree roots.
+/// The relabel and reparent lists are what compiled epoch plans replay
+/// to update themselves in place instead of recompiling (§4.2 relabels
+/// a handful of vertices per decision; churn re-parents a handful of
+/// orphans per event — the delta is the whole change); the roots are
+/// diagnostic — they name the subtrees the mutation targeted, for
 /// telemetry and tests, and no execution path depends on them.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TopologyDelta {
@@ -68,23 +86,28 @@ pub struct TopologyDelta {
     /// mint; consecutive log entries chain `to_version` →
     /// `from_version` but the values are not consecutive integers).
     pub to_version: u64,
-    /// The switched vertices, in id order.
+    /// The label-switched vertices, in id order.
     pub relabeled: Vec<Relabel>,
+    /// The parent-switched vertices, in id order (empty for pure label
+    /// mutations — the common adaptation case).
+    pub reparented: Vec<Reparent>,
     /// The affected subtree roots (each relabeled vertex's tree parent
-    /// for expansions, the vertex itself for shrinks), deduplicated and
-    /// in id order.
+    /// for expansions, the vertex itself for shrinks, both endpoints
+    /// for reparents), deduplicated and in id order.
     pub roots: Vec<NodeId>,
 }
 
 impl TopologyDelta {
-    /// Number of vertices this delta relabeled.
+    /// Number of mutation events this delta carries (relabels plus
+    /// reparents; a vertex appearing in both counts twice here —
+    /// consumers sizing patch work dedupe, see `EpochPlan::patch`).
     pub fn len(&self) -> usize {
-        self.relabeled.len()
+        self.relabeled.len() + self.reparented.len()
     }
 
-    /// Whether the delta relabeled nothing (never recorded).
+    /// Whether the delta changed nothing (never recorded).
     pub fn is_empty(&self) -> bool {
-        self.relabeled.is_empty()
+        self.relabeled.is_empty() && self.reparented.is_empty()
     }
 }
 
@@ -116,6 +139,10 @@ pub enum SwitchError {
     NotSwitchable(NodeId),
     /// The vertex is disconnected from the base station.
     Disconnected(NodeId),
+    /// The requested tree parent is not a legal choice for the vertex:
+    /// not a ring receiver one level down, or a `T`-labeled parent for
+    /// an `M`-labeled child (which would break upward closure).
+    InvalidParent(NodeId),
 }
 
 impl std::fmt::Display for SwitchError {
@@ -123,6 +150,7 @@ impl std::fmt::Display for SwitchError {
         match self {
             SwitchError::NotSwitchable(id) => write!(f, "{id} is not switchable"),
             SwitchError::Disconnected(id) => write!(f, "{id} is not connected to the base"),
+            SwitchError::InvalidParent(id) => write!(f, "{id} is not a legal tree parent here"),
         }
     }
 }
@@ -289,9 +317,18 @@ impl TdTopology {
 
     /// Record one successful mutation: bump the version and append the
     /// structured delta (dropping the oldest entry past the cap).
-    fn record_delta(&mut self, mut relabeled: Vec<Relabel>, mut roots: Vec<NodeId>) {
-        debug_assert!(!relabeled.is_empty(), "empty deltas are never recorded");
+    fn record_delta(
+        &mut self,
+        mut relabeled: Vec<Relabel>,
+        mut reparented: Vec<Reparent>,
+        mut roots: Vec<NodeId>,
+    ) {
+        debug_assert!(
+            !(relabeled.is_empty() && reparented.is_empty()),
+            "empty deltas are never recorded"
+        );
         relabeled.sort_by_key(|r| r.node.0);
+        reparented.sort_by_key(|r| r.node.0);
         roots.sort_by_key(|n| n.0);
         roots.dedup();
         let to_version = fresh_version();
@@ -299,6 +336,7 @@ impl TdTopology {
             from_version: self.version,
             to_version,
             relabeled,
+            reparented,
             roots,
         };
         self.version = to_version;
@@ -404,6 +442,7 @@ impl TdTopology {
                 from: Mode::T,
                 to: Mode::M,
             }],
+            Vec::new(),
             vec![root],
         );
         debug_assert!(self.validate().is_ok());
@@ -425,6 +464,7 @@ impl TdTopology {
                 from: Mode::M,
                 to: Mode::T,
             }],
+            Vec::new(),
             vec![id],
         );
         debug_assert!(self.validate().is_ok());
@@ -452,7 +492,7 @@ impl TdTopology {
                 .iter()
                 .map(|&u| self.tree.parent(u).unwrap_or(u))
                 .collect();
-            self.record_delta(relabeled, roots);
+            self.record_delta(relabeled, Vec::new(), roots);
         }
         debug_assert!(self.validate().is_ok());
         targets.len()
@@ -474,7 +514,7 @@ impl TdTopology {
                     to: Mode::T,
                 })
                 .collect();
-            self.record_delta(relabeled, targets.clone());
+            self.record_delta(relabeled, Vec::new(), targets.clone());
         }
         debug_assert!(self.validate().is_ok());
         targets.len()
@@ -511,10 +551,110 @@ impl TdTopology {
                     to: Mode::M,
                 })
                 .collect();
-            self.record_delta(relabeled, vec![root]);
+            self.record_delta(relabeled, Vec::new(), vec![root]);
         }
         debug_assert!(self.validate().is_ok());
         Ok(children.len())
+    }
+
+    /// Switch the tree parents of a batch of vertices **in one
+    /// mutation**: `moves` lists `(child, new_parent)` pairs, each new
+    /// parent a ring receiver of its child (one level down, preserving
+    /// §4.1 and every vertex's depth) and label-compatible (`M`
+    /// children keep `M` parents — upward closure). The whole batch is
+    /// validated first and recorded as a single [`TopologyDelta`] whose
+    /// [`Reparent`] list compiled plans replay in place, so one churn
+    /// event or maintenance round costs one version bump however many
+    /// orphans it reroutes. No-op moves (already the parent) are
+    /// skipped. Returns the number of parents actually switched.
+    ///
+    /// Labels are untouched, so edge/path correctness is preserved by
+    /// the label-compatibility check alone.
+    ///
+    /// ```
+    /// use td_netsim::network::Network;
+    /// use td_netsim::node::Position;
+    /// use td_netsim::rng::rng_from_seed;
+    /// use td_topology::bushy::{build_bushy_tree, BushyOptions};
+    /// use td_topology::rings::Rings;
+    /// use td_topology::td::{Mode, TdTopology};
+    ///
+    /// let mut rng = rng_from_seed(5);
+    /// let net = Network::random_connected(80, 10.0, 10.0, Position::new(5.0, 5.0), 2.5, &mut rng);
+    /// let rings = Rings::build(&net);
+    /// let tree = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
+    /// let mut td = TdTopology::new(rings, tree, 1);
+    ///
+    /// // Re-parent some T vertex onto another of its ring receivers.
+    /// let (child, alt) = td
+    ///     .rings()
+    ///     .connected_nodes()
+    ///     .find_map(|u| {
+    ///         let p = td.tree().parent(u)?;
+    ///         let alt = td
+    ///             .rings()
+    ///             .receivers(u)
+    ///             .iter()
+    ///             .copied()
+    ///             .find(|&r| r != p && (td.mode(u) == Mode::T || td.mode(r) == Mode::M))?;
+    ///         Some((u, alt))
+    ///     })
+    ///     .expect("some vertex has an alternative receiver");
+    /// let v0 = td.version();
+    /// assert_eq!(td.switch_parents(&[(child, alt)]), Ok(1));
+    /// assert_eq!(td.tree().parent(child), Some(alt));
+    /// assert!(td.version() > v0);
+    /// td.validate().unwrap();
+    /// ```
+    pub fn switch_parents(&mut self, moves: &[(NodeId, NodeId)]) -> Result<usize, SwitchError> {
+        for &(child, parent) in moves {
+            if child == BASE_STATION {
+                return Err(SwitchError::NotSwitchable(child));
+            }
+            if self.rings.level(child).is_none() {
+                return Err(SwitchError::Disconnected(child));
+            }
+            if self.rings.level(parent).is_none() {
+                return Err(SwitchError::Disconnected(parent));
+            }
+            if !self.rings.receivers(child).contains(&parent) {
+                return Err(SwitchError::InvalidParent(parent));
+            }
+            if self.label[child.index()] == Mode::M && self.label[parent.index()] != Mode::M {
+                return Err(SwitchError::InvalidParent(parent));
+            }
+        }
+        let mut reparented = Vec::new();
+        let mut roots = Vec::new();
+        for &(child, parent) in moves {
+            let from = self
+                .tree
+                .parent(child)
+                .expect("connected non-base vertex has a parent");
+            if from == parent {
+                continue;
+            }
+            self.tree.switch_parent(child, parent);
+            reparented.push(Reparent {
+                node: child,
+                from,
+                to: parent,
+            });
+            roots.push(from);
+            roots.push(parent);
+        }
+        let switched = reparented.len();
+        if switched > 0 {
+            self.record_delta(Vec::new(), reparented, roots);
+        }
+        debug_assert!(self.validate().is_ok());
+        Ok(switched)
+    }
+
+    /// Switch one vertex's tree parent (a one-entry
+    /// [`switch_parents`](Self::switch_parents) batch).
+    pub fn switch_parent(&mut self, child: NodeId, new_parent: NodeId) -> Result<(), SwitchError> {
+        self.switch_parents(&[(child, new_parent)]).map(|_| ())
     }
 
     /// The `M`-labeled receivers of `id`'s broadcast (ring neighbors one

@@ -7,7 +7,7 @@ use td_netsim::network::Network;
 use td_netsim::node::{NodeId, BASE_STATION};
 
 /// A spanning tree rooted at the base station, used for tree-based
-/// in-network aggregation (TAG [10] and the tree parts of Tributary-Delta).
+/// in-network aggregation (TAG \[10\] and the tree parts of Tributary-Delta).
 ///
 /// Nodes disconnected from the base station have no parent and are excluded
 /// from aggregation. Levels are tree depths (base station = 0); heights
@@ -169,6 +169,50 @@ impl Tree {
         order
     }
 
+    /// Re-parent `child` onto `new_parent` **in place**, preserving every
+    /// node's depth: the new parent must sit at the same depth as the
+    /// current one (for ring-restricted trees that is exactly the §4.1
+    /// constraint — any ring receiver of `child` qualifies). Because
+    /// depths are untouched, the switch can never create a cycle and no
+    /// derived order (bottom-up, level-synchronized) changes — a parent
+    /// switch is a *bounded structural delta*, the same way a label
+    /// switch is. Heights and subtree sizes along the two ancestor
+    /// chains do change; they are recomputed on demand by
+    /// [`heights`](Self::heights) / [`subtree_sizes`](Self::subtree_sizes)
+    /// (or patched incrementally by compiled epoch plans).
+    ///
+    /// A no-op when `new_parent` is already the parent.
+    ///
+    /// # Panics
+    /// Panics if `child` has no parent (base station or disconnected),
+    /// `new_parent` is not in the tree, or the depths differ.
+    pub fn switch_parent(&mut self, child: NodeId, new_parent: NodeId) {
+        let old = self.parent[child.index()]
+            .unwrap_or_else(|| panic!("{child} has no parent to switch away from"));
+        if old == new_parent {
+            return;
+        }
+        assert!(
+            self.in_tree[new_parent.index()],
+            "new parent {new_parent} is not in the tree"
+        );
+        assert_eq!(
+            self.depth[old.index()],
+            self.depth[new_parent.index()],
+            "parent switch must preserve {child}'s depth ({old} -> {new_parent})"
+        );
+        let olds = &mut self.children[old.index()];
+        let pos = olds
+            .iter()
+            .position(|&c| c == child)
+            .expect("child listed under its parent");
+        olds.remove(pos);
+        let news = &mut self.children[new_parent.index()];
+        let pos = news.binary_search(&child).expect_err("not yet a child");
+        news.insert(pos, child);
+        self.parent[child.index()] = Some(new_parent);
+    }
+
     /// Check that every tree edge `(child, parent)` is also a radio link of
     /// `net` and, if `rings_level` is provided, that each parent sits exactly
     /// one ring level below its child (the §4.1 synchronization constraint).
@@ -202,11 +246,11 @@ pub enum ParentSelection {
     #[default]
     Random,
     /// The candidate with the best (lowest-loss) link, as in tree
-    /// maintenance with link-quality monitoring [24].
+    /// maintenance with link-quality monitoring \[24\].
     BestLink,
 }
 
-/// Build a standard TAG spanning tree [10].
+/// Build a standard TAG spanning tree \[10\].
 ///
 /// Nodes attach level-by-level outward from the base station: a node at hop
 /// level `L` picks its parent among radio neighbors at hop level `L−1`
@@ -396,6 +440,45 @@ mod tests {
                 assert!(pos[&u] < pos[&p], "{u} not before its parent {p}");
             }
         }
+    }
+
+    #[test]
+    fn switch_parent_moves_subtree_and_refreshes_derivations() {
+        // base <- 1 <- 3, base <- 2; move 3 under 2 (same depth parents).
+        let mut tree = Tree::from_parents(vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+        ]);
+        assert_eq!(tree.heights(), vec![3, 2, 1, 1]);
+        tree.switch_parent(NodeId(3), NodeId(2));
+        assert_eq!(tree.parent(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(tree.children(NodeId(1)), &[] as &[NodeId]);
+        assert_eq!(tree.children(NodeId(2)), &[NodeId(3)]);
+        assert_eq!(tree.depth(NodeId(3)), Some(2), "depth preserved");
+        assert_eq!(tree.heights(), vec![3, 1, 2, 1]);
+        assert_eq!(tree.subtree_sizes(), vec![4, 1, 2, 1]);
+        // Switching back restores the original shape.
+        tree.switch_parent(NodeId(3), NodeId(1));
+        assert_eq!(tree.heights(), vec![3, 2, 1, 1]);
+        // No-op switch changes nothing.
+        tree.switch_parent(NodeId(3), NodeId(1));
+        assert_eq!(tree.parent(NodeId(3)), Some(NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must preserve")]
+    fn switch_parent_rejects_depth_changes() {
+        let mut tree = Tree::from_parents(vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            Some(NodeId(0)),
+        ]);
+        // Node 3 (depth 1) cannot adopt node 1 (depth 1) as parent: its
+        // current parent is the base (depth 0).
+        tree.switch_parent(NodeId(3), NodeId(1));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Reconstruction of the Intel Research Berkeley lab deployment [9].
+//! Reconstruction of the Intel Research Berkeley lab deployment \[9\].
 //!
 //! The real LabData scenario simulated 54 motes "using actual sensor
 //! locations and knowledge of communication loss rates among sensors",

@@ -4,7 +4,7 @@
 //!
 //! * [`labdata`] — a reconstruction of the Intel Research Berkeley lab
 //!   deployment: 54 motes in a ~40 m × 30 m lab, light readings, and
-//!   distance-dependent link loss. The real dataset [9] is not available
+//!   distance-dependent link loss. The real dataset \[9\] is not available
 //!   offline, so this module synthesizes a deployment with the same
 //!   *statistics the paper relies on*: an irregular, bushy topology whose
 //!   TAG tree has a domination factor near the paper's measured 2.25,

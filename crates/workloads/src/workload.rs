@@ -57,11 +57,32 @@ impl Workload for SyntheticSum {
 /// are scaled by a deterministic drift factor combining a slow seasonal
 /// swing (a triangle wave of the configured period and amplitude) with
 /// occasional regime shifts (a step change to a new level every
-/// `shift_every` epochs, drawn from the seed substream). Windowed
-/// queries over a stationary workload are trivially right; this is the
-/// non-stationary shape — diurnal load, deployment-wide mode changes —
-/// that cross-epoch windows exist to track. Deterministic in
-/// `(seed, epoch)`.
+/// `shift_every` epochs). Windowed queries over a stationary workload
+/// are trivially right; this is the non-stationary shape — diurnal
+/// load, deployment-wide mode changes — that cross-epoch windows exist
+/// to track.
+///
+/// ## Regime-shift seeding
+///
+/// Regime levels are **not** drawn from a shared, advancing RNG: epoch
+/// `e` belongs to regime index `e / shift_every`, and that index's
+/// level is drawn from its own named substream of the workload's seed
+/// ([`substream`]`(seed, 0xD21F7 ^ regime_index)`, uniform in
+/// `0.6..1.4`). Consequences worth relying on:
+///
+/// * the whole trajectory is a pure function of `(seed, epoch)` —
+///   random access at any epoch, no replay, no hidden state;
+/// * the level is constant within a regime and changes (almost surely)
+///   at each boundary, whatever order epochs are queried in;
+/// * two `DriftingStream`s over different inner workloads but the same
+///   `seed` see the *same* drift trajectory — schemes and experiments
+///   compare on identical non-stationarity;
+/// * changing `shift_every` re-indexes the regimes (it does not merely
+///   stretch them), so treat `(seed, shift_every)` as the trajectory's
+///   identity.
+///
+/// [`factor`](Self::factor) exposes the multiplier so experiments can
+/// compute exact windowed ground truth without re-deriving readings.
 #[derive(Clone, Copy, Debug)]
 pub struct DriftingStream<W> {
     inner: W,

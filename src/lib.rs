@@ -47,6 +47,12 @@
 //! assert!(*rec.answers.get(h_sum) > 0.0);
 //! ```
 
+// Compile and run the README's code blocks as doctests, so the
+// quickstart can never rot (`cargo test --doc -p td-suite`).
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 pub use td_aggregates as aggregates;
 pub use td_frequent as frequent;
 pub use td_netsim as netsim;
