@@ -38,13 +38,16 @@ impl Wire {
 /// the conversion can salt its pseudo-elements uniquely (path correctness
 /// guarantees each tributary root is the root of a unique subtree, §4.2
 /// footnote 3).
-pub trait Aggregate: Clone {
-    /// Partial result used by tree (tributary) nodes. (`'static` so
-    /// partials can ride in the type-erased multi-query bundles of the
-    /// session engine.)
-    type TreePartial: Clone + std::fmt::Debug + 'static;
+/// (`Send` so aggregate-carrying stream queries can cross worker
+/// threads — the service layer moves whole tenant sessions between
+/// them; every aggregate here is plain data.)
+pub trait Aggregate: Clone + Send {
+    /// Partial result used by tree (tributary) nodes. (`'static` +
+    /// `Send` so partials can ride in the type-erased multi-query
+    /// bundles of the session engine across worker threads.)
+    type TreePartial: Clone + std::fmt::Debug + Send + 'static;
     /// Duplicate-insensitive partial result used by delta nodes.
-    type Synopsis: Clone + std::fmt::Debug + 'static;
+    type Synopsis: Clone + std::fmt::Debug + Send + 'static;
 
     /// Human-readable aggregate name (for reports).
     fn name(&self) -> &'static str;

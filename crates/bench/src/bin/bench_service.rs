@@ -1,0 +1,237 @@
+//! Service-layer throughput smoke: multiplexes a sweep of tenant
+//! counts over a sweep of worker counts through the
+//! [`ServiceRuntime`], measuring aggregate **tenant-epochs/sec** and
+//! the p50/p99 **report-drain latency** (emission to drain), and writes
+//! the numbers to `results/bench_service.json` so CI can gate the
+//! hosting layer alongside the engine.
+//!
+//! Each tenant is a complete independent world — its own ~30-sensor
+//! network, scheme (rotating TAG / TD / TD-Coarse), loss rate, and a
+//! windowed Sum stream query — submitted with a `run_until` epoch
+//! budget and drained to completion. Outboxes are sized to the full
+//! report budget so the sweep measures pure multiplexing throughput,
+//! not backpressure parking (`reports_dropped` and parking are still
+//! asserted to be zero).
+//!
+//! The JSON is flat (string keys → numbers) for the same `jq`-simple
+//! gate parser as `bench_engine.json`. Per-point keys are prefixed
+//! `t{tenants}_w{workers}_`; the headline gate key
+//! `tenant_epochs_per_sec` is the best epochs/sec over the sweep.
+//! Respects `TD_SCALE=smoke|paper` (smoke by default, so CI sweeps
+//! 16/64/256 tenants on 1–2 workers; paper sweeps 100/1k/5k on 1/4/8).
+
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+use td_bench::report::Table;
+use td_bench::Scale;
+use td_netsim::loss::Global;
+use td_netsim::rng::rng_from_seed;
+use td_service::{ServiceRuntime, Tenant, TenantHandle, TenantPhase};
+use td_stream::{EpochMerge, StreamQuery, StreamSession, WindowSpec};
+use td_workloads::synthetic::Synthetic;
+use tributary_delta::driver::{Driver, FixedReadings};
+use tributary_delta::session::{Scheme, SessionBuilder};
+
+/// Per-tenant world size: small on purpose — the subject under test is
+/// the multiplexing layer, not epoch execution.
+const SENSORS: usize = 30;
+const WARMUP: u64 = 2;
+/// Measured epochs per tenant; one sliding-window report each.
+const EPOCHS: u64 = 10;
+
+fn tenant_scheme(i: u64) -> Scheme {
+    [Scheme::Tag, Scheme::Td, Scheme::TdCoarse][(i % 3) as usize]
+}
+
+fn make_stream(i: u64) -> (StreamSession, Vec<u64>) {
+    let net = Synthetic::small(SENSORS).build(0xBE5E ^ i);
+    let mut rng = rng_from_seed(0xCAFE ^ i);
+    let session = SessionBuilder::new(tenant_scheme(i)).build(&net, &mut rng);
+    let mut stream = StreamSession::new(Driver::new(session, WARMUP));
+    let _ = stream.register(
+        StreamQuery::scalar(td_aggregates::sum::Sum::default())
+            .window(WindowSpec::sliding(4, 1), EpochMerge::Add),
+    );
+    let readings = vec![1 + i % 50; net.len()];
+    (stream, readings)
+}
+
+fn make_tenant(i: u64) -> Tenant {
+    let (stream, readings) = make_stream(i);
+    Tenant::builder(
+        stream,
+        FixedReadings(readings),
+        Global::new(0.05 + 0.1 * ((i % 3) as f64)),
+    )
+    .seed(i)
+    .run_until(WARMUP + EPOCHS)
+    // Full report budget fits: the sweep measures multiplexing, not
+    // parking.
+    .outbox_capacity((EPOCHS + 4) as usize)
+    .build()
+}
+
+struct Point {
+    tenants: usize,
+    workers: usize,
+    epochs_per_sec: f64,
+    p50: Duration,
+    p99: Duration,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// One sweep point: build `tenants` tenants (untimed), submit them all
+/// to a fresh `workers`-worker runtime, and drain every tenant to its
+/// pause, timing submission-to-last-drain.
+fn run_point(tenants: usize, workers: usize) -> Point {
+    let built: Vec<Tenant> = (0..tenants).map(|i| make_tenant(i as u64)).collect();
+    let runtime = ServiceRuntime::new(workers);
+    let t0 = Instant::now();
+    let handles: Vec<TenantHandle> = built.into_iter().map(|t| runtime.submit(t)).collect();
+
+    let mut waits: Vec<Duration> = Vec::new();
+    let mut done = vec![false; handles.len()];
+    let mut remaining = handles.len();
+    while remaining > 0 {
+        let mut progressed = false;
+        for (h, finished) in handles.iter().zip(&mut done) {
+            if *finished {
+                continue;
+            }
+            let got = h.drain(64);
+            progressed |= !got.is_empty();
+            waits.extend(got.iter().map(|r| r.waited));
+            let st = h.status();
+            if st.phase == TenantPhase::Paused && st.queued_reports == 0 {
+                *finished = true;
+                remaining -= 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let stats = runtime.shutdown();
+    println!("  {stats}");
+    assert_eq!(stats.reports_dropped, 0, "service dropped reports: {stats}");
+    assert_eq!(
+        stats.parks, 0,
+        "outbox budget miscalculated — parking skews the sweep: {stats}"
+    );
+    assert_eq!(
+        stats.epochs_driven,
+        tenants as u64 * (WARMUP + EPOCHS),
+        "a tenant ran a wrong epoch count: {stats}"
+    );
+    assert_eq!(waits.len(), tenants * EPOCHS as usize, "missing reports");
+
+    waits.sort();
+    Point {
+        tenants,
+        workers,
+        epochs_per_sec: stats.epochs_driven as f64 / elapsed.max(1e-9),
+        p50: percentile(&waits, 0.50),
+        p99: percentile(&waits, 0.99),
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env_or(Scale::smoke());
+    let paper = scale.sensors >= Scale::paper().sensors;
+    let (tenant_counts, worker_counts): (&[usize], &[usize]) = if paper {
+        (&[100, 1000, 5000], &[1, 4, 8])
+    } else {
+        (&[16, 64, 256], &[1, 2])
+    };
+    let t0 = Instant::now();
+
+    // A serial reference tenant, stepped inline: the log line every
+    // sweep point's numbers should be read against (and the engine's
+    // own one-line Displays at work).
+    let (mut stream, readings) = make_stream(0);
+    let workload = FixedReadings(readings);
+    let model = Global::new(0.05);
+    let mut rng = td_service::tenant_rng(0);
+    let mut reference_reports = 0usize;
+    for _ in 0..WARMUP + EPOCHS {
+        reference_reports += stream.step(&workload, &model, &mut rng).len();
+    }
+    println!(
+        "reference tenant ({} epochs, {} reports):",
+        WARMUP + EPOCHS,
+        reference_reports
+    );
+    println!("  comm: {}", stream.session().stats());
+    println!("  plan cache: {}", stream.driver().plan_stats());
+
+    let mut points = Vec::new();
+    for &tenants in tenant_counts {
+        for &workers in worker_counts {
+            println!("sweep point: {tenants} tenants on {workers} workers");
+            points.push(run_point(tenants, workers));
+        }
+    }
+
+    let mut table = Table::new(
+        "Service multiplexing: tenant-epochs/sec and report-drain latency",
+        &[
+            "tenants",
+            "workers",
+            "epochs/sec",
+            "drain p50 us",
+            "drain p99 us",
+        ],
+    );
+    for p in &points {
+        table.row(vec![
+            p.tenants.to_string(),
+            p.workers.to_string(),
+            format!("{:.0}", p.epochs_per_sec),
+            format!("{:.0}", p.p50.as_secs_f64() * 1e6),
+            format!("{:.0}", p.p99.as_secs_f64() * 1e6),
+        ]);
+    }
+    table.print();
+
+    let headline = points
+        .iter()
+        .map(|p| p.epochs_per_sec)
+        .fold(0.0f64, f64::max);
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"sensors\": {SENSORS},\n  \"warmup\": {WARMUP},\n  \"epochs_per_tenant\": {EPOCHS},\n"
+    ));
+    for p in &points {
+        let key = format!("t{}_w{}", p.tenants, p.workers);
+        json.push_str(&format!(
+            "  \"{key}_epochs_per_sec\": {:.1},\n  \"{key}_drain_p50_us\": {:.1},\n  \
+             \"{key}_drain_p99_us\": {:.1},\n",
+            p.epochs_per_sec,
+            p.p50.as_secs_f64() * 1e6,
+            p.p99.as_secs_f64() * 1e6,
+        ));
+    }
+    json.push_str(&format!("  \"tenant_epochs_per_sec\": {headline:.1}\n}}\n"));
+    print!("{json}");
+
+    let path = td_bench::report::results_dir().join("bench_service.json");
+    if let Err(e) = std::fs::create_dir_all(path.parent().expect("has parent"))
+        .and_then(|()| std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())))
+    {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+    println!("done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -13,6 +13,12 @@
 //! first run on a fresh branch has nothing to compare against — and a
 //! key missing from the baseline (a newly introduced metric) passes for
 //! that key alone.
+//!
+//! The gate is file-agnostic: CI runs it once over
+//! `results/bench_engine.json` with the defaults below, and again over
+//! `results/bench_service.json` with `--key tenant_epochs_per_sec`, so
+//! the service layer's multiplexing throughput is gated alongside the
+//! engine and adaptation keys.
 
 use td_bench::gate;
 

@@ -47,7 +47,13 @@ use td_netsim::stats::CommStats;
 /// Unifies the Synthetic and LabData scenarios — and anything else that
 /// can produce a reading per node per epoch — behind the one interface
 /// the [`Driver`] consumes.
-pub trait Workload {
+///
+/// `Send + Sync` is a supertrait so workloads can cross worker threads:
+/// the trial pool shares one workload across trials and the service
+/// layer owns one boxed workload per tenant on whichever worker shard
+/// the tenant hashes to. Workloads are epoch-indexed pure data, so
+/// every existing implementation satisfies the bounds for free.
+pub trait Workload: Send + Sync {
     /// The readings for `epoch`, one per node.
     fn readings(&self, epoch: u64) -> Vec<u64>;
 }

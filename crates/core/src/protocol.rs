@@ -21,11 +21,13 @@ use td_sketches::counter::CounterFactory;
 /// their per-level budget after a node has merged its children.
 pub trait Protocol {
     /// Partial result used in tributaries. (`'static` so messages can be
-    /// type-erased into a [`crate::query::QuerySet`] bundle; protocol
-    /// *instances* may still borrow their epoch's readings.)
-    type TreeMsg: Clone + 'static;
+    /// type-erased into a [`crate::query::QuerySet`] bundle — protocol
+    /// *instances* may still borrow their epoch's readings — and `Send`
+    /// so sessions caching bundles can cross worker threads; messages
+    /// are plain data.)
+    type TreeMsg: Clone + Send + 'static;
     /// Duplicate-insensitive partial result used in the delta.
-    type MpMsg: Clone + 'static;
+    type MpMsg: Clone + Send + 'static;
     /// The query answer produced at the base station.
     type Output: 'static;
 

@@ -34,15 +34,17 @@ use td_netsim::node::NodeId;
 // ---------------------------------------------------------------------
 
 /// Object-safe clone-plus-downcast, the capability every erased protocol
-/// message needs.
-trait AnyClone: Any {
+/// message needs. (`Send` so sessions holding cached bundles can cross
+/// worker threads — the service layer moves whole tenants between
+/// them; protocol messages are plain data.)
+trait AnyClone: Any + Send {
     fn clone_box(&self) -> Box<dyn AnyClone>;
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
-impl<T: Any + Clone> AnyClone for T {
+impl<T: Any + Clone + Send> AnyClone for T {
     fn clone_box(&self) -> Box<dyn AnyClone> {
         Box::new(self.clone())
     }
@@ -77,7 +79,7 @@ impl std::fmt::Debug for ErasedMsg {
 
 impl ErasedMsg {
     /// Erase a concrete message.
-    pub fn new<T: Any + Clone>(msg: T) -> Self {
+    pub fn new<T: Any + Clone + Send>(msg: T) -> Self {
         ErasedMsg(Box::new(msg))
     }
 

@@ -164,6 +164,17 @@ pub struct PlanCacheStats {
     pub patched_relabels: u64,
 }
 
+/// One-line summary — what bench log lines print.
+impl std::fmt::Display for PlanCacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} compiles, {} patches ({} relabels absorbed)",
+            self.compiles, self.patches, self.patched_relabels
+        )
+    }
+}
+
 /// Fluent constructor for [`Session`]s: start from a scheme's paper
 /// defaults, override what the deployment needs, and [`build`] against a
 /// network.

@@ -198,6 +198,27 @@ impl CommStats {
     }
 }
 
+/// One-line totals — what bench log lines print. Per-node detail stays
+/// behind [`node`](CommStats::node).
+impl std::fmt::Display for CommStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes: {} rounds, {} msgs ({} tx), {} bytes, {} words",
+            self.per_node.len(),
+            self.total_rounds(),
+            self.total_messages(),
+            self.total_transmissions(),
+            self.total_bytes(),
+            self.total_words()
+        )?;
+        if self.nodes_joined > 0 || self.nodes_left > 0 {
+            write!(f, "; churn +{}/-{}", self.nodes_joined, self.nodes_left)?;
+        }
+        Ok(())
+    }
+}
+
 /// A simple radio energy model: `E = per_message * messages +
 /// per_byte * bytes`, in microjoules. Defaults follow mica2-class motes
 /// (dominated by the per-message fixed cost of preamble + MAC).

@@ -1,0 +1,125 @@
+//! The per-tenant report queue between a worker thread and whoever
+//! holds the [`TenantHandle`](crate::TenantHandle).
+//!
+//! An [`Outbox`] is bounded: when it is full the owning worker keeps
+//! the overflow in a worker-local staging queue and **parks the
+//! tenant** — reports are never dropped while a handle is alive to
+//! drain them. Draining wakes the shard so parked tenants resume.
+
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use td_stream::WindowReport;
+
+use crate::stats::Counters;
+
+/// A drained window report plus how long it sat queued (emission to
+/// drain) — the latency the service bench reports percentiles of.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// The report exactly as the tenant's [`StreamSession`] emitted it.
+    ///
+    /// [`StreamSession`]: td_stream::StreamSession
+    pub report: WindowReport,
+    /// Wall-clock time from the epoch that emitted the report to the
+    /// drain that returned it.
+    pub waited: Duration,
+}
+
+struct OutboxState {
+    queue: VecDeque<(WindowReport, Instant)>,
+    closed: bool,
+}
+
+/// The bounded tenant → consumer report queue. Shared (`Arc`) between
+/// the owning worker and the tenant's handle.
+pub(crate) struct Outbox {
+    capacity: usize,
+    state: Mutex<OutboxState>,
+    counters: Arc<Counters>,
+}
+
+impl Outbox {
+    pub fn new(capacity: usize, counters: Arc<Counters>) -> Self {
+        assert!(capacity > 0, "outbox capacity must be at least 1");
+        Outbox {
+            capacity,
+            state: Mutex::new(OutboxState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            counters,
+        }
+    }
+
+    /// Move staged reports in until full. Returns how many moved; what
+    /// remains in `staged` is the worker's cue to park the tenant.
+    pub fn offer(&self, staged: &mut VecDeque<(WindowReport, Instant)>) -> usize {
+        let mut st = self.state.lock().expect("outbox lock");
+        let room = self.capacity.saturating_sub(st.queue.len());
+        let take = room.min(staged.len());
+        for _ in 0..take {
+            let item = staged.pop_front().expect("staged len checked");
+            st.queue.push_back(item);
+        }
+        take
+    }
+
+    /// Teardown flush: move **everything** in, capacity ignored, and
+    /// close. Only remove/shutdown paths use this — it trades the bound
+    /// for the no-drop guarantee at the moment the tenant stops
+    /// producing.
+    pub fn flush_and_close(&self, staged: &mut VecDeque<(WindowReport, Instant)>) {
+        let mut st = self.state.lock().expect("outbox lock");
+        st.queue.extend(staged.drain(..));
+        st.closed = true;
+    }
+
+    /// If the worker holds the only reference (the handle is gone —
+    /// nobody can ever drain), discard the queue and account the loss.
+    pub fn discard_if_unreachable(self: &Arc<Self>) {
+        if Arc::strong_count(self) == 1 {
+            let mut st = self.state.lock().expect("outbox lock");
+            let lost = st.queue.len() as u64;
+            if lost > 0 {
+                st.queue.clear();
+                self.counters
+                    .reports_dropped
+                    .fetch_add(lost, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Take up to `max` queued reports, oldest first, stamping each
+    /// with its queue wait.
+    pub fn drain(&self, max: usize) -> Vec<TenantReport> {
+        let now = Instant::now();
+        let mut st = self.state.lock().expect("outbox lock");
+        let take = max.min(st.queue.len());
+        let out: Vec<TenantReport> = st
+            .queue
+            .drain(..take)
+            .map(|(report, emitted)| TenantReport {
+                report,
+                waited: now.saturating_duration_since(emitted),
+            })
+            .collect();
+        self.counters
+            .reports_drained
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Queued report count.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("outbox lock").queue.len()
+    }
+
+    /// Whether the owning worker has stopped feeding this outbox (the
+    /// tenant finished, was removed, or the runtime shut down).
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("outbox lock").closed
+    }
+}

@@ -1,0 +1,149 @@
+//! Runtime-wide accounting: the shared atomic counters every shard,
+//! outbox, and handle bumps, and the [`ServiceStats`] snapshot they
+//! aggregate into.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The runtime's shared counters. Lock-free: workers bump these on the
+/// epoch hot path, outboxes on drains — never under a cross-shard lock.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub tenants_added: AtomicU64,
+    pub tenants_removed: AtomicU64,
+    pub epochs_driven: AtomicU64,
+    pub reports_emitted: AtomicU64,
+    pub reports_drained: AtomicU64,
+    pub reports_dropped: AtomicU64,
+    pub parks: AtomicU64,
+    pub park_nanos: AtomicU64,
+    pub late_ops: AtomicU64,
+    pub rejected_ops: AtomicU64,
+}
+
+impl Counters {
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time snapshot of the whole runtime's accounting — what a
+/// bench logs per sweep point and what
+/// [`ServiceRuntime::shutdown`](crate::ServiceRuntime::shutdown)
+/// returns.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Worker threads (= shards) the runtime owns.
+    pub workers: usize,
+    /// Tenants ever submitted.
+    pub tenants_added: u64,
+    /// Tenants explicitly removed ([`TenantHandle::remove`]); tenants
+    /// that simply finished their epoch budget are not counted here.
+    ///
+    /// [`TenantHandle::remove`]: crate::TenantHandle::remove
+    pub tenants_removed: u64,
+    /// Tenants currently owned by a worker (neither finished nor
+    /// removed).
+    pub tenants_live: u64,
+    /// Epochs driven across all tenants (warmup epochs included) — the
+    /// numerator of the headline tenant-epochs/sec metric.
+    pub epochs_driven: u64,
+    /// Window reports produced by tenant epochs.
+    pub reports_emitted: u64,
+    /// Reports consumers have drained from outboxes so far.
+    pub reports_drained: u64,
+    /// Reports discarded because their outbox was closed with **no
+    /// handle left alive to drain it**. Backpressure parks instead of
+    /// dropping, so with any live handle this stays 0 — the isolation
+    /// tests assert exactly that.
+    pub reports_dropped: u64,
+    /// Times a tenant's epoch loop parked on a full outbox.
+    pub parks: u64,
+    /// Total wall-clock nanoseconds tenants spent parked.
+    pub park_nanos: u64,
+    /// Epoch-addressed operations that arrived after their target epoch
+    /// had already run (applied before the next epoch instead).
+    pub late_ops: u64,
+    /// Operations refused (unknown tenant, deregistering the last
+    /// active query, a registration index conflict).
+    pub rejected_ops: u64,
+    /// Live tenants per shard — the occupancy picture of the
+    /// hash-assignment.
+    pub shard_occupancy: Vec<u64>,
+}
+
+impl ServiceStats {
+    /// Total parked wall-clock time.
+    pub fn park_time(&self) -> Duration {
+        Duration::from_nanos(self.park_nanos)
+    }
+
+    /// Reports emitted but neither drained nor dropped yet (still
+    /// queued in outboxes).
+    pub fn reports_queued(&self) -> u64 {
+        self.reports_emitted
+            .saturating_sub(self.reports_drained)
+            .saturating_sub(self.reports_dropped)
+    }
+}
+
+impl fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} workers, {} tenants live ({} added, {} removed; shard occupancy [",
+            self.workers, self.tenants_live, self.tenants_added, self.tenants_removed
+        )?;
+        for (i, n) in self.shard_occupancy.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(
+            f,
+            "]); {} epochs driven; {} reports emitted, {} drained, {} queued, {} dropped; \
+             {} parks ({:.2?} parked); {} late ops, {} rejected",
+            self.epochs_driven,
+            self.reports_emitted,
+            self.reports_drained,
+            self.reports_queued(),
+            self.reports_dropped,
+            self.parks,
+            self.park_time(),
+            self.late_ops,
+            self.rejected_ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_one_readable_line() {
+        let stats = ServiceStats {
+            workers: 2,
+            tenants_added: 5,
+            tenants_removed: 1,
+            tenants_live: 3,
+            epochs_driven: 420,
+            reports_emitted: 100,
+            reports_drained: 90,
+            reports_dropped: 0,
+            parks: 2,
+            park_nanos: 1_500_000,
+            late_ops: 0,
+            rejected_ops: 1,
+            shard_occupancy: vec![2, 1],
+        };
+        let line = stats.to_string();
+        assert!(line.contains("2 workers"), "{line}");
+        assert!(line.contains("[2 1]"), "{line}");
+        assert!(line.contains("420 epochs driven"), "{line}");
+        assert!(line.contains("10 queued"), "{line}");
+        assert!(!line.contains('\n'), "single line: {line}");
+    }
+}

@@ -1,0 +1,235 @@
+//! One tenant: an independent stream-aggregation world (network,
+//! workload, loss model, optional churn schedule, registered stream
+//! queries) plus its private RNG, packaged for a worker thread to
+//! drive epoch-by-epoch.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use td_netsim::churn::ChurnSchedule;
+use td_netsim::loss::LossModel;
+use td_stream::StreamSession;
+use tributary_delta::driver::Workload;
+
+use crate::tenant_rng;
+
+/// Identifies one tenant within a [`ServiceRuntime`](crate::ServiceRuntime).
+/// Assigned at submission; its hash picks the owning shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u64);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Where a tenant currently is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TenantPhase {
+    /// Submitted, not yet picked up by its worker.
+    Queued,
+    /// Owned by a worker and advancing epochs.
+    Running,
+    /// Backpressured: its outbox is full and undrained reports are
+    /// staged worker-side, so the epoch loop skips it until a drain
+    /// makes room. Nothing is dropped.
+    Parked,
+    /// Reached its [`run_until`](TenantBuilder::run_until) epoch bound
+    /// and is idling; epoch-addressed operations still apply, and
+    /// [`TenantHandle::resume`](crate::TenantHandle::resume) extends it.
+    Paused,
+    /// Removed (or the runtime shut down); its outbox is closed but
+    /// still drainable.
+    Removed,
+}
+
+impl TenantPhase {
+    pub(crate) fn as_u8(self) -> u8 {
+        match self {
+            TenantPhase::Queued => 0,
+            TenantPhase::Running => 1,
+            TenantPhase::Parked => 2,
+            TenantPhase::Paused => 3,
+            TenantPhase::Removed => 4,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Self {
+        match v {
+            0 => TenantPhase::Queued,
+            1 => TenantPhase::Running,
+            2 => TenantPhase::Parked,
+            3 => TenantPhase::Paused,
+            _ => TenantPhase::Removed,
+        }
+    }
+}
+
+/// Lock-free tenant state shared between the owning worker and the
+/// [`TenantHandle`](crate::TenantHandle).
+#[derive(Debug)]
+pub(crate) struct TenantShared {
+    phase: AtomicU8,
+    epochs: AtomicU64,
+    /// Next stream-query registration index — the handle claims indices
+    /// client-side so it can hand out `WindowHandle`s without a
+    /// round-trip; the worker verifies the claim when the registration
+    /// applies.
+    pub next_query: AtomicUsize,
+}
+
+impl TenantShared {
+    pub fn new(registered_queries: usize) -> Self {
+        TenantShared {
+            phase: AtomicU8::new(TenantPhase::Queued.as_u8()),
+            epochs: AtomicU64::new(0),
+            next_query: AtomicUsize::new(registered_queries),
+        }
+    }
+
+    pub fn set_phase(&self, phase: TenantPhase) {
+        self.phase.store(phase.as_u8(), Ordering::Relaxed);
+    }
+
+    pub fn phase(&self) -> TenantPhase {
+        TenantPhase::from_u8(self.phase.load(Ordering::Relaxed))
+    }
+
+    pub fn bump_epochs(&self) {
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn epochs(&self) -> u64 {
+        self.epochs.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`TenantHandle::status`](crate::TenantHandle::status) snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantStatus {
+    /// Lifecycle phase.
+    pub phase: TenantPhase,
+    /// Epochs the worker has driven for this tenant (warmup included).
+    pub epochs_driven: u64,
+    /// Reports currently queued in the tenant's outbox.
+    pub queued_reports: usize,
+}
+
+/// One tenant's complete, self-contained simulation state. Build with
+/// [`Tenant::builder`]; submit with
+/// [`ServiceRuntime::submit`](crate::ServiceRuntime::submit).
+///
+/// Everything a tenant's epochs touch lives here — session, workload,
+/// loss model, churn schedule, RNG — so workers never share mutable
+/// state across tenants and a tenant's output stream is bit-identical
+/// to stepping the same pieces in a serial loop.
+pub struct Tenant {
+    pub(crate) session: StreamSession,
+    pub(crate) workload: Box<dyn Workload>,
+    pub(crate) model: Box<dyn LossModel>,
+    pub(crate) churn: Option<ChurnSchedule>,
+    pub(crate) rng: StdRng,
+    pub(crate) run_until: Option<u64>,
+    pub(crate) outbox_capacity: usize,
+}
+
+impl Tenant {
+    /// Start building a tenant around a session (with its stream
+    /// queries already registered — more can be added live through the
+    /// handle), an epoch workload, and a loss model.
+    pub fn builder<W, M>(session: StreamSession, workload: W, model: M) -> TenantBuilder
+    where
+        W: Workload + 'static,
+        M: LossModel + 'static,
+    {
+        TenantBuilder {
+            session,
+            workload: Box::new(workload),
+            model: Box::new(model),
+            churn: None,
+            rng: None,
+            run_until: None,
+            outbox_capacity: 1024,
+        }
+    }
+}
+
+/// Builder for [`Tenant`].
+pub struct TenantBuilder {
+    session: StreamSession,
+    workload: Box<dyn Workload>,
+    model: Box<dyn LossModel>,
+    churn: Option<ChurnSchedule>,
+    rng: Option<StdRng>,
+    run_until: Option<u64>,
+    outbox_capacity: usize,
+}
+
+impl TenantBuilder {
+    /// Seed the tenant's private RNG via [`tenant_rng`] — the
+    /// substream discipline that keeps its epoch draws independent of
+    /// every other tenant and identical to a serial run with the same
+    /// seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.rng = Some(tenant_rng(seed));
+        self
+    }
+
+    /// Hand the tenant an explicit RNG (escape hatch for callers mid
+    /// rng-stream; prefer [`seed`](Self::seed)).
+    pub fn rng(mut self, rng: StdRng) -> Self {
+        self.rng = Some(rng);
+        self
+    }
+
+    /// Drive the tenant under this churn schedule (each epoch applies
+    /// the schedule's membership transitions and overlays its loss).
+    pub fn churn(mut self, schedule: ChurnSchedule) -> Self {
+        self.churn = Some(schedule);
+        self
+    }
+
+    /// Pause the tenant once its next epoch would be `epoch` (it runs
+    /// epochs `0..epoch`, then idles until
+    /// [`resumed`](crate::TenantHandle::resume) or removed). The
+    /// deterministic rendezvous point for live reconfiguration: an
+    /// operation addressed at `epoch` can never arrive late while the
+    /// tenant is paused there.
+    pub fn run_until(mut self, epoch: u64) -> Self {
+        self.run_until = Some(epoch);
+        self
+    }
+
+    /// Bound the tenant's outbox (default 1024 reports). A full outbox
+    /// parks the tenant; it never drops.
+    pub fn outbox_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "outbox capacity must be at least 1");
+        self.outbox_capacity = capacity;
+        self
+    }
+
+    /// Finish the tenant.
+    ///
+    /// # Panics
+    /// Panics if no seed/RNG was set or the session has no active
+    /// stream query (a tenant must be runnable as submitted).
+    pub fn build(self) -> Tenant {
+        assert!(
+            self.session.active_query_count() > 0,
+            "a tenant's session needs at least one active stream query"
+        );
+        let rng = self
+            .rng
+            .expect("a tenant needs a seed (TenantBuilder::seed) or an explicit RNG");
+        Tenant {
+            session: self.session,
+            workload: self.workload,
+            model: self.model,
+            churn: self.churn,
+            rng,
+            run_until: self.run_until,
+            outbox_capacity: self.outbox_capacity,
+        }
+    }
+}

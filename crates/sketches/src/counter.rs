@@ -23,7 +23,9 @@ use crate::kmv::Kmv;
 
 /// A duplicate-insensitive counter: supports adding a population of
 /// occurrences identified by a salt, ODI merging, and estimation.
-pub trait DiCounter: Clone + 'static {
+/// (`Send` so synopsis sets built from counters can ride the type-erased
+/// session bundles across worker threads; counters are plain data.)
+pub trait DiCounter: Clone + Send + 'static {
     /// Add `count` occurrences belonging to the population `salt`.
     /// Re-adding the same `(salt, count)` population (possibly via a merged
     /// copy) must not change the estimate.

@@ -39,5 +39,7 @@ pub mod session;
 pub mod window;
 
 pub use query::{EpochProtocolFactory, PaneProtocol, ScalarQuery, StreamQuery};
-pub use session::{PaneStats, StreamSession, StreamStats, WindowHandle, WindowReport};
+pub use session::{
+    DeregisterError, PaneStats, StreamSession, StreamStats, WindowHandle, WindowReport,
+};
 pub use window::{EpochMerge, PanePartial, WindowSpec};

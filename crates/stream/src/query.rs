@@ -33,7 +33,13 @@ use crate::window::{EpochMerge, WindowSpec};
 /// Implement [`EpochProtocolFactory`] instead — the blanket impl keeps
 /// the typed and erased surfaces in lockstep (the same pattern as
 /// `Protocol` / `DynProtocol` in the core engine).
-pub trait PaneProtocol {
+///
+/// `Send` is a supertrait so a whole [`StreamSession`] (which stores
+/// these boxed) can move across threads — the service layer hands each
+/// tenant's session to whichever worker shard the tenant hashes to.
+///
+/// [`StreamSession`]: crate::session::StreamSession
+pub trait PaneProtocol: Send {
     /// Register this epoch's underlying protocol on the shared query
     /// set, returning its registration slot. The protocol may borrow
     /// `self` and `readings` for the epoch (`'e`).
@@ -74,7 +80,7 @@ pub trait EpochProtocolFactory {
     fn label(&self) -> String;
 }
 
-impl<F: EpochProtocolFactory> PaneProtocol for F {
+impl<F: EpochProtocolFactory + Send> PaneProtocol for F {
     fn register<'e>(&'e self, set: &mut QuerySet<'e>, readings: &'e [u64], epoch: u64) -> usize {
         set.register(self.make(readings, epoch)).index()
     }

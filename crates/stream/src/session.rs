@@ -29,7 +29,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use rand::Rng;
-use td_netsim::churn::ChurnSchedule;
+use td_netsim::churn::{ChurnEvents, ChurnSchedule};
 use td_netsim::loss::LossModel;
 use td_netsim::stats::CommStats;
 use tributary_delta::adapt::AdaptAction;
@@ -210,6 +210,34 @@ struct QueryState {
     ring_need: usize,
     windows: Vec<WindowState>,
     next_seq: u64,
+    /// Deregistered queries stay in place as tombstones so earlier
+    /// queries' indices (and every issued [`WindowHandle`]) stay valid;
+    /// inactive queries are skipped by the epoch loop.
+    active: bool,
+}
+
+/// Why [`StreamSession::deregister`] refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeregisterError {
+    /// No query was ever registered under that index.
+    UnknownQuery,
+    /// The query was already deregistered.
+    AlreadyInactive,
+    /// Deregistering it would leave the session with nothing to run —
+    /// an epoch needs at least one active query.
+    LastActiveQuery,
+}
+
+impl std::fmt::Display for DeregisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeregisterError::UnknownQuery => write!(f, "unknown stream query index"),
+            DeregisterError::AlreadyInactive => write!(f, "stream query already deregistered"),
+            DeregisterError::LastActiveQuery => {
+                write!(f, "cannot deregister the last active stream query")
+            }
+        }
+    }
 }
 
 /// The streaming window engine over one aggregation session.
@@ -288,6 +316,7 @@ impl StreamSession {
             ring_need,
             windows,
             next_seq: 0,
+            active: true,
         });
         self.protos.push(Box::new(query.proto));
         handles
@@ -308,9 +337,59 @@ impl StreamSession {
         &self.stats
     }
 
-    /// Number of registered stream queries (= protocols per epoch set).
+    /// Number of registered stream queries, tombstoned ones included
+    /// (registration indices are never reused).
     pub fn query_count(&self) -> usize {
         self.protos.len()
+    }
+
+    /// Number of queries still active (= protocols per epoch set).
+    pub fn active_query_count(&self) -> usize {
+        self.queries.iter().filter(|q| q.active).count()
+    }
+
+    /// Upper bound on [`WindowReport`]s one measured epoch can emit —
+    /// every window of every active query fires at most once per pane.
+    /// The service layer sizes outbox headroom with this.
+    pub fn max_reports_per_epoch(&self) -> usize {
+        self.queries
+            .iter()
+            .filter(|q| q.active)
+            .map(|q| q.windows.len())
+            .sum()
+    }
+
+    /// Deregister a stream query by its index ([`WindowHandle::query`]).
+    /// The query stops costing a bundle slot from the next epoch on and
+    /// its windows stop emitting; its tombstone keeps every other
+    /// query's index (and issued handles) valid. Irreversible.
+    pub fn deregister(&mut self, query: usize) -> Result<(), DeregisterError> {
+        let q = self
+            .queries
+            .get_mut(query)
+            .ok_or(DeregisterError::UnknownQuery)?;
+        if !q.active {
+            return Err(DeregisterError::AlreadyInactive);
+        }
+        q.active = false;
+        if self.queries.iter().all(|q| !q.active) {
+            self.queries[query].active = true;
+            return Err(DeregisterError::LastActiveQuery);
+        }
+        Ok(())
+    }
+
+    /// Apply one batch of membership transitions to the session outside
+    /// a schedule ([`Session::apply_churn`] — orphans re-route, the
+    /// cached plan patches, the join/leave counts land in the next
+    /// pane's [`CommStats`] delta). This is the service layer's churn
+    /// injection point; note it changes **structure and accounting**
+    /// only — silencing absent nodes on the channel stays the loss
+    /// model's job, exactly as in a hand-rolled churn loop.
+    ///
+    /// [`Session::apply_churn`]: tributary_delta::session::Session::apply_churn
+    pub fn inject_churn(&mut self, events: &ChurnEvents) {
+        self.driver.session_mut().apply_churn(events);
     }
 
     /// Run `warmup + epochs` epochs (continuing the driver's clock),
@@ -359,6 +438,42 @@ impl StreamSession {
         self.run_inner(workload, model, Some(churn), epochs, rng)
     }
 
+    /// Advance exactly **one** epoch (warmup or measured), returning
+    /// the window reports that epoch emitted (none during warmup).
+    ///
+    /// This is the single-epoch unit [`run`](Self::run) loops over and
+    /// the service layer drives directly: a tenant's session is stepped
+    /// epoch-by-epoch on whatever worker owns it, interleaved with
+    /// other tenants, and stays bit-identical to a batch
+    /// [`run`](Self::run) because both paths *are* this method.
+    pub fn step<W, M, R>(&mut self, workload: &W, model: &M, rng: &mut R) -> Vec<WindowReport>
+    where
+        W: Workload + ?Sized,
+        M: LossModel,
+        R: Rng + ?Sized,
+    {
+        self.step_inner(workload, model, None, rng)
+    }
+
+    /// [`step`](Self::step) under a churn schedule: applies the epoch's
+    /// membership transitions to the session and runs delivery under
+    /// [`ChurnSchedule::overlay`] — the single-epoch unit
+    /// [`run_under_churn`](Self::run_under_churn) loops over.
+    pub fn step_under_churn<W, M, R>(
+        &mut self,
+        workload: &W,
+        model: &M,
+        churn: &ChurnSchedule,
+        rng: &mut R,
+    ) -> Vec<WindowReport>
+    where
+        W: Workload + ?Sized,
+        M: LossModel,
+        R: Rng + ?Sized,
+    {
+        self.step_inner(workload, model, Some(churn), rng)
+    }
+
     fn run_inner<W, M, R>(
         &mut self,
         workload: &W,
@@ -372,59 +487,81 @@ impl StreamSession {
         M: LossModel,
         R: Rng + ?Sized,
     {
-        assert!(
-            !self.protos.is_empty(),
-            "register at least one stream query before running"
-        );
         let remaining_warmup = self
             .driver
             .warmup()
             .saturating_sub(self.driver.next_epoch());
         let mut reports = Vec::new();
         for _ in 0..remaining_warmup + epochs {
-            let epoch = self.driver.next_epoch();
-            let readings = workload.readings(epoch);
-            // One set, one traversal, however many queries and windows.
-            let mut set = QuerySet::new();
-            let slots: Vec<usize> = self
-                .protos
-                .iter()
-                .map(|p| p.register(&mut set, &readings, epoch))
-                .collect();
-            let mut stepped = match churn {
-                Some(schedule) => {
-                    let events = schedule.events_at(epoch);
-                    self.driver.session_mut().apply_churn(&events);
-                    self.driver.step_set(&set, &schedule.overlay(model), rng)
-                }
-                None => self.driver.step_set(&set, model, rng),
-            };
-            let values: Vec<f64> = self
-                .protos
-                .iter()
-                .zip(&slots)
-                .map(|(p, &slot)| p.pane_value(&mut stepped.record.answers, slot))
-                .collect();
-            drop(set);
+            reports.extend(self.step_inner(workload, model, churn, rng));
+        }
+        reports
+    }
 
-            self.stats.epochs_run += 1;
-            // One allocation per epoch (the diff itself); folding it
-            // back keeps `last_stats` equal to the session total
-            // without cloning the full per-node vector.
-            let comm = self.driver.session().stats().diff(&self.last_stats);
-            self.last_stats.merge(&comm);
-            if !stepped.measured {
-                continue;
+    fn step_inner<W, M, R>(
+        &mut self,
+        workload: &W,
+        model: &M,
+        churn: Option<&ChurnSchedule>,
+        rng: &mut R,
+    ) -> Vec<WindowReport>
+    where
+        W: Workload + ?Sized,
+        M: LossModel,
+        R: Rng + ?Sized,
+    {
+        assert!(
+            self.queries.iter().any(|q| q.active),
+            "register at least one stream query before running"
+        );
+        let mut reports = Vec::new();
+        let epoch = self.driver.next_epoch();
+        let readings = workload.readings(epoch);
+        // One set, one traversal, however many queries and windows.
+        // Tombstoned queries skip their slot entirely.
+        let mut set = QuerySet::new();
+        let active: Vec<bool> = self.queries.iter().map(|q| q.active).collect();
+        let slots: Vec<Option<usize>> = self
+            .protos
+            .iter()
+            .zip(&active)
+            .map(|(p, &on)| on.then(|| p.register(&mut set, &readings, epoch)))
+            .collect();
+        let mut stepped = match churn {
+            Some(schedule) => {
+                let events = schedule.events_at(epoch);
+                self.driver.session_mut().apply_churn(&events);
+                self.driver.step_set(&set, &schedule.overlay(model), rng)
             }
-            self.stats.measured_epochs += 1;
+            None => self.driver.step_set(&set, model, rng),
+        };
+        let values: Vec<Option<f64>> = self
+            .protos
+            .iter()
+            .zip(&slots)
+            .map(|(p, slot)| slot.map(|s| p.pane_value(&mut stepped.record.answers, s)))
+            .collect();
+        drop(set);
 
-            let relabeled = matches!(
-                stepped.record.action,
-                AdaptAction::Expanded { .. } | AdaptAction::Shrunk { .. }
-            );
-            let comm = Arc::new(comm);
-            let coverage = stepped.record.pct_contributing;
-            for (qi, value) in values.into_iter().enumerate() {
+        self.stats.epochs_run += 1;
+        // One allocation per epoch (the diff itself); folding it
+        // back keeps `last_stats` equal to the session total
+        // without cloning the full per-node vector.
+        let comm = self.driver.session().stats().diff(&self.last_stats);
+        self.last_stats.merge(&comm);
+        if !stepped.measured {
+            return reports;
+        }
+        self.stats.measured_epochs += 1;
+
+        let relabeled = matches!(
+            stepped.record.action,
+            AdaptAction::Expanded { .. } | AdaptAction::Shrunk { .. }
+        );
+        let comm = Arc::new(comm);
+        let coverage = stepped.record.pct_contributing;
+        for (qi, value) in values.into_iter().enumerate() {
+            if let Some(value) = value {
                 self.absorb_pane(qi, epoch, value, coverage, relabeled, &comm, &mut reports);
             }
         }

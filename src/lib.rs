@@ -18,6 +18,10 @@
 //! - [`stream`] — the cross-epoch streaming window engine:
 //!   tumbling/sliding/landmark windows over the session engine, one
 //!   shared pane series per protocol (extension)
+//! - [`service`] — the multi-tenant hosting layer: a fixed worker pool
+//!   multiplexing thousands of independent tenant sessions with sharded
+//!   ownership, bounded outboxes, and bit-deterministic isolation
+//!   (extension)
 //!
 //! The typical entry point is the session engine:
 //!
@@ -57,6 +61,7 @@ pub use td_aggregates as aggregates;
 pub use td_frequent as frequent;
 pub use td_netsim as netsim;
 pub use td_quantiles as quantiles;
+pub use td_service as service;
 pub use td_sketches as sketches;
 pub use td_stream as stream;
 pub use td_topology as topology;

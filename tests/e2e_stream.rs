@@ -11,7 +11,13 @@
 //!     between its panes;
 //! (d) the stream engine inherits incremental plan patching unchanged:
 //!     a windowed run over a session whose plan cache patches on
-//!     relabel is bit-identical to one that recompiles on relabel.
+//!     relabel is bit-identical to one that recompiles on relabel;
+//! (e) `step`/`step_under_churn` are the exact single-epoch units of
+//!     `run`/`run_under_churn`: a hand-rolled step loop is bit-identical
+//!     to the batch run, reports and stats included — the contract the
+//!     service layer's epoch multiplexing rests on;
+//! (f) `StreamSession` is `Send` (statically asserted), so whole
+//!     sessions can be handed to service worker threads.
 
 use proptest::prelude::*;
 use td_suite::aggregates::sum::Sum;
@@ -302,4 +308,107 @@ fn stream_windows_identical_under_patched_and_recompiled_plans() {
         1 + patched_plan.patches,
         "one recompile per relabel epoch: {recompiled_plan:?}"
     );
+}
+
+/// Compress a report into everything determinism-relevant, with the
+/// answer bit-exact.
+fn report_fingerprint(
+    r: &td_suite::stream::WindowReport,
+) -> (usize, usize, u64, u64, u64, u64, u64, u64, u32, usize) {
+    (
+        r.handle.query,
+        r.handle.window,
+        r.start_epoch,
+        r.end_epoch,
+        r.answer.to_bits(),
+        r.coverage.to_bits(),
+        r.nodes_joined,
+        r.nodes_left,
+        r.relabels,
+        r.pane_stats.len(),
+    )
+}
+
+/// (e) a hand-rolled `step` loop is bit-identical to `run`, warmup and
+/// stats included — and likewise for `step_under_churn` vs
+/// `run_under_churn`.
+#[test]
+fn step_loop_is_bit_identical_to_run() {
+    use td_suite::netsim::churn::ChurnSchedule;
+    let net = net(801, 150);
+    let workload = DriftingStream::new(Synthetic::sum_workload(&net, 801), 802);
+    let (warmup, epochs, loss, seed) = (3u64, 25u64, 0.2, 803u64);
+    let windows = [
+        (WindowSpec::sliding(6, 1), EpochMerge::Add),
+        (WindowSpec::tumbling(4), EpochMerge::Mean),
+    ];
+    let build = || {
+        let mut rng = rng_from_seed(seed);
+        let session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+        let mut stream = StreamSession::new(Driver::new(session, warmup));
+        let mut query = StreamQuery::scalar(Sum::default());
+        for &(spec, merge) in &windows {
+            query = query.window(spec, merge);
+        }
+        let _ = stream.register(query);
+        (stream, rng)
+    };
+
+    // Loss-only: run vs a step loop over the same epoch count.
+    let model = Global::new(loss);
+    let (mut batch, mut rng) = build();
+    let batch_reports = batch.run(&workload, &model, epochs, &mut rng);
+    let (mut stepped, mut rng) = build();
+    let mut step_reports = Vec::new();
+    for _ in 0..warmup + epochs {
+        step_reports.extend(stepped.step(&workload, &model, &mut rng));
+    }
+    assert_eq!(
+        batch_reports
+            .iter()
+            .map(report_fingerprint)
+            .collect::<Vec<_>>(),
+        step_reports
+            .iter()
+            .map(report_fingerprint)
+            .collect::<Vec<_>>(),
+        "step loop diverged from run"
+    );
+    assert_eq!(batch.stream_stats(), stepped.stream_stats());
+    assert_eq!(batch.session().stats(), stepped.session().stats());
+
+    // Churn: run_under_churn vs a step_under_churn loop.
+    let schedule = ChurnSchedule::new(net.len(), 0.03, 5.0, 17);
+    let (mut batch, mut rng) = build();
+    let batch_reports = batch.run_under_churn(&workload, &model, &schedule, epochs, &mut rng);
+    let (mut stepped, mut rng) = build();
+    let mut step_reports = Vec::new();
+    for _ in 0..warmup + epochs {
+        step_reports.extend(stepped.step_under_churn(&workload, &model, &schedule, &mut rng));
+    }
+    assert_eq!(
+        batch_reports
+            .iter()
+            .map(report_fingerprint)
+            .collect::<Vec<_>>(),
+        step_reports
+            .iter()
+            .map(report_fingerprint)
+            .collect::<Vec<_>>(),
+        "step_under_churn loop diverged from run_under_churn"
+    );
+    assert_eq!(batch.session().stats(), stepped.session().stats());
+    assert!(
+        batch.session().stats().nodes_left() > 0,
+        "churn schedule never fired — the churn half of this pin is vacuous"
+    );
+}
+
+/// (f) whole stream sessions can cross threads — the bound the service
+/// layer's tenant hand-off requires, pinned at compile time.
+#[test]
+fn stream_session_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<StreamSession>();
+    assert_send::<td_suite::stream::WindowReport>();
 }
