@@ -41,7 +41,7 @@ impl Wire {
 /// (`Send` so aggregate-carrying stream queries can cross worker
 /// threads — the service layer moves whole tenant sessions between
 /// them; every aggregate here is plain data.)
-pub trait Aggregate: Clone + Send {
+pub trait Aggregate: Clone + Send + Sync {
     /// Partial result used by tree (tributary) nodes. (`'static` +
     /// `Send` so partials can ride in the type-erased multi-query
     /// bundles of the session engine across worker threads.)

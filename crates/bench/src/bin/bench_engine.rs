@@ -21,58 +21,109 @@ use tributary_delta::driver::{Driver, FixedReadings, TrialPool};
 use tributary_delta::protocol::ScalarProtocol;
 use tributary_delta::query::QuerySet;
 use tributary_delta::runner::{EpochPlan, RunnerConfig};
-use tributary_delta::session::{Scheme, Session};
+use tributary_delta::session::{Scheme, Session, SessionBuilder};
 
 const TRIALS: u64 = 8;
 const EPOCHS_PER_TRIAL: u64 = 30;
 const WARMUP: u64 = 2;
 const SENSORS: usize = 150;
+/// Reps per timed quantity; the reported figure is the minimum, which is
+/// the standard de-noising for ratio gates on shared CI machines (the
+/// min is the run least disturbed by scheduler interference).
+const REPS: usize = 3;
+/// Network size for the intra-epoch worker sweep. Big enough that one
+/// epoch is milliseconds of real aggregation work — the regime the
+/// level-parallel executor is for — while keeping the whole sweep a few
+/// seconds of CI time.
+const INTRA_NODES: usize = 10_000;
 
-/// One timed sweep: returns (elapsed seconds, total epochs run, total
-/// payload bytes across the merged trial stats).
+/// One timed sweep (best of [`REPS`]): returns (elapsed seconds, total
+/// epochs run, total payload bytes across the merged trial stats).
 fn timed_sweep(
     pool: &TrialPool,
     net: &td_netsim::network::Network,
     values: &[u64],
 ) -> (f64, u64, u64) {
-    let t0 = Instant::now();
-    let batch = Driver::run_trials(pool, 0xE1234, TRIALS, |_t, rng| {
-        let session = Session::with_paper_defaults(Scheme::Td, net, rng);
-        let mut driver = Driver::new(session, WARMUP);
-        let run = driver.run_scalar(
-            &td_aggregates::sum::Sum::default(),
-            &FixedReadings(values.to_vec()),
-            &Global::new(0.2),
-            EPOCHS_PER_TRIAL,
-            |readings| readings[1..].iter().sum::<u64>() as f64,
-            rng,
-        );
-        (
-            run.estimates.len() as u64,
-            driver.into_session().stats().clone(),
-        )
-    });
-    let elapsed = t0.elapsed().as_secs_f64();
+    let mut best = f64::INFINITY;
+    let mut bytes = 0;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        let batch = Driver::run_trials(pool, 0xE1234, TRIALS, |_t, rng| {
+            let session = Session::with_paper_defaults(Scheme::Td, net, rng);
+            let mut driver = Driver::new(session, WARMUP);
+            let run = driver.run_scalar(
+                &td_aggregates::sum::Sum::default(),
+                &FixedReadings(values.to_vec()),
+                &Global::new(0.2),
+                EPOCHS_PER_TRIAL,
+                |readings| readings[1..].iter().sum::<u64>() as f64,
+                rng,
+            );
+            (
+                run.estimates.len() as u64,
+                driver.into_session().stats().clone(),
+            )
+        });
+        best = best.min(t0.elapsed().as_secs_f64());
+        bytes = batch.stats.map(|s| s.total_bytes()).unwrap_or(0);
+    }
     let epochs: u64 = TRIALS * (WARMUP + EPOCHS_PER_TRIAL);
-    let bytes = batch.stats.map(|s| s.total_bytes()).unwrap_or(0);
-    (elapsed, epochs, bytes)
+    (best, epochs, bytes)
 }
 
-/// Nanoseconds per epoch through a session, with or without plan reuse.
+/// Nanoseconds per epoch through a session, with or without plan reuse
+/// (best of [`REPS`]). One session persists across reps — the epoch
+/// counter keeps advancing — so later reps measure the steady state the
+/// plan cache and arena recycling are designed for.
 fn timed_epochs(net: &td_netsim::network::Network, values: &[u64], rebuild: bool) -> f64 {
     let model = Global::new(0.1);
     let mut rng = rng_from_seed(77);
     let mut session = Session::with_paper_defaults(Scheme::Td, net, &mut rng);
     let epochs = 60u64;
-    let t0 = Instant::now();
-    for epoch in 0..epochs {
-        if rebuild {
-            session.clear_cached_plan();
+    let mut epoch = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for _ in 0..epochs {
+            if rebuild {
+                session.clear_cached_plan();
+            }
+            let proto = ScalarProtocol::new(td_aggregates::sum::Sum::default(), values);
+            session.run_epoch(&proto, &model, epoch, &mut rng);
+            epoch += 1;
         }
+        best = best.min(t0.elapsed().as_nanos() as f64 / epochs as f64);
+    }
+    best
+}
+
+/// Nanoseconds per epoch of a 10k-node TD session at a given intra-epoch
+/// worker count (best of 2 reps of 3 timed epochs, after one warm-up
+/// epoch per rep). The session — and thus the compiled plan, the
+/// level-contiguous arenas, and the per-worker scratch pools — persists
+/// across reps, so this measures the steady-state hot path.
+fn timed_intra_epoch(net: &td_netsim::network::Network, values: &[u64], workers: usize) -> f64 {
+    let model = Global::new(0.1);
+    let mut rng = rng_from_seed(0x10AD + workers as u64);
+    let mut session = SessionBuilder::new(Scheme::Td)
+        .workers(workers)
+        .build(net, &mut rng);
+    let mut epoch = 0u64;
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
         let proto = ScalarProtocol::new(td_aggregates::sum::Sum::default(), values);
         session.run_epoch(&proto, &model, epoch, &mut rng);
+        epoch += 1;
+        let timed = 3u64;
+        let t0 = Instant::now();
+        for _ in 0..timed {
+            let proto = ScalarProtocol::new(td_aggregates::sum::Sum::default(), values);
+            session.run_epoch(&proto, &model, epoch, &mut rng);
+            epoch += 1;
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / timed as f64);
     }
-    t0.elapsed().as_nanos() as f64 / epochs as f64
+    best
 }
 
 /// One §4.2-sized oscillating mutation: expand a subtree on even steps,
@@ -186,6 +237,23 @@ fn main() {
     let maint_patch = timed_plan_maintenance(&net, true);
     let maint_recompile = timed_plan_maintenance(&net, false);
 
+    // Intra-epoch worker sweep at 10k nodes. Results are bit-identical
+    // across worker counts by construction (pinned by the e2e proptest),
+    // so the only question here is wall-clock. `cores` is recorded next
+    // to the speedups because they are meaningless without it: on a
+    // single-core CI box every worker count above 1 can only add
+    // synchronization overhead, and the honest speedup is ≤ 1.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let intra_net = Synthetic::small(INTRA_NODES).build(7);
+    let intra_values: Vec<u64> = (0..intra_net.len() as u64).map(|i| 1 + i % 50).collect();
+    let intra_ns: Vec<f64> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|w| timed_intra_epoch(&intra_net, &intra_values, w))
+        .collect();
+    let (i1, i2, i4, i8) = (intra_ns[0], intra_ns[1], intra_ns[2], intra_ns[3]);
+
     let json = format!(
         "{{\n  \"sensors\": {SENSORS},\n  \"trials\": {TRIALS},\n  \"epochs_total\": {epochs},\n  \
          \"threads\": {},\n  \"sequential_s\": {seq_s:.4},\n  \"pool_s\": {pool_s:.4},\n  \
@@ -198,7 +266,12 @@ fn main() {
          \"adaptation_patch_speedup\": {:.3},\n  \
          \"plan_patches_per_sec\": {maint_patch:.1},\n  \
          \"plan_recompiles_per_sec\": {maint_recompile:.1},\n  \
-         \"plan_patch_speedup\": {:.3}\n}}\n",
+         \"plan_patch_speedup\": {:.3},\n  \
+         \"cores\": {cores},\n  \"intra_epoch_nodes\": {INTRA_NODES},\n  \
+         \"intra_epoch_ns_1w\": {i1:.0},\n  \
+         \"intra_epoch_speedup_2w\": {:.3},\n  \
+         \"intra_epoch_speedup_4w\": {:.3},\n  \
+         \"intra_epoch_speedup_8w\": {:.3}\n}}\n",
         pool.threads(),
         seq_s / pool_s.max(1e-9),
         epochs as f64 / seq_s.max(1e-9),
@@ -206,6 +279,9 @@ fn main() {
         rebuild_ns / reuse_ns.max(1.0),
         adapt_patch / adapt_recompile.max(1e-9),
         maint_patch / maint_recompile.max(1e-9),
+        i1 / i2.max(1.0),
+        i1 / i4.max(1.0),
+        i1 / i8.max(1.0),
     );
     print!("{json}");
 

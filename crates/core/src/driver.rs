@@ -426,6 +426,10 @@ impl<T> TrialBatch<T> {
 #[derive(Clone, Copy, Debug)]
 pub struct TrialPool {
     threads: usize,
+    /// Smallest trial count worth spawning threads for; below it the
+    /// pool runs the identical sequential loop inline — at tiny batch
+    /// sizes thread spawn/join costs more than the trials themselves.
+    min_parallel: usize,
 }
 
 impl Default for TrialPool {
@@ -447,6 +451,7 @@ impl TrialPool {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+            min_parallel: 2,
         }
     }
 
@@ -456,7 +461,19 @@ impl TrialPool {
     /// Panics if `threads` is zero.
     pub fn with_threads(threads: usize) -> Self {
         assert!(threads >= 1, "a trial pool needs at least one worker");
-        TrialPool { threads }
+        TrialPool {
+            threads,
+            min_parallel: 2,
+        }
+    }
+
+    /// Override the inline-sequential threshold: batches smaller than
+    /// `min_parallel` trials skip thread spawn/join and run the
+    /// identical sequential loop on the caller (results are index-keyed
+    /// and bit-identical either way, so this only trades wall-clock).
+    pub fn with_min_parallel(mut self, min_parallel: usize) -> Self {
+        self.min_parallel = min_parallel;
+        self
     }
 
     /// The worker count.
@@ -512,16 +529,23 @@ impl TrialPool {
             return Vec::new();
         }
         let workers = self.threads.min(n);
-        if workers <= 1 {
+        if workers <= 1 || n < self.min_parallel {
             return (0..n).map(job).collect();
         }
         let counter = AtomicUsize::new(0);
-        let mut collected: Vec<(usize, T)> = Vec::with_capacity(n);
+        // Index-keyed placement instead of collect-and-sort: every slot
+        // is filled exactly once (the atomic counter hands each index to
+        // one worker), so reassembly is a straight O(n) unwrap.
+        let mut slots: Vec<Option<T>> = Vec::new();
+        slots.resize_with(n, || None);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
-                        let mut local = Vec::new();
+                        // Reused per-worker scratch, sized for an even
+                        // share up front so claim-loop pushes never
+                        // reallocate.
+                        let mut local = Vec::with_capacity(n / workers + 1);
                         loop {
                             let i = counter.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
@@ -534,11 +558,15 @@ impl TrialPool {
                 })
                 .collect();
             for h in handles {
-                collected.extend(h.join().expect("trial worker panicked"));
+                for (i, t) in h.join().expect("trial worker panicked") {
+                    slots[i] = Some(t);
+                }
             }
         });
-        collected.sort_unstable_by_key(|(i, _)| *i);
-        collected.into_iter().map(|(_, t)| t).collect()
+        slots
+            .into_iter()
+            .map(|t| t.expect("every trial index claimed exactly once"))
+            .collect()
     }
 }
 

@@ -19,7 +19,11 @@ use td_sketches::counter::CounterFactory;
 /// tributary root's final message into the delta (§5). `finalize_tree`
 /// lets height-dependent algorithms (the §6.1 precision gradients) apply
 /// their per-level budget after a node has merged its children.
-pub trait Protocol {
+///
+/// `Sync` because the intra-epoch parallel runner shares `&QuerySet`
+/// across worker threads; protocol instances are read-only during an
+/// epoch, so plain-data implementations get this for free.
+pub trait Protocol: Sync {
     /// Partial result used in tributaries. (`'static` so messages can be
     /// type-erased into a [`crate::query::QuerySet`] bundle — protocol
     /// *instances* may still borrow their epoch's readings — and `Send`

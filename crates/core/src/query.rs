@@ -128,7 +128,10 @@ impl ErasedMsg {
 /// Do not implement this directly — implement [`Protocol`] and rely on
 /// the blanket impl, which is what keeps the typed and erased surfaces
 /// in lockstep.
-pub trait DynProtocol {
+///
+/// `Sync` (mirroring [`Protocol`]) so a `QuerySet` can be shared by
+/// reference across the intra-epoch worker threads.
+pub trait DynProtocol: Sync {
     /// Erased [`Protocol::local_tree`].
     fn local_tree(&self, node: NodeId) -> Option<ErasedMsg>;
     /// Erased [`Protocol::merge_tree`].

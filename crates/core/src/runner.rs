@@ -103,6 +103,18 @@ pub struct RunnerConfig {
     /// (the in-band count sketch and the extremum reports). The
     /// non-adaptive baselines (TAG, SD) don't carry them.
     pub charge_adaptation_overhead: bool,
+    /// Intra-epoch worker count for the level-parallel executor:
+    /// `0` = use every available core, `1` = the exact sequential path,
+    /// `k > 1` = `k` workers (the main thread plus `k - 1` scoped
+    /// threads). Any value produces bit-identical results — shards are
+    /// deterministic id-order chunks and per-shard stats/inbox writes
+    /// are merged back in step order.
+    pub workers: usize,
+    /// Node-count floor below which the runner stays sequential even
+    /// when `workers > 1`: at small scales the per-level fan-out costs
+    /// more than it saves. Safe to tune freely — the parallel path is
+    /// bit-identical, so the threshold never changes results.
+    pub parallel_min_nodes: usize,
 }
 
 impl Default for RunnerConfig {
@@ -110,6 +122,21 @@ impl Default for RunnerConfig {
         RunnerConfig {
             tree_retransmit: Retransmit::default(),
             charge_adaptation_overhead: true,
+            workers: 0,
+            parallel_min_nodes: 512,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// Resolve the `workers` knob: `0` maps to the machine's available
+    /// parallelism, anything else is taken literally.
+    pub fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            w => w,
         }
     }
 }
@@ -470,6 +497,13 @@ struct TdSchedule {
     /// the base station and disconnected nodes. The patch path's way
     /// from a relabeled vertex to its schedule entry.
     step_of: Vec<u32>,
+    /// Non-empty step ranges per ring level, outermost first:
+    /// `steps[start..end]` is one level's senders. Every step in a
+    /// range only writes to inboxes of strictly later ranges (§4.1 tree
+    /// parents and broadcast receivers sit exactly one level down), so
+    /// a range is a safe parallel shard group. Depends only on the
+    /// rings, so patching never touches it.
+    levels: Vec<(u32, u32)>,
     base_mode: Mode,
     base_height: u32,
     base_subtree: u64,
@@ -480,6 +514,21 @@ struct TdSchedule {
 const NO_STEP: u32 = u32::MAX;
 
 impl TdSchedule {
+    /// The arena slot of the base station: one past the last step slot.
+    fn base_slot(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The arena slot of `u`: its step index, or the base slot for the
+    /// base station (the only slot-bearing node without a step — every
+    /// unicast parent and broadcast receiver is ring-connected).
+    fn slot_or_base(&self, u: NodeId) -> usize {
+        match self.step_of[u.index()] {
+            NO_STEP => self.base_slot(),
+            s => s as usize,
+        }
+    }
+
     /// Bring every schedule field that depends on `u`'s label in line
     /// with `topo`'s current labeling: `u`'s own step (mode, unicast
     /// parent, switchability), the `is M` flag of every broadcast-table
@@ -606,20 +655,38 @@ impl TdSchedule {
 struct TagSchedule {
     /// Senders in bottom-up (leaves-first) order, base station last.
     steps: Vec<TagStep>,
+    /// `slot_of[node.index()]` = the node's step index (its arena
+    /// slot), or `NO_STEP` for nodes outside the tree (never addressed).
+    slot_of: Vec<u32>,
+    /// Step ranges of consecutive equal-depth runs of the bottom-up
+    /// order, deepest first: a TAG parent is always exactly one tree
+    /// depth up, so each run only writes to later runs — the TAG
+    /// parallel shard groups.
+    levels: Vec<(u32, u32)>,
     base_height: u32,
 }
 
 /// The reusable execution arenas: cleared, never shrunk, so steady-state
 /// epochs run without inbox or slab growth.
+///
+/// Inboxes and the local-message slab are indexed by **schedule slot**
+/// (a step's position in the level-ordered step list; the TD base
+/// station gets the one extra slot past the last step), not by node id.
+/// Slots are level-contiguous by construction, so an epoch's walk over
+/// the schedule touches the slabs strictly left to right — the
+/// cache-locality fix that makes plan reuse beat rebuild — and a
+/// parallel shard's slots form one contiguous block.
 struct Arenas {
     /// Node count (the envelope contributor-set capacity).
     n: usize,
-    /// Per-node tree-envelope inboxes, drained every epoch.
+    /// Slot count (schedule steps, plus the TD base-station slot).
+    slots: usize,
+    /// Per-slot tree-envelope inboxes, drained every epoch.
     tree_inbox: Vec<Vec<TreeEnvelope<Bundle>>>,
-    /// Per-node multi-path-envelope inboxes, drained every epoch.
+    /// Per-slot multi-path-envelope inboxes, drained every epoch.
     mp_inbox: Vec<Vec<MpEnvelope<Bundle>>>,
-    /// Flat local-message slab indexed by `(node, query)`: slot
-    /// `node * set.len() + query` stages the node's local tree or
+    /// Flat local-message slab indexed by `(slot, query)`: entry
+    /// `slot * set.len() + query` stages the node's local tree or
     /// multi-path message until its send step assembles the bundle.
     locals: Vec<Option<ErasedMsg>>,
     /// The envelope-part free-lists (contributor bitsets, count
@@ -627,20 +694,28 @@ struct Arenas {
     /// from here and every consumed envelope returns here, so
     /// steady-state epochs allocate no per-envelope parts.
     pools: Pools,
+    /// One private free-list per spawned parallel worker (index `w`
+    /// serves worker `w`), kept across epochs so worker shards also
+    /// reach allocation-free steady state. Parts ping-pong between
+    /// these and `pools` as envelopes cross shard boundaries; the
+    /// deterministic chunk assignment keeps every fill level bounded.
+    worker_pools: Vec<Pools>,
 }
 
 impl Arenas {
-    fn new(n: usize, multipath: bool) -> Arenas {
+    fn new(n: usize, slots: usize, multipath: bool) -> Arenas {
         Arenas {
             n,
-            tree_inbox: (0..n).map(|_| Vec::new()).collect(),
+            slots,
+            tree_inbox: (0..slots).map(|_| Vec::new()).collect(),
             mp_inbox: if multipath {
-                (0..n).map(|_| Vec::new()).collect()
+                (0..slots).map(|_| Vec::new()).collect()
             } else {
                 Vec::new()
             },
             locals: Vec::new(),
             pools: Pools::new(),
+            worker_pools: Vec::new(),
         }
     }
 
@@ -650,62 +725,66 @@ impl Arenas {
         self.pools.idset(self.n)
     }
 
-    /// One node's tree inbox plus the free-lists, split-borrowed for the
+    /// One slot's tree inbox plus the free-lists, split-borrowed for the
     /// tree-envelope build step.
-    fn tree_ctx(&mut self, u: NodeId) -> (&mut Vec<TreeEnvelope<Bundle>>, &mut Pools) {
-        (&mut self.tree_inbox[u.index()], &mut self.pools)
+    fn tree_ctx(&mut self, slot: usize) -> (&mut Vec<TreeEnvelope<Bundle>>, &mut Pools) {
+        (&mut self.tree_inbox[slot], &mut self.pools)
     }
 
     /// Reset the local-message slab for an epoch carrying `q` queries.
     fn reset_locals(&mut self, q: usize) {
         self.locals.clear();
-        self.locals.resize_with(self.n * q, || None);
+        self.locals.resize_with(self.slots * q, || None);
     }
 
-    /// Stage one node's local message per query in the slab.
+    /// Stage node `u`'s local message per query in its slot of the slab.
     fn stage<'e>(
         &mut self,
         set: &QuerySet<'e>,
+        slot: usize,
         u: NodeId,
         q: usize,
         local: impl Fn(&(dyn DynProtocol + 'e), NodeId) -> Option<ErasedMsg>,
     ) {
-        let base = u.index() * q;
+        let base = slot * q;
         for (i, query) in set.queries().enumerate() {
             self.locals[base + i] = local(query, u);
         }
     }
 
-    /// Move a node's staged local messages out of the slab into a
+    /// Move a slot's staged local messages out of the slab into a
     /// bundle drawn from the free-list (capacity retained across epochs).
-    fn take_local_bundle(&mut self, u: NodeId, q: usize) -> Bundle {
-        let mut bundle = self.pools.bundle();
-        let base = u.index() * q;
-        bundle.extend(
-            self.locals[base..base + q]
-                .iter_mut()
-                .map(|slot| slot.take()),
-        );
-        bundle
+    fn take_local_bundle(&mut self, slot: usize, q: usize) -> Bundle {
+        take_local(&mut self.locals, slot, q, &mut self.pools)
     }
 
-    /// Both inbox arenas of one node plus the free-lists, split-borrowed
+    /// Both inbox arenas of one slot plus the free-lists, split-borrowed
     /// for the M-vertex build step.
     #[allow(clippy::type_complexity)]
     fn inboxes_of(
         &mut self,
-        u: NodeId,
+        slot: usize,
     ) -> (
         &mut Vec<TreeEnvelope<Bundle>>,
         &mut Vec<MpEnvelope<Bundle>>,
         &mut Pools,
     ) {
         (
-            &mut self.tree_inbox[u.index()],
-            &mut self.mp_inbox[u.index()],
+            &mut self.tree_inbox[slot],
+            &mut self.mp_inbox[slot],
             &mut self.pools,
         )
     }
+}
+
+/// [`Arenas::take_local_bundle`] as a free function over the split
+/// fields, so the parallel prep path can draw the bundle `Vec` from a
+/// *worker's* free-list while holding disjoint borrows of the slabs.
+fn take_local(locals: &mut [Option<ErasedMsg>], slot: usize, q: usize, pool: &mut Pools) -> Bundle {
+    let mut bundle = pool.bundle();
+    let base = slot * q;
+    bundle.extend(locals[base..base + q].iter_mut().map(|slot| slot.take()));
+    bundle
 }
 
 /// A compiled, reusable epoch schedule plus its execution arenas.
@@ -733,7 +812,9 @@ impl EpochPlan {
         let mut steps = Vec::new();
         let mut receivers = Vec::new();
         let mut step_of = vec![NO_STEP; n];
+        let mut levels = Vec::new();
         for level in (1..=rings.max_level()).rev() {
+            let level_start = steps.len() as u32;
             for u in rings.nodes_at_level(level) {
                 let mode = topo.mode(u);
                 // The receiver range is compiled for every vertex (the
@@ -765,19 +846,25 @@ impl EpochPlan {
                     recv_end,
                 });
             }
+            if steps.len() as u32 > level_start {
+                levels.push((level_start, steps.len() as u32));
+            }
         }
+        // One slot per step plus the base station's.
+        let slots = steps.len() + 1;
         EpochPlan {
             sched: Schedule::Td(TdSchedule {
                 version: topo.version(),
                 steps,
                 receivers,
                 step_of,
+                levels,
                 base_mode: topo.mode(BASE_STATION),
                 base_height: heights[BASE_STATION.index()],
                 base_subtree: subtree_sizes[BASE_STATION.index()] as u64,
                 base_switchable_m: topo.is_switchable_m(BASE_STATION),
             }),
-            arenas: Arenas::new(n, true),
+            arenas: Arenas::new(n, slots, true),
         }
     }
 
@@ -786,7 +873,7 @@ impl EpochPlan {
     pub fn compile_tag(tree: &Tree) -> EpochPlan {
         let heights = tree.heights();
         let n = tree.len();
-        let steps = tree
+        let steps: Vec<TagStep> = tree
             .bottom_up_order()
             .into_iter()
             .map(|u| TagStep {
@@ -795,33 +882,72 @@ impl EpochPlan {
                 parent: tree.parent(u),
             })
             .collect();
+        let mut slot_of = vec![NO_STEP; n];
+        for (i, step) in steps.iter().enumerate() {
+            slot_of[step.node.index()] = i as u32;
+        }
+        // Consecutive equal-depth runs of the bottom-up order: a parent
+        // is exactly one depth up, so each run is a safe shard group.
+        let mut levels = Vec::new();
+        let mut start = 0usize;
+        while start < steps.len() {
+            let depth = tree.depth(steps[start].node);
+            let mut end = start + 1;
+            while end < steps.len() && tree.depth(steps[end].node) == depth {
+                end += 1;
+            }
+            levels.push((start as u32, end as u32));
+            start = end;
+        }
+        let slots = steps.len();
         EpochPlan {
             sched: Schedule::Tag(TagSchedule {
                 steps,
+                slot_of,
+                levels,
                 base_height: heights[BASE_STATION.index()],
             }),
-            arenas: Arenas::new(n, false),
+            arenas: Arenas::new(n, slots, false),
         }
     }
 
-    /// Size of the arena's contributor-bitset free-list (introspection
-    /// for tests and benches: after a warm-up epoch the pool holds every
-    /// recycled set, and steady-state epochs neither grow nor drain it
+    /// Size of the arena's contributor-bitset free-lists, the shared
+    /// pool plus every parallel worker's private pool (introspection
+    /// for tests and benches: after a warm-up epoch the pools hold every
+    /// recycled set, and steady-state epochs neither grow nor drain them
     /// below the per-epoch working need).
     pub fn recycled_bitsets(&self) -> usize {
         self.arenas.pools.idsets.len()
+            + self
+                .arenas
+                .worker_pools
+                .iter()
+                .map(|p| p.idsets.len())
+                .sum::<usize>()
     }
 
-    /// Size of the arena's count-sketch free-list (same steady-state
+    /// Size of the arena's count-sketch free-lists (same steady-state
     /// introspection as [`recycled_bitsets`](Self::recycled_bitsets)).
     pub fn recycled_sketches(&self) -> usize {
         self.arenas.pools.sketches.len()
+            + self
+                .arenas
+                .worker_pools
+                .iter()
+                .map(|p| p.sketches.len())
+                .sum::<usize>()
     }
 
-    /// Size of the arena's bundle-`Vec` free-list (same steady-state
+    /// Size of the arena's bundle-`Vec` free-lists (same steady-state
     /// introspection as [`recycled_bitsets`](Self::recycled_bitsets)).
     pub fn recycled_bundles(&self) -> usize {
         self.arenas.pools.bundles.len()
+            + self
+                .arenas
+                .worker_pools
+                .iter()
+                .map(|p| p.bundles.len())
+                .sum::<usize>()
     }
 
     /// The topology version a TD plan currently matches (`None` for
@@ -957,6 +1083,11 @@ impl EpochPlan {
                 for &i in &td.step_of {
                     put(i as u64);
                 }
+                put(td.levels.len() as u64);
+                for &(s, e) in &td.levels {
+                    put(s as u64);
+                    put(e as u64);
+                }
                 put(mode_tag(td.base_mode));
                 put(td.base_height as u64);
                 put(td.base_subtree);
@@ -970,10 +1101,19 @@ impl EpochPlan {
                     put(s.height as u64);
                     put(s.parent.map_or(u64::MAX, |p| p.0 as u64));
                 }
+                for &i in &tag.slot_of {
+                    put(i as u64);
+                }
+                put(tag.levels.len() as u64);
+                for &(s, e) in &tag.levels {
+                    put(s as u64);
+                    put(e as u64);
+                }
                 put(tag.base_height as u64);
             }
         }
         put(self.arenas.n as u64);
+        put(self.arenas.slots as u64);
         put(self.arenas.tree_inbox.len() as u64);
         put(self.arenas.mp_inbox.len() as u64);
         h
@@ -996,32 +1136,74 @@ impl EpochPlan {
         stats: &mut CommStats,
         rng: &mut R,
     ) -> SetEpochOutput {
+        // The parallel path is bit-identical to sequential (shards are
+        // deterministic id-order chunks, merged in step order, with all
+        // RNG draws precomputed in schedule order), so this dispatch is
+        // purely a performance decision.
+        let workers = config.effective_workers();
+        let go_parallel = workers > 1 && self.arenas.n >= config.parallel_min_nodes;
         match &self.sched {
-            Schedule::Td(sched) => run_td(
-                sched,
-                &mut self.arenas,
-                set,
-                net,
-                model,
-                config,
-                epoch,
-                stats,
-                rng,
-            ),
-            Schedule::Tag(sched) => run_tag(
-                sched,
-                &mut self.arenas,
-                set,
-                net,
-                model,
-                config,
-                epoch,
-                stats,
-                rng,
-            ),
+            Schedule::Td(sched) => {
+                if go_parallel {
+                    parallel::run_td_parallel(
+                        sched,
+                        &mut self.arenas,
+                        set,
+                        net,
+                        model,
+                        config,
+                        epoch,
+                        stats,
+                        rng,
+                        workers,
+                    )
+                } else {
+                    run_td(
+                        sched,
+                        &mut self.arenas,
+                        set,
+                        net,
+                        model,
+                        config,
+                        epoch,
+                        stats,
+                        rng,
+                    )
+                }
+            }
+            Schedule::Tag(sched) => {
+                if go_parallel {
+                    parallel::run_tag_parallel(
+                        sched,
+                        &mut self.arenas,
+                        set,
+                        net,
+                        model,
+                        config,
+                        epoch,
+                        stats,
+                        rng,
+                        workers,
+                    )
+                } else {
+                    run_tag(
+                        sched,
+                        &mut self.arenas,
+                        set,
+                        net,
+                        model,
+                        config,
+                        epoch,
+                        stats,
+                        rng,
+                    )
+                }
+            }
         }
     }
 }
+
+mod parallel;
 
 #[allow(clippy::too_many_arguments)]
 fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
@@ -1036,25 +1218,14 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
     rng: &mut R,
 ) -> SetEpochOutput {
     let q = set.len();
-    arenas.reset_locals(q);
-    for step in &sched.steps {
-        match step.mode {
-            Mode::T => arenas.stage(set, step.node, q, |query, u| query.local_tree(u)),
-            Mode::M => arenas.stage(set, step.node, q, |query, u| query.local_mp(u)),
-        }
-    }
-    // A tree-mode base station evaluates its children's bundles directly
-    // and contributes no local data, so only an M base stages one.
-    if sched.base_mode == Mode::M {
-        arenas.stage(set, BASE_STATION, q, |query, u| query.local_mp(u));
-    }
+    stage_td(sched, arenas, set, q);
 
-    for step in &sched.steps {
+    for (slot, step) in sched.steps.iter().enumerate() {
         match step.mode {
             Mode::T => {
-                let local = arenas.take_local_bundle(step.node, q);
+                let local = arenas.take_local_bundle(slot, q);
                 let contributors = arenas.idset();
-                let (children, pools) = arenas.tree_ctx(step.node);
+                let (children, pools) = arenas.tree_ctx(slot);
                 let env = build_tree_envelope_set(
                     set,
                     step.node,
@@ -1082,16 +1253,16 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
                 );
                 stats.record_send(step.node, words * 4, words, outcome.attempts_used as u64);
                 if outcome.delivered {
-                    arenas.tree_inbox[step.parent.index()].push(env);
+                    arenas.tree_inbox[sched.slot_or_base(step.parent)].push(env);
                 } else {
                     recycle_tree_env(&mut arenas.pools, env);
                 }
             }
             Mode::M => {
-                let local = arenas.take_local_bundle(step.node, q);
+                let local = arenas.take_local_bundle(slot, q);
                 let contributors = arenas.idset();
                 let count_sketch = arenas.pools.sketch();
-                let (tree_in, mp_in, pools) = arenas.inboxes_of(step.node);
+                let (tree_in, mp_in, pools) = arenas.inboxes_of(slot);
                 let env = build_mp_envelope_set(
                     set,
                     step.node,
@@ -1122,7 +1293,7 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
                 {
                     if model.delivered(step.node, r, net, epoch, rng) && is_m {
                         let copy = clone_mp_pooled(&env, arenas.n, &mut arenas.pools);
-                        arenas.mp_inbox[r.index()].push(copy);
+                        arenas.mp_inbox[sched.slot_or_base(r)].push(copy);
                     }
                 }
                 recycle_mp_env(&mut arenas.pools, env);
@@ -1130,11 +1301,37 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
         }
     }
 
-    // Base station.
+    finish_td(sched, arenas, set)
+}
+
+/// Stage every node's local messages for a TD epoch (slot order; no RNG
+/// draws, shared by the sequential and parallel executors).
+fn stage_td(sched: &TdSchedule, arenas: &mut Arenas, set: &QuerySet<'_>, q: usize) {
+    arenas.reset_locals(q);
+    for (slot, step) in sched.steps.iter().enumerate() {
+        match step.mode {
+            Mode::T => arenas.stage(set, slot, step.node, q, |query, u| query.local_tree(u)),
+            Mode::M => arenas.stage(set, slot, step.node, q, |query, u| query.local_mp(u)),
+        }
+    }
+    // A tree-mode base station evaluates its children's bundles directly
+    // and contributes no local data, so only an M base stages one.
+    if sched.base_mode == Mode::M {
+        arenas.stage(set, sched.base_slot(), BASE_STATION, q, |query, u| {
+            query.local_mp(u)
+        });
+    }
+}
+
+/// The base-station tail of a TD epoch: evaluate whatever reached the
+/// base slot (shared by the sequential and parallel executors).
+fn finish_td(sched: &TdSchedule, arenas: &mut Arenas, set: &QuerySet<'_>) -> SetEpochOutput {
+    let q = set.len();
+    let base_slot = sched.base_slot();
     match sched.base_mode {
         Mode::T => {
             let mut contributors = arenas.idset();
-            let (children, pools) = arenas.tree_ctx(BASE_STATION);
+            let (children, pools) = arenas.tree_ctx(base_slot);
             let mut exact_count = 0u64;
             for env in children.iter() {
                 exact_count += env.count;
@@ -1151,10 +1348,10 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
             }
         }
         Mode::M => {
-            let local = arenas.take_local_bundle(BASE_STATION, q);
+            let local = arenas.take_local_bundle(base_slot, q);
             let contributors = arenas.idset();
             let count_sketch = arenas.pools.sketch();
-            let (tree_in, mp_in, pools) = arenas.inboxes_of(BASE_STATION);
+            let (tree_in, mp_in, pools) = arenas.inboxes_of(base_slot);
             let mut env = build_mp_envelope_set(
                 set,
                 BASE_STATION,
@@ -1210,16 +1407,13 @@ fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
     rng: &mut R,
 ) -> SetEpochOutput {
     let q = set.len();
-    arenas.reset_locals(q);
-    for step in &sched.steps {
-        arenas.stage(set, step.node, q, |query, u| query.local_tree(u));
-    }
+    stage_tag(sched, arenas, set, q);
 
     let mut base_children: Vec<TreeEnvelope<Bundle>> = Vec::new();
-    for step in &sched.steps {
-        let local = arenas.take_local_bundle(step.node, q);
+    for (slot, step) in sched.steps.iter().enumerate() {
+        let local = arenas.take_local_bundle(slot, q);
         let contributors = arenas.idset();
-        let (children, pools) = arenas.tree_ctx(step.node);
+        let (children, pools) = arenas.tree_ctx(slot);
         let env = build_tree_envelope_set(
             set,
             step.node,
@@ -1242,7 +1436,7 @@ fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
                 let outcome = unicast(model, config.tree_retransmit, step.node, p, net, epoch, rng);
                 stats.record_send(step.node, words * 4, words, outcome.attempts_used as u64);
                 if outcome.delivered {
-                    arenas.tree_inbox[p.index()].push(env);
+                    arenas.tree_inbox[sched.slot_of[p.index()] as usize].push(env);
                 } else {
                     recycle_tree_env(&mut arenas.pools, env);
                 }
@@ -1250,6 +1444,26 @@ fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
         }
     }
 
+    finish_tag(sched, arenas, set, base_children)
+}
+
+/// Stage every node's local messages for a TAG epoch (slot order; no
+/// RNG draws, shared by the sequential and parallel executors).
+fn stage_tag(sched: &TagSchedule, arenas: &mut Arenas, set: &QuerySet<'_>, q: usize) {
+    arenas.reset_locals(q);
+    for (slot, step) in sched.steps.iter().enumerate() {
+        arenas.stage(set, slot, step.node, q, |query, u| query.local_tree(u));
+    }
+}
+
+/// The base-station tail of a TAG epoch (shared by the sequential and
+/// parallel executors).
+fn finish_tag(
+    sched: &TagSchedule,
+    arenas: &mut Arenas,
+    set: &QuerySet<'_>,
+    mut base_children: Vec<TreeEnvelope<Bundle>>,
+) -> SetEpochOutput {
     let mut contributors = arenas.idset();
     let mut exact = 0u64;
     for env in &base_children {
@@ -1657,6 +1871,55 @@ mod tests {
             assert_eq!(reused.min_noncontrib, rebuilt.min_noncontrib);
         }
         assert_eq!(reused_stats, rebuilt_stats);
+    }
+
+    /// The level-parallel executor is bit-identical to sequential on
+    /// any worker count — answers, instrumentation, byte accounting,
+    /// and the caller's RNG stream — for both TD (mixed T/M labeling,
+    /// lossy) and TAG plans. (`parallel_min_nodes: 0` forces the
+    /// parallel path at test scale; the broader scheme × worker matrix
+    /// lives in `tests/e2e_parallel.rs`.)
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        use rand::Rng;
+        let (net, td) = topo(150, 200, 2);
+        let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 60).collect();
+        let model = Global::new(0.25);
+        let run = |workers: usize, tag: bool| {
+            let config = RunnerConfig {
+                workers,
+                parallel_min_nodes: 0,
+                ..RunnerConfig::default()
+            };
+            let mut plan = if tag {
+                EpochPlan::compile_tag(td.tree())
+            } else {
+                EpochPlan::compile_td(&td)
+            };
+            let mut stats = CommStats::new(net.len());
+            let mut rng = rng_from_seed(77);
+            let mut history = Vec::new();
+            for epoch in 0..6u64 {
+                let proto = ScalarProtocol::new(Sum::default(), &values);
+                let mut set = QuerySet::new();
+                set.register(&proto);
+                let out = plan.run_set(&set, &net, &model, config, epoch, &mut stats, &mut rng);
+                history.push((
+                    *out.outputs[0]
+                        .downcast_ref::<f64>()
+                        .expect("sum output is f64"),
+                    out.contributing,
+                    out.contributing_est,
+                ));
+            }
+            (history, stats, rng.gen::<u64>())
+        };
+        for tag in [false, true] {
+            let sequential = run(1, tag);
+            for workers in [2, 3, 8] {
+                assert_eq!(sequential, run(workers, tag), "diverged at {workers} workers");
+            }
+        }
     }
 
     /// The contributor-bitset free-list reaches a steady state: after a

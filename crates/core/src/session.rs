@@ -250,6 +250,30 @@ impl SessionBuilder {
         self
     }
 
+    /// Intra-epoch worker count for the level-parallel executor.
+    ///
+    /// Each schedule level's senders are split into deterministic
+    /// id-order chunks across this many workers (the calling thread
+    /// plus `workers - 1` scoped threads), with a barrier per level;
+    /// per-shard stats and inbox writes merge back in step order, so
+    /// **every worker count produces bit-identical results** — this
+    /// knob trades wall-clock only. `0` (the default) uses every
+    /// available core; `1` is the exact sequential path. Networks
+    /// smaller than [`parallel_min_nodes`](Self::parallel_min_nodes)
+    /// stay sequential regardless.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.runner.workers = workers;
+        self
+    }
+
+    /// Node-count floor below which epochs run sequentially even with
+    /// `workers > 1` (default 512 — below that the per-level fan-out
+    /// costs more than it saves, and the result is identical anyway).
+    pub fn parallel_min_nodes(mut self, min_nodes: usize) -> Self {
+        self.config.runner.parallel_min_nodes = min_nodes;
+        self
+    }
+
     /// The configuration as currently assembled.
     pub fn config(&self) -> &SessionConfig {
         &self.config
@@ -395,6 +419,11 @@ impl Session {
         &self.stats
     }
 
+    /// The session's live configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
     /// Current delta membership (empty for TAG), for Figure 4.
     pub fn delta_nodes(&self) -> Vec<td_netsim::node::NodeId> {
         match &self.kind {
@@ -445,6 +474,15 @@ impl Session {
     /// explicitly.
     pub fn clear_cached_plan(&mut self) {
         self.plan = None;
+    }
+
+    /// Override the intra-epoch worker count mid-flight (see
+    /// [`SessionBuilder::workers`]; results are bit-identical on any
+    /// value, so this is always safe). The service layer uses it to pin
+    /// tenants serial — tenant-level parallelism already fills the
+    /// cores there.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.config.runner.workers = workers;
     }
 
     /// Apply one epoch's churn events **before** running that epoch:
@@ -731,7 +769,9 @@ mod tests {
             .tree_retransmit(2)
             .initial_delta_levels(3)
             .in_band_signal()
-            .tag_allow_same_level(true);
+            .tag_allow_same_level(true)
+            .workers(4)
+            .parallel_min_nodes(64);
         let cfg = b.config();
         assert_eq!(cfg.adapter.threshold, 0.8);
         assert_eq!(cfg.adapter.adapt_every, 5);
@@ -739,11 +779,15 @@ mod tests {
         assert_eq!(cfg.initial_delta_levels, 3);
         assert!(!cfg.use_exact_contrib_signal);
         assert!(cfg.tag_allow_same_level);
+        assert_eq!(cfg.runner.workers, 4);
+        assert_eq!(cfg.runner.parallel_min_nodes, 64);
 
         let network = net(161, 150);
         let mut rng = rng_from_seed(162);
-        let session = b.build(&network, &mut rng);
+        let mut session = b.build(&network, &mut rng);
         assert!(session.topology().is_some());
+        session.set_workers(1);
+        assert_eq!(session.config().runner.workers, 1);
     }
 
     #[test]

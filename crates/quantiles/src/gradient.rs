@@ -21,7 +21,7 @@
 //!   (pruning only with the leaf threshold; maximal communication).
 
 /// A precision gradient: ε as a function of node height (leaves = 1).
-pub trait PrecisionGradient {
+pub trait PrecisionGradient: Sync {
     /// The error budget for partial results sent by height-`i` nodes.
     fn eps_at(&self, height: u32) -> f64;
 

@@ -497,7 +497,13 @@ impl ServiceRuntime {
     /// Hand a tenant to its worker. Returns immediately; the tenant
     /// starts running as soon as its shard's next scheduling pass picks
     /// it up.
-    pub fn submit(&self, tenant: Tenant) -> TenantHandle {
+    pub fn submit(&self, mut tenant: Tenant) -> TenantHandle {
+        // Tenants run serial-per-tenant: the runtime's worker pool is
+        // the parallelism here, and a tenant fanning its own epochs
+        // across cores would oversubscribe it. Results are unaffected —
+        // the intra-epoch parallel path is bit-identical — so this is
+        // purely a scheduling decision.
+        tenant.session.set_workers(1);
         let id = TenantId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let shard = Arc::clone(&self.shards[shard_of(id, self.shards.len())]);
         let shared = Arc::new(TenantShared::new(tenant.session.query_count()));

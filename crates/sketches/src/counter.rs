@@ -44,7 +44,7 @@ pub trait DiCounter: Clone + Send + 'static {
 /// A factory producing fresh counters of a fixed configuration; the
 /// frequent-items algorithms carry one of these instead of hard-coding a
 /// counter type.
-pub trait CounterFactory: Clone {
+pub trait CounterFactory: Clone + Sync {
     /// The counter type produced.
     type Counter: DiCounter;
     /// Create an empty counter.

@@ -392,6 +392,17 @@ impl StreamSession {
         self.driver.session_mut().apply_churn(events);
     }
 
+    /// Override the underlying session's intra-epoch worker count
+    /// ([`Session::set_workers`] — bit-identical on any value).
+    /// `ServiceRuntime` pins its tenants to `1`: tenant-level
+    /// parallelism already saturates the cores, and nested fan-out
+    /// would oversubscribe them.
+    ///
+    /// [`Session::set_workers`]: tributary_delta::session::Session::set_workers
+    pub fn set_workers(&mut self, workers: usize) {
+        self.driver.session_mut().set_workers(workers);
+    }
+
     /// Run `warmup + epochs` epochs (continuing the driver's clock),
     /// returning every window report emitted by measured epochs in
     /// emission order.
