@@ -5,10 +5,18 @@
 //!
 //! Keep the workload small: this runs on every CI push. The JSON schema
 //! is flat on purpose (string keys → numbers) so a future PR can diff
-//! two runs with nothing fancier than `jq`.
+//! two runs with nothing fancier than `jq` — and so the perf gate's
+//! `parse_flat_json` can read it back. Alongside the throughput keys it
+//! reports the epoch-lifecycle phase breakdown (p50/p99 per phase, from
+//! the global telemetry registry) and a `telemetry_compiled` marker, so
+//! a `--no-default-features` run (written to `TD_BENCH_OUT`, default
+//! `bench_engine.json`) can be gated against the telemetry-on baseline
+//! to prove the disabled hooks cost nothing.
 
-use std::io::Write;
 use std::time::Instant;
+
+use td_bench::json::{num, JsonObject};
+use td_telemetry::phase::Phase;
 
 use td_netsim::loss::Global;
 use td_netsim::rng::rng_from_seed;
@@ -254,43 +262,67 @@ fn main() {
         .collect();
     let (i1, i2, i4, i8) = (intra_ns[0], intra_ns[1], intra_ns[2], intra_ns[3]);
 
-    let json = format!(
-        "{{\n  \"sensors\": {SENSORS},\n  \"trials\": {TRIALS},\n  \"epochs_total\": {epochs},\n  \
-         \"threads\": {},\n  \"sequential_s\": {seq_s:.4},\n  \"pool_s\": {pool_s:.4},\n  \
-         \"speedup\": {:.3},\n  \"epochs_per_sec_sequential\": {:.1},\n  \
-         \"epochs_per_sec_pool\": {:.1},\n  \"total_bytes\": {bytes},\n  \
-         \"epoch_ns_plan_reuse\": {reuse_ns:.0},\n  \"epoch_ns_rebuild\": {rebuild_ns:.0},\n  \
-         \"plan_reuse_ratio\": {:.3},\n  \
-         \"adaptation_epochs_per_sec_patch\": {adapt_patch:.1},\n  \
-         \"adaptation_epochs_per_sec_recompile\": {adapt_recompile:.1},\n  \
-         \"adaptation_patch_speedup\": {:.3},\n  \
-         \"plan_patches_per_sec\": {maint_patch:.1},\n  \
-         \"plan_recompiles_per_sec\": {maint_recompile:.1},\n  \
-         \"plan_patch_speedup\": {:.3},\n  \
-         \"cores\": {cores},\n  \"intra_epoch_nodes\": {INTRA_NODES},\n  \
-         \"intra_epoch_ns_1w\": {i1:.0},\n  \
-         \"intra_epoch_speedup_2w\": {:.3},\n  \
-         \"intra_epoch_speedup_4w\": {:.3},\n  \
-         \"intra_epoch_speedup_8w\": {:.3}\n}}\n",
-        pool.threads(),
-        seq_s / pool_s.max(1e-9),
-        epochs as f64 / seq_s.max(1e-9),
-        epochs as f64 / pool_s.max(1e-9),
-        rebuild_ns / reuse_ns.max(1.0),
-        adapt_patch / adapt_recompile.max(1e-9),
-        maint_patch / maint_recompile.max(1e-9),
-        i1 / i2.max(1.0),
-        i1 / i4.max(1.0),
-        i1 / i8.max(1.0),
-    );
+    let mut obj = JsonObject::new();
+    obj.set("sensors", SENSORS)
+        .set("trials", TRIALS)
+        .set("epochs_total", epochs)
+        .set("threads", pool.threads())
+        .set("sequential_s", num(seq_s, 4))
+        .set("pool_s", num(pool_s, 4))
+        .set("speedup", num(seq_s / pool_s.max(1e-9), 3))
+        .set(
+            "epochs_per_sec_sequential",
+            num(epochs as f64 / seq_s.max(1e-9), 1),
+        )
+        .set(
+            "epochs_per_sec_pool",
+            num(epochs as f64 / pool_s.max(1e-9), 1),
+        )
+        .set("total_bytes", bytes)
+        .set("epoch_ns_plan_reuse", num(reuse_ns, 0))
+        .set("epoch_ns_rebuild", num(rebuild_ns, 0))
+        .set("plan_reuse_ratio", num(rebuild_ns / reuse_ns.max(1.0), 3))
+        .set("adaptation_epochs_per_sec_patch", num(adapt_patch, 1))
+        .set(
+            "adaptation_epochs_per_sec_recompile",
+            num(adapt_recompile, 1),
+        )
+        .set(
+            "adaptation_patch_speedup",
+            num(adapt_patch / adapt_recompile.max(1e-9), 3),
+        )
+        .set("plan_patches_per_sec", num(maint_patch, 1))
+        .set("plan_recompiles_per_sec", num(maint_recompile, 1))
+        .set(
+            "plan_patch_speedup",
+            num(maint_patch / maint_recompile.max(1e-9), 3),
+        )
+        .set("cores", cores)
+        .set("intra_epoch_nodes", INTRA_NODES)
+        .set("intra_epoch_ns_1w", num(i1, 0))
+        .set("intra_epoch_speedup_2w", num(i1 / i2.max(1.0), 3))
+        .set("intra_epoch_speedup_4w", num(i1 / i4.max(1.0), 3))
+        .set("intra_epoch_speedup_8w", num(i1 / i8.max(1.0), 3));
+    // Phase breakdown from everything the runs above recorded. Keys are
+    // flat and numeric (the gate parser rejects anything else); phases
+    // this bench never enters — and every phase in a no-telemetry
+    // build — report zero. `telemetry_compiled` marks which build wrote
+    // the file so a gate comparison knows what it is looking at.
+    obj.set("telemetry_compiled", u64::from(td_telemetry::compiled()));
+    let snap = td_telemetry::global().snapshot();
+    for p in Phase::ALL {
+        let base = p.metric_name().replace('.', "_");
+        let base = base.strip_suffix("_ns").expect("phase metrics end in _ns");
+        let (p50, p99) = snap
+            .histogram(p.metric_name())
+            .map(|h| (h.quantile(0.50), h.quantile(0.99)))
+            .unwrap_or((0.0, 0.0));
+        obj.set(&format!("{base}_p50_ns"), num(p50, 1));
+        obj.set(&format!("{base}_p99_ns"), num(p99, 1));
+    }
+    let json = obj.to_string_pretty();
     print!("{json}");
 
-    let path = td_bench::report::results_dir().join("bench_engine.json");
-    if let Err(e) = std::fs::create_dir_all(path.parent().expect("has parent"))
-        .and_then(|()| std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())))
-    {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        println!("wrote {}", path.display());
-    }
+    let out_name = std::env::var("TD_BENCH_OUT").unwrap_or_else(|_| "bench_engine.json".into());
+    td_bench::json::write_results_text(&out_name, &json);
 }

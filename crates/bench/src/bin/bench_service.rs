@@ -20,9 +20,9 @@
 //! Respects `TD_SCALE=smoke|paper` (smoke by default, so CI sweeps
 //! 16/64/256 tenants on 1–2 workers; paper sweeps 100/1k/5k on 1/4/8).
 
-use std::io::Write;
 use std::time::{Duration, Instant};
 
+use td_bench::json::{num, JsonObject};
 use td_bench::report::Table;
 use td_bench::Scale;
 use td_netsim::loss::Global;
@@ -208,30 +208,27 @@ fn main() {
         .iter()
         .map(|p| p.epochs_per_sec)
         .fold(0.0f64, f64::max);
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"sensors\": {SENSORS},\n  \"warmup\": {WARMUP},\n  \"epochs_per_tenant\": {EPOCHS},\n"
-    ));
+    let mut obj = JsonObject::new();
+    obj.set("sensors", SENSORS)
+        .set("warmup", WARMUP)
+        .set("epochs_per_tenant", EPOCHS);
     for p in &points {
         let key = format!("t{}_w{}", p.tenants, p.workers);
-        json.push_str(&format!(
-            "  \"{key}_epochs_per_sec\": {:.1},\n  \"{key}_drain_p50_us\": {:.1},\n  \
-             \"{key}_drain_p99_us\": {:.1},\n",
-            p.epochs_per_sec,
-            p.p50.as_secs_f64() * 1e6,
-            p.p99.as_secs_f64() * 1e6,
-        ));
+        obj.set(&format!("{key}_epochs_per_sec"), num(p.epochs_per_sec, 1));
+        obj.set(
+            &format!("{key}_drain_p50_us"),
+            num(p.p50.as_secs_f64() * 1e6, 1),
+        );
+        obj.set(
+            &format!("{key}_drain_p99_us"),
+            num(p.p99.as_secs_f64() * 1e6, 1),
+        );
     }
-    json.push_str(&format!("  \"tenant_epochs_per_sec\": {headline:.1}\n}}\n"));
+    obj.set("tenant_epochs_per_sec", num(headline, 1));
+    obj.set("telemetry_compiled", u64::from(td_telemetry::compiled()));
+    let json = obj.to_string_pretty();
     print!("{json}");
 
-    let path = td_bench::report::results_dir().join("bench_service.json");
-    if let Err(e) = std::fs::create_dir_all(path.parent().expect("has parent"))
-        .and_then(|()| std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())))
-    {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    } else {
-        println!("wrote {}", path.display());
-    }
+    td_bench::json::write_results_text("bench_service.json", &json);
     println!("done in {:.1}s", t0.elapsed().as_secs_f64());
 }

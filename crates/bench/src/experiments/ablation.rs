@@ -119,7 +119,9 @@ pub fn damping_ablation(scale: Scale, seed: u64) -> Table {
             cfg.adapter.damping_after = u32::MAX; // never engages
         }
         let mut rng = substream(seed, 0xAB4);
-        let session = scale.configure(SessionBuilder::from_config(cfg)).build(&net, &mut rng);
+        let session = scale
+            .configure(SessionBuilder::from_config(cfg))
+            .build(&net, &mut rng);
         let mut driver = Driver::new(session, scale.warmup);
         let result = driver.run_scalar(
             &td_aggregates::count::Count::default(),

@@ -99,7 +99,9 @@ fn one_cell(scheme: Scheme, burst_len: f64, churn_rate: f64, scale: Scale, seed:
     };
 
     let mut topo_rng = td_netsim::rng::substream(seed, 0xA0 + scheme.index());
-    let session = scale.configure(SessionBuilder::new(scheme)).build(&net, &mut topo_rng);
+    let session = scale
+        .configure(SessionBuilder::new(scheme))
+        .build(&net, &mut topo_rng);
     let mut stream = StreamSession::new(Driver::new(session, scale.warmup));
     let handle = stream.register(
         StreamQuery::scalar(td_aggregates::sum::Sum::default())

@@ -48,7 +48,9 @@ fn converge(
 ) -> Vec<(f64, f64)> {
     let model = td_netsim::loss::Regional::new(region, p1, p2);
     let mut rng = substream(seed, 0xF04);
-    let session = scale.configure(SessionBuilder::new(scheme)).build(net, &mut rng);
+    let session = scale
+        .configure(SessionBuilder::new(scheme))
+        .build(net, &mut rng);
     let mut driver = Driver::new(session, scale.warmup);
     driver.run_scalar(
         &td_aggregates::count::Count::default(),

@@ -37,7 +37,9 @@ pub fn run(scale: Scale, seed: u64) -> LabSumResult {
         .collect();
     let measured = TrialPool::new().map(seed, &cells, |_, &(scheme, run), _pool_rng| {
         let mut rng = substream(seed, 0x1ab5 + run * 131 + scheme.index() * 104_729);
-        let session = scale.configure(SessionBuilder::new(scheme)).build(net, &mut rng);
+        let session = scale
+            .configure(SessionBuilder::new(scheme))
+            .build(net, &mut rng);
         let mut driver = Driver::new(session, scale.warmup);
         let result = driver.run_scalar(
             &td_aggregates::sum::Sum::default(),
@@ -192,7 +194,9 @@ mod calibration {
                     let mut total = 0.0;
                     for run in 0..scale.runs {
                         let mut rng = substream(99, 0xCA1 + run * 7 + scheme.index() * 104_729);
-                        let session = scale.configure(SessionBuilder::new(scheme)).build(net, &mut rng);
+                        let session = scale
+                            .configure(SessionBuilder::new(scheme))
+                            .build(net, &mut rng);
                         let mut driver = Driver::new(session, scale.warmup);
                         let mut pct_acc = 0.0;
                         let mut est = Vec::new();

@@ -60,7 +60,9 @@ fn rms_one<M: LossModel>(
     for run in 0..scale.runs {
         let net = Synthetic::sized(scale.sensors).build(seed ^ (run + 1));
         let mut topo_rng = substream(seed, 0xA0 + run);
-        let session = scale.configure(SessionBuilder::new(scheme)).build(&net, &mut topo_rng);
+        let session = scale
+            .configure(SessionBuilder::new(scheme))
+            .build(&net, &mut topo_rng);
         let mut driver = Driver::new(session, scale.warmup);
         let mut rng = substream(seed, 0xB0 + run);
         let result = match agg {

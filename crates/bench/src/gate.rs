@@ -210,4 +210,23 @@ mod tests {
         // A gated key absent from the fresh run is a hard error.
         assert!(check_all(SAMPLE, "{}", &["epochs_per_sec_pool"], 0.2).is_err());
     }
+
+    #[test]
+    fn round_trips_the_shared_encoder() {
+        // The bench binaries write their flat results files through
+        // `td_bench::json` (the shared telemetry encoder); this pins
+        // that the gate's scanner reads that exact shape back.
+        use crate::json::{num, JsonObject};
+        let mut obj = JsonObject::new();
+        obj.set("sensors", 150u64)
+            .set("epochs_per_sec_pool", num(250.0, 1))
+            .set("plan_reuse_ratio", num(1.0749, 3))
+            .set("telemetry_compiled", 1u64);
+        let m = parse_flat_json(&obj.to_string_pretty()).unwrap();
+        assert_eq!(m["sensors"], 150.0);
+        assert_eq!(m["epochs_per_sec_pool"], 250.0);
+        assert_eq!(m["plan_reuse_ratio"], 1.075);
+        assert_eq!(m["telemetry_compiled"], 1.0);
+        assert_eq!(m.len(), 4);
+    }
 }

@@ -1,0 +1,51 @@
+//! Bench-side JSON output: the shared encoder plus the one results-file
+//! writer every bench binary uses.
+//!
+//! The encoder itself lives in [`td_telemetry::json`] (re-exported
+//! here), so the bench results files and the telemetry snapshot export
+//! go through exactly one implementation — this module replaces the
+//! hand-rolled `format!` JSON that used to be duplicated across
+//! `bench_engine`, `bench_service`, and the perf-gate fixtures.
+//!
+//! The bench files (`bench_engine.json`, `bench_service.json`) must
+//! stay **flat** — string keys to numbers only — because the perf gate
+//! reads them back through [`crate::gate::parse_flat_json`], which
+//! rejects nesting and non-numeric values on purpose. Booleans go in as
+//! `0`/`1` for the same reason. The pairing is pinned by a round-trip
+//! test in [`crate::gate`]. Nested documents (the telemetry snapshot)
+//! belong in their own files.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+pub use td_telemetry::json::{num, JsonObject, JsonValue};
+
+use crate::report::results_dir;
+
+/// Write `text` to `results/<name>`, creating the directory if needed,
+/// and report the outcome on stdout/stderr the way every bench binary
+/// does. Errors are non-fatal (the numbers were already printed);
+/// returns the path on success.
+pub fn write_results_text(name: &str, text: &str) -> Option<PathBuf> {
+    let path = results_dir().join(name);
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(path.parent().expect("has parent"))?;
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(text.as_bytes())
+    };
+    match write() {
+        Ok(()) => {
+            println!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Pretty-print `obj` to `results/<name>` (see [`write_results_text`]).
+pub fn write_results(name: &str, obj: &JsonObject) -> Option<PathBuf> {
+    write_results_text(name, &obj.to_string_pretty())
+}

@@ -24,6 +24,7 @@
 
 pub mod experiments;
 pub mod gate;
+pub mod json;
 pub mod report;
 
 use tributary_delta::session::SessionBuilder;

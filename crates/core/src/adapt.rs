@@ -161,8 +161,22 @@ impl Adapter {
             let switched = match self.config.strategy {
                 Strategy::TdCoarse => topo.expand_all(),
                 Strategy::Td if escalate => topo.expand_all(),
-                Strategy::Td => self.expand_td(topo, max_noncontrib),
+                Strategy::Td => self.expand_td(topo, epoch, max_noncontrib),
             };
+            // Coverage below target triggered an expansion attempt:
+            // record what the decision saw and what it did.
+            td_telemetry::td_event!(
+                td_telemetry::Level::Debug,
+                "adapt",
+                "expand",
+                td_telemetry::LogicalClock::at_epoch(epoch),
+                pct = pct_contributing,
+                threshold = self.config.threshold,
+                escalated = escalate,
+                switched = switched,
+                delta = topo.delta_size(),
+                damping = self.damping,
+            );
             if switched > 0 {
                 self.record_move(1);
                 AdaptAction::Expanded { switched }
@@ -176,6 +190,17 @@ impl Adapter {
                 Strategy::TdCoarse => topo.shrink_all(),
                 Strategy::Td => self.shrink_td(topo, min_noncontrib),
             };
+            td_telemetry::td_event!(
+                td_telemetry::Level::Debug,
+                "adapt",
+                "shrink",
+                td_telemetry::LogicalClock::at_epoch(epoch),
+                pct = pct_contributing,
+                threshold = self.config.threshold,
+                switched = switched,
+                delta = topo.delta_size(),
+                damping = self.damping,
+            );
             if switched > 0 {
                 self.record_move(-1);
                 AdaptAction::Shrunk { switched }
@@ -186,6 +211,15 @@ impl Adapter {
             // In the band: stable; relax damping.
             self.recent.clear();
             self.damping = 1;
+            td_telemetry::td_event!(
+                td_telemetry::Level::Debug,
+                "adapt",
+                "satisfied",
+                td_telemetry::LogicalClock::at_epoch(epoch),
+                pct = pct_contributing,
+                threshold = self.config.threshold,
+                delta = topo.delta_size(),
+            );
             AdaptAction::Satisfied
         }
     }
@@ -196,7 +230,10 @@ impl Adapter {
     /// subtree expanded). Falls back to the switchable M vertex with the
     /// largest subtree when no report is available (e.g. nothing reached
     /// the base station at all).
-    fn expand_td(&self, topo: &mut TdTopology, max_noncontrib: &ExtremaSet) -> usize {
+    // With telemetry compiled out the event macros expand to nothing
+    // and `epoch` is only a clock coordinate, hence the allow.
+    #[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
+    fn expand_td(&self, topo: &mut TdTopology, epoch: u64, max_noncontrib: &ExtremaSet) -> usize {
         let mut switched = 0usize;
         // §4.2's max/2 heuristic: act on every report within half of the
         // worst one, so expansion parallelizes across genuinely lossy
@@ -206,25 +243,32 @@ impl Adapter {
             .best()
             .map(|b| (b.value / 2).max(1))
             .unwrap_or(1);
-        let debug = std::env::var_os("TD_DEBUG_ADAPT").is_some();
         for e in max_noncontrib.entries() {
             if e.value < floor {
                 continue;
             }
             if topo.mode(e.node) == td_topology::td::Mode::M {
                 let got = topo.expand_subtree(e.node).unwrap_or(0);
-                if debug {
-                    eprintln!(
-                        "expand: node {:?} report {} -> switched {} (children {})",
-                        e.node,
-                        e.value,
-                        got,
-                        topo.tree().children(e.node).len()
-                    );
-                }
+                td_telemetry::td_event!(
+                    td_telemetry::Level::Trace,
+                    "adapt",
+                    "expand-report",
+                    td_telemetry::LogicalClock::at_epoch(epoch),
+                    node = e.node.index(),
+                    report = e.value,
+                    switched = got,
+                    children = topo.tree().children(e.node).len(),
+                );
                 switched += got;
-            } else if debug {
-                eprintln!("expand: node {:?} report {} is not M", e.node, e.value);
+            } else {
+                td_telemetry::td_event!(
+                    td_telemetry::Level::Trace,
+                    "adapt",
+                    "expand-skip",
+                    td_telemetry::LogicalClock::at_epoch(epoch),
+                    node = e.node.index(),
+                    report = e.value,
+                );
             }
         }
         if switched == 0 {

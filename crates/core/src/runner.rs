@@ -89,6 +89,7 @@ use td_netsim::stats::CommStats;
 use td_sketches::fm::FmSketch;
 use td_sketches::idset::IdSet;
 use td_sketches::rle as sketch_rle;
+use td_telemetry::phase::{self, Phase};
 use td_topology::td::{Mode, TdTopology};
 use td_topology::tree::Tree;
 
@@ -1220,88 +1221,101 @@ fn run_td<M: LossModel, R: rand::Rng + ?Sized>(
     let q = set.len();
     stage_td(sched, arenas, set, q);
 
-    for (slot, step) in sched.steps.iter().enumerate() {
-        match step.mode {
-            Mode::T => {
-                let local = arenas.take_local_bundle(slot, q);
-                let contributors = arenas.idset();
-                let (children, pools) = arenas.tree_ctx(slot);
-                let env = build_tree_envelope_set(
-                    set,
-                    step.node,
-                    step.height,
-                    contributors,
-                    local,
-                    children,
-                    pools,
-                );
-                let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
-                let overhead = if config.charge_adaptation_overhead {
-                    TREE_OVERHEAD_WORDS
-                } else {
-                    0
-                };
-                let words = payload + overhead;
-                let outcome = unicast(
-                    model,
-                    config.tree_retransmit,
-                    step.node,
-                    step.parent,
-                    net,
-                    epoch,
-                    rng,
-                );
-                stats.record_send(step.node, words * 4, words, outcome.attempts_used as u64);
-                if outcome.delivered {
-                    arenas.tree_inbox[sched.slot_or_base(step.parent)].push(env);
-                } else {
-                    recycle_tree_env(&mut arenas.pools, env);
-                }
-            }
-            Mode::M => {
-                let local = arenas.take_local_bundle(slot, q);
-                let contributors = arenas.idset();
-                let count_sketch = arenas.pools.sketch();
-                let (tree_in, mp_in, pools) = arenas.inboxes_of(slot);
-                let env = build_mp_envelope_set(
-                    set,
-                    step.node,
-                    contributors,
-                    count_sketch,
-                    step.subtree_size,
-                    step.switchable_m,
-                    local,
-                    tree_in,
-                    mp_in,
-                    pools,
-                );
-                let (payload_bytes, payload_words) =
-                    bundle_mp_wire(set, env.msg.as_ref().expect("bundle present"));
-                // Adaptation overhead: the RLE-encoded count sketch
-                // plus the extremum reports — charged once per link,
-                // shared by every query in the bundle.
-                let overhead_bytes = if config.charge_adaptation_overhead {
-                    sketch_rle::encoded_size_bytes(&env.count_sketch)
-                        + 8 * crate::envelope::TOP_K_EXTREMA
-                } else {
-                    0
-                };
-                let bytes = payload_bytes + overhead_bytes;
-                let words = payload_words + overhead_bytes.div_ceil(4);
-                stats.record_send(step.node, bytes, words, 1);
-                for &(r, is_m) in &sched.receivers[step.recv_start as usize..step.recv_end as usize]
-                {
-                    if model.delivered(step.node, r, net, epoch, rng) && is_m {
-                        let copy = clone_mp_pooled(&env, arenas.n, &mut arenas.pools);
-                        arenas.mp_inbox[sched.slot_or_base(r)].push(copy);
+    // Iterate the same slots in the same order as the flat step loop,
+    // but grouped by ring level so each level's wall time lands in the
+    // per-level-execute phase histogram (the sequential mirror of the
+    // parallel executor's shard groups).
+    for &(lv_start, lv_end) in &sched.levels {
+        let sw = phase::stopwatch();
+        for slot in lv_start as usize..lv_end as usize {
+            let step = &sched.steps[slot];
+            match step.mode {
+                Mode::T => {
+                    let local = arenas.take_local_bundle(slot, q);
+                    let contributors = arenas.idset();
+                    let (children, pools) = arenas.tree_ctx(slot);
+                    let env = build_tree_envelope_set(
+                        set,
+                        step.node,
+                        step.height,
+                        contributors,
+                        local,
+                        children,
+                        pools,
+                    );
+                    let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
+                    let overhead = if config.charge_adaptation_overhead {
+                        TREE_OVERHEAD_WORDS
+                    } else {
+                        0
+                    };
+                    let words = payload + overhead;
+                    let outcome = unicast(
+                        model,
+                        config.tree_retransmit,
+                        step.node,
+                        step.parent,
+                        net,
+                        epoch,
+                        rng,
+                    );
+                    stats.record_send(step.node, words * 4, words, outcome.attempts_used as u64);
+                    if outcome.delivered {
+                        arenas.tree_inbox[sched.slot_or_base(step.parent)].push(env);
+                    } else {
+                        recycle_tree_env(&mut arenas.pools, env);
                     }
                 }
-                recycle_mp_env(&mut arenas.pools, env);
+                Mode::M => {
+                    let local = arenas.take_local_bundle(slot, q);
+                    let contributors = arenas.idset();
+                    let count_sketch = arenas.pools.sketch();
+                    let (tree_in, mp_in, pools) = arenas.inboxes_of(slot);
+                    let env = build_mp_envelope_set(
+                        set,
+                        step.node,
+                        contributors,
+                        count_sketch,
+                        step.subtree_size,
+                        step.switchable_m,
+                        local,
+                        tree_in,
+                        mp_in,
+                        pools,
+                    );
+                    let (payload_bytes, payload_words) =
+                        bundle_mp_wire(set, env.msg.as_ref().expect("bundle present"));
+                    // Adaptation overhead: the RLE-encoded count sketch
+                    // plus the extremum reports — charged once per link,
+                    // shared by every query in the bundle.
+                    let overhead_bytes = if config.charge_adaptation_overhead {
+                        sketch_rle::encoded_size_bytes(&env.count_sketch)
+                            + 8 * crate::envelope::TOP_K_EXTREMA
+                    } else {
+                        0
+                    };
+                    let bytes = payload_bytes + overhead_bytes;
+                    let words = payload_words + overhead_bytes.div_ceil(4);
+                    stats.record_send(step.node, bytes, words, 1);
+                    for &(r, is_m) in
+                        &sched.receivers[step.recv_start as usize..step.recv_end as usize]
+                    {
+                        if model.delivered(step.node, r, net, epoch, rng) && is_m {
+                            let copy = clone_mp_pooled(&env, arenas.n, &mut arenas.pools);
+                            arenas.mp_inbox[sched.slot_or_base(r)].push(copy);
+                        }
+                    }
+                    recycle_mp_env(&mut arenas.pools, env);
+                }
             }
         }
+        phase::record(Phase::LevelExecute, sw);
     }
 
-    finish_td(sched, arenas, set)
+    let sw = phase::stopwatch();
+    let out = finish_td(sched, arenas, set);
+    phase::record(Phase::Merge, sw);
+    out
 }
 
 /// Stage every node's local messages for a TD epoch (slot order; no RNG
@@ -1410,41 +1424,52 @@ fn run_tag<M: LossModel, R: rand::Rng + ?Sized>(
     stage_tag(sched, arenas, set, q);
 
     let mut base_children: Vec<TreeEnvelope<Bundle>> = Vec::new();
-    for (slot, step) in sched.steps.iter().enumerate() {
-        let local = arenas.take_local_bundle(slot, q);
-        let contributors = arenas.idset();
-        let (children, pools) = arenas.tree_ctx(slot);
-        let env = build_tree_envelope_set(
-            set,
-            step.node,
-            step.height,
-            contributors,
-            local,
-            children,
-            pools,
-        );
-        match step.parent {
-            None => base_children.push(env),
-            Some(p) => {
-                let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
-                let overhead = if config.charge_adaptation_overhead {
-                    TREE_OVERHEAD_WORDS
-                } else {
-                    0
-                };
-                let words = payload + overhead;
-                let outcome = unicast(model, config.tree_retransmit, step.node, p, net, epoch, rng);
-                stats.record_send(step.node, words * 4, words, outcome.attempts_used as u64);
-                if outcome.delivered {
-                    arenas.tree_inbox[sched.slot_of[p.index()] as usize].push(env);
-                } else {
-                    recycle_tree_env(&mut arenas.pools, env);
+    // Same slots, same order as the flat loop — grouped by tree depth
+    // so each depth run's wall time is a per-level-execute sample.
+    for &(lv_start, lv_end) in &sched.levels {
+        let sw = phase::stopwatch();
+        for slot in lv_start as usize..lv_end as usize {
+            let step = &sched.steps[slot];
+            let local = arenas.take_local_bundle(slot, q);
+            let contributors = arenas.idset();
+            let (children, pools) = arenas.tree_ctx(slot);
+            let env = build_tree_envelope_set(
+                set,
+                step.node,
+                step.height,
+                contributors,
+                local,
+                children,
+                pools,
+            );
+            match step.parent {
+                None => base_children.push(env),
+                Some(p) => {
+                    let payload = bundle_tree_words(set, env.msg.as_ref().expect("bundle present"));
+                    let overhead = if config.charge_adaptation_overhead {
+                        TREE_OVERHEAD_WORDS
+                    } else {
+                        0
+                    };
+                    let words = payload + overhead;
+                    let outcome =
+                        unicast(model, config.tree_retransmit, step.node, p, net, epoch, rng);
+                    stats.record_send(step.node, words * 4, words, outcome.attempts_used as u64);
+                    if outcome.delivered {
+                        arenas.tree_inbox[sched.slot_of[p.index()] as usize].push(env);
+                    } else {
+                        recycle_tree_env(&mut arenas.pools, env);
+                    }
                 }
             }
         }
+        phase::record(Phase::LevelExecute, sw);
     }
 
-    finish_tag(sched, arenas, set, base_children)
+    let sw = phase::stopwatch();
+    let out = finish_tag(sched, arenas, set, base_children);
+    phase::record(Phase::Merge, sw);
+    out
 }
 
 /// Stage every node's local messages for a TAG epoch (slot order; no
@@ -1917,7 +1942,11 @@ mod tests {
         for tag in [false, true] {
             let sequential = run(1, tag);
             for workers in [2, 3, 8] {
-                assert_eq!(sequential, run(workers, tag), "diverged at {workers} workers");
+                assert_eq!(
+                    sequential,
+                    run(workers, tag),
+                    "diverged at {workers} workers"
+                );
             }
         }
     }

@@ -96,17 +96,8 @@ fn precompute_tag_comm<M: LossModel, R: rand::Rng + ?Sized>(
         .steps
         .iter()
         .map(|step| {
-            step.parent.map(|p| {
-                unicast(
-                    model,
-                    config.tree_retransmit,
-                    step.node,
-                    p,
-                    net,
-                    epoch,
-                    rng,
-                )
-            })
+            step.parent
+                .map(|p| unicast(model, config.tree_retransmit, step.node, p, net, epoch, rng))
         })
         .collect()
 }
@@ -456,7 +447,9 @@ pub(super) fn run_td_parallel<M: LossModel, R: rand::Rng + ?Sized>(
 ) -> SetEpochOutput {
     let q = set.len();
     stage_td(sched, arenas, set, q);
+    let sw = phase::stopwatch();
     let comm = precompute_td_comm(sched, net, model, config, epoch, rng);
+    phase::record(Phase::Randomness, sw);
     let n = arenas.n;
     let charge = config.charge_adaptation_overhead;
     let spawned = workers - 1;
@@ -500,8 +493,10 @@ pub(super) fn run_td_parallel<M: LossModel, R: rand::Rng + ?Sized>(
             let mut parked: Vec<Option<Pools>> = worker_pools.drain(..).map(Some).collect();
 
             for &(lv_start, lv_end) in &sched.levels {
-                let bounds =
-                    chunk_bounds(lv_start as usize, (lv_end - lv_start) as usize, workers);
+                // One per-level-execute sample covers the whole level:
+                // chunk prep, inline chunk 0, and the merge barrier.
+                let sw = phase::stopwatch();
+                let bounds = chunk_bounds(lv_start as usize, (lv_end - lv_start) as usize, workers);
                 let nchunks = bounds.len() - 1;
                 // Ship chunks 1.. first so workers overlap with chunk 0.
                 for c in 1..nchunks {
@@ -542,12 +537,16 @@ pub(super) fn run_td_parallel<M: LossModel, R: rand::Rng + ?Sized>(
                         merge_td_out(tree_inbox, mp_inbox, stats, out);
                     }
                 }
+                phase::record(Phase::LevelExecute, sw);
             }
             drop(to_worker);
             worker_pools.extend(parked.into_iter().map(|p| p.expect("pool parked")));
         });
     }
-    finish_td(sched, arenas, set)
+    let sw = phase::stopwatch();
+    let out = finish_td(sched, arenas, set);
+    phase::record(Phase::Merge, sw);
+    out
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -565,7 +564,9 @@ pub(super) fn run_tag_parallel<M: LossModel, R: rand::Rng + ?Sized>(
 ) -> SetEpochOutput {
     let q = set.len();
     stage_tag(sched, arenas, set, q);
+    let sw = phase::stopwatch();
     let comm = precompute_tag_comm(sched, net, model, config, epoch, rng);
+    phase::record(Phase::Randomness, sw);
     let n = arenas.n;
     let charge = config.charge_adaptation_overhead;
     let spawned = workers - 1;
@@ -584,8 +585,7 @@ pub(super) fn run_tag_parallel<M: LossModel, R: rand::Rng + ?Sized>(
         std::thread::scope(|scope| {
             let comm = comm.as_slice();
             let mut to_worker: Vec<Sender<(Vec<TagJob>, Pools)>> = Vec::with_capacity(spawned);
-            let mut from_worker: Vec<Receiver<(Vec<TagOut>, Pools)>> =
-                Vec::with_capacity(spawned);
+            let mut from_worker: Vec<Receiver<(Vec<TagOut>, Pools)>> = Vec::with_capacity(spawned);
             for _ in 0..spawned {
                 let (job_tx, job_rx) = channel::<(Vec<TagJob>, Pools)>();
                 let (out_tx, out_rx) = channel::<(Vec<TagOut>, Pools)>();
@@ -606,8 +606,8 @@ pub(super) fn run_tag_parallel<M: LossModel, R: rand::Rng + ?Sized>(
             let mut parked: Vec<Option<Pools>> = worker_pools.drain(..).map(Some).collect();
 
             for &(lv_start, lv_end) in &sched.levels {
-                let bounds =
-                    chunk_bounds(lv_start as usize, (lv_end - lv_start) as usize, workers);
+                let sw = phase::stopwatch();
+                let bounds = chunk_bounds(lv_start as usize, (lv_end - lv_start) as usize, workers);
                 let nchunks = bounds.len() - 1;
                 for c in 1..nchunks {
                     let mut pool = parked[c - 1].take().expect("pool parked between levels");
@@ -642,10 +642,14 @@ pub(super) fn run_tag_parallel<M: LossModel, R: rand::Rng + ?Sized>(
                         merge_tag_out(tree_inbox, stats, &mut base_children, out);
                     }
                 }
+                phase::record(Phase::LevelExecute, sw);
             }
             drop(to_worker);
             worker_pools.extend(parked.into_iter().map(|p| p.expect("pool parked")));
         });
     }
-    finish_tag(sched, arenas, set, base_children)
+    let sw = phase::stopwatch();
+    let out = finish_tag(sched, arenas, set, base_children);
+    phase::record(Phase::Merge, sw);
+    out
 }

@@ -41,8 +41,12 @@ use crate::query::{Answers, QuerySet};
 use crate::runner::{EpochPlan, RunnerConfig};
 use td_netsim::churn::ChurnEvents;
 use td_netsim::loss::LossModel;
+// NOTE: event macros are invoked fully-qualified
+// (`td_telemetry::td_event!`) so the `--no-default-features` build —
+// where they expand to nothing — leaves no unused imports behind.
 use td_netsim::network::Network;
 use td_netsim::stats::CommStats;
+use td_telemetry::phase::{self, Phase};
 use td_topology::bushy::{build_bushy_tree, BushyOptions};
 use td_topology::maintenance::{apply_churn, ChurnReport};
 use td_topology::rings::Rings;
@@ -599,7 +603,9 @@ impl Session {
             SessionKind::Tag { tree } => {
                 // The TAG tree never changes: compile the plan once.
                 if self.plan.is_none() {
+                    let sw = phase::stopwatch();
                     self.plan = Some(EpochPlan::compile_tag(tree));
+                    phase::record(Phase::Compile, sw);
                     self.plan_stats.compiles += 1;
                 }
                 let plan = self.plan.as_mut().expect("plan just ensured");
@@ -613,6 +619,15 @@ impl Session {
                     rng,
                 );
                 let pct = out.contributing as f64 / self.sensors.max(1) as f64;
+                td_telemetry::td_event!(
+                    td_telemetry::Level::Debug,
+                    "session",
+                    "epoch",
+                    td_telemetry::LogicalClock::at_epoch(epoch),
+                    scheme = "tag",
+                    contributing = out.contributing,
+                    pct = pct,
+                );
                 QueryRecord {
                     answers: Answers::new(out.outputs),
                     contributing: out.contributing,
@@ -634,12 +649,14 @@ impl Session {
                 if stale {
                     let max_relabels =
                         (topo.len() as f64 * self.config.patch_relabel_fraction).floor() as usize;
+                    let sw = phase::stopwatch();
                     let patched = self
                         .plan
                         .as_mut()
                         .and_then(|plan| plan.patch(topo, max_relabels));
                     match patched {
                         Some(relabels) => {
+                            phase::record(Phase::Patch, sw);
                             self.plan_stats.patches += 1;
                             self.plan_stats.patched_relabels += relabels as u64;
                             debug_assert_eq!(
@@ -652,7 +669,12 @@ impl Session {
                             );
                         }
                         None => {
+                            // The failed patch probe is O(|delta|) and
+                            // aborts early; attribute the whole
+                            // resolution to the compile that follows.
+                            let sw = phase::stopwatch();
                             self.plan = Some(EpochPlan::compile_td(topo));
+                            phase::record(Phase::Compile, sw);
                             self.plan_stats.compiles += 1;
                         }
                     }
@@ -683,6 +705,16 @@ impl Session {
                     ),
                     None => AdaptAction::Idle,
                 };
+                td_telemetry::td_event!(
+                    td_telemetry::Level::Debug,
+                    "session",
+                    "epoch",
+                    td_telemetry::LogicalClock::at_epoch(epoch),
+                    scheme = "td",
+                    contributing = out.contributing,
+                    pct = pct_exact,
+                    delta = topo.delta_size(),
+                );
                 QueryRecord {
                     answers: Answers::new(out.outputs),
                     contributing: out.contributing,

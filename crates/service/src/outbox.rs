@@ -7,11 +7,11 @@
 //! drain them. Draining wakes the shard so parked tenants resume.
 
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use td_stream::WindowReport;
+use td_telemetry::phase::{self, Phase};
 
 use crate::stats::Counters;
 
@@ -85,9 +85,7 @@ impl Outbox {
             let lost = st.queue.len() as u64;
             if lost > 0 {
                 st.queue.clear();
-                self.counters
-                    .reports_dropped
-                    .fetch_add(lost, Ordering::Relaxed);
+                self.counters.reports_dropped.add(lost);
             }
         }
     }
@@ -95,6 +93,7 @@ impl Outbox {
     /// Take up to `max` queued reports, oldest first, stamping each
     /// with its queue wait.
     pub fn drain(&self, max: usize) -> Vec<TenantReport> {
+        let sw = phase::stopwatch();
         let now = Instant::now();
         let mut st = self.state.lock().expect("outbox lock");
         let take = max.min(st.queue.len());
@@ -106,9 +105,9 @@ impl Outbox {
                 waited: now.saturating_duration_since(emitted),
             })
             .collect();
-        self.counters
-            .reports_drained
-            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        drop(st);
+        self.counters.reports_drained.add(out.len() as u64);
+        phase::record(Phase::OutboxDrain, sw);
         out
     }
 

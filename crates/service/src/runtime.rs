@@ -43,6 +43,10 @@ use std::time::{Duration, Instant};
 use td_netsim::churn::ChurnEvents;
 use td_netsim::rng::splitmix64;
 use td_stream::{PaneProtocol, StreamQuery, StreamSession, WindowHandle, WindowReport};
+// NOTE: event macros are invoked fully qualified (`td_telemetry::td_event!`)
+// so no imports go unused when the `telemetry` feature is off and the
+// macro expands to nothing.
+use td_telemetry::Registry;
 
 use crate::outbox::{Outbox, TenantReport};
 use crate::stats::{Counters, ServiceStats};
@@ -189,12 +193,12 @@ fn worker_loop(shard: Arc<Shard>, counters: Arc<Counters>) {
                     Some(e) => e.ops.entry(at_epoch).or_default().push(op),
                     // Unknown tenant: refuse (the ack-less op just
                     // vanishes; the count is the caller's signal).
-                    None => Counters::add(&counters.rejected_ops, 1),
+                    None => counters.rejected_ops.inc(),
                 },
                 Command::Remove { id, ack } => match tenants.get_mut(&id.0) {
                     Some(e) => e.removing = Some(ack),
                     // Dropping `ack` disconnects the handle's wait.
-                    None => Counters::add(&counters.rejected_ops, 1),
+                    None => counters.rejected_ops.inc(),
                 },
             }
         }
@@ -205,11 +209,11 @@ fn worker_loop(shard: Arc<Shard>, counters: Arc<Counters>) {
                 true
             } else {
                 let e = tenants.get_mut(&id).expect("tenant id just listed");
-                step_entry(e, &counters, &mut progress)
+                step_entry(id, e, &counters, &mut progress)
             };
             if retire {
                 let e = tenants.remove(&id).expect("tenant id just listed");
-                retire_entry(e, &counters);
+                retire_entry(id, e, &counters);
                 shard.live.fetch_sub(1, Ordering::Relaxed);
                 progress = true;
             }
@@ -226,7 +230,8 @@ fn worker_loop(shard: Arc<Shard>, counters: Arc<Counters>) {
 /// Advance one tenant by at most one epoch. Returns whether the entry
 /// should be retired (removal requested and its epoch boundary
 /// reached).
-fn step_entry(e: &mut Entry, counters: &Counters, progress: &mut bool) -> bool {
+#[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
+fn step_entry(id: u64, e: &mut Entry, counters: &Counters, progress: &mut bool) -> bool {
     // 1. Backpressure: move staged reports into the outbox; if any
     // remain it is full — park (never drop) until a drain makes room.
     if !e.staged.is_empty() {
@@ -237,13 +242,29 @@ fn step_entry(e: &mut Entry, counters: &Counters, progress: &mut bool) -> bool {
             if e.park_started.is_none() {
                 e.park_started = Some(Instant::now());
                 e.shared.set_phase(TenantPhase::Parked);
-                Counters::add(&counters.parks, 1);
+                counters.parks.inc();
+                td_telemetry::td_event!(
+                    td_telemetry::Level::Debug,
+                    "service",
+                    "park",
+                    td_telemetry::LogicalClock::NONE.with_tenant(id),
+                    staged = e.staged.len(),
+                    queued = e.outbox.len(),
+                );
             }
             return false;
         }
     }
     if let Some(since) = e.park_started.take() {
-        Counters::add(&counters.park_nanos, since.elapsed().as_nanos() as u64);
+        let parked = since.elapsed();
+        counters.park_nanos.add(parked.as_nanos() as u64);
+        td_telemetry::td_event!(
+            td_telemetry::Level::Debug,
+            "service",
+            "unpark",
+            td_telemetry::LogicalClock::NONE.with_tenant(id),
+            parked_ns = parked.as_nanos() as u64,
+        );
     }
     // 2. Removal happens at an epoch boundary — never mid-epoch.
     if e.removing.is_some() {
@@ -275,8 +296,8 @@ fn step_entry(e: &mut Entry, counters: &Counters, progress: &mut bool) -> bool {
     };
     e.shared.set_phase(TenantPhase::Running);
     e.shared.bump_epochs();
-    Counters::add(&counters.epochs_driven, 1);
-    Counters::add(&counters.reports_emitted, reports.len() as u64);
+    counters.epochs_driven.inc();
+    counters.reports_emitted.add(reports.len() as u64);
     let emitted = Instant::now();
     e.staged.extend(reports.into_iter().map(|r| (r, emitted)));
     if !e.staged.is_empty() {
@@ -289,7 +310,7 @@ fn step_entry(e: &mut Entry, counters: &Counters, progress: &mut bool) -> bool {
 fn apply_op(e: &mut Entry, at: u64, next: u64, op: TenantOp, counters: &Counters) {
     // RunUntil is a pacing control, not an epoch-k event — never late.
     if at < next && !matches!(op, TenantOp::RunUntil(_)) {
-        Counters::add(&counters.late_ops, 1);
+        counters.late_ops.inc();
     }
     match op {
         TenantOp::Register { expect, apply } => {
@@ -298,12 +319,12 @@ fn apply_op(e: &mut Entry, at: u64, next: u64, op: TenantOp, counters: &Counters
             if e.tenant.session.query_count() == expect {
                 let _ = apply(&mut e.tenant.session);
             } else {
-                Counters::add(&counters.rejected_ops, 1);
+                counters.rejected_ops.inc();
             }
         }
         TenantOp::Deregister(query) => {
             if e.tenant.session.deregister(query).is_err() {
-                Counters::add(&counters.rejected_ops, 1);
+                counters.rejected_ops.inc();
             }
         }
         TenantOp::InjectChurn(events) => e.tenant.session.inject_churn(&events),
@@ -314,16 +335,26 @@ fn apply_op(e: &mut Entry, at: u64, next: u64, op: TenantOp, counters: &Counters
 /// Final flush at removal or shutdown: everything staged goes into the
 /// (now unbounded, closed) outbox so a live handle can still drain it;
 /// if no handle is left, the queue is discarded and counted dropped.
-fn retire_entry(mut e: Entry, counters: &Counters) {
+#[cfg_attr(not(feature = "telemetry"), allow(unused_variables))]
+fn retire_entry(id: u64, mut e: Entry, counters: &Counters) {
     e.outbox.flush_and_close(&mut e.staged);
     if let Some(since) = e.park_started.take() {
-        Counters::add(&counters.park_nanos, since.elapsed().as_nanos() as u64);
+        counters.park_nanos.add(since.elapsed().as_nanos() as u64);
     }
     e.shared.set_phase(TenantPhase::Removed);
+    let removed = e.removing.is_some();
     if let Some(ack) = e.removing.take() {
-        Counters::add(&counters.tenants_removed, 1);
+        counters.tenants_removed.inc();
         let _ = ack.send(());
     }
+    td_telemetry::td_event!(
+        td_telemetry::Level::Info,
+        "service",
+        "retire",
+        td_telemetry::LogicalClock::NONE.with_tenant(id),
+        removed = removed,
+        epochs = e.shared.epochs(),
+    );
     e.outbox.discard_if_unreachable();
 }
 
@@ -463,6 +494,7 @@ impl TenantHandle {
 pub struct ServiceRuntime {
     shards: Vec<Arc<Shard>>,
     workers: Vec<JoinHandle<()>>,
+    registry: Arc<Registry>,
     counters: Arc<Counters>,
     next_id: AtomicU64,
 }
@@ -471,7 +503,11 @@ impl ServiceRuntime {
     /// Spawn `workers` worker threads (one shard each).
     pub fn new(workers: usize) -> Self {
         assert!(workers > 0, "a service runtime needs at least one worker");
-        let counters = Arc::new(Counters::default());
+        // Each runtime owns its registry so concurrent runtimes (tests,
+        // embedded services) never share counters — the isolation the
+        // old per-runtime atomics had.
+        let registry = Arc::new(Registry::new());
+        let counters = Arc::new(Counters::new(&registry));
         let shards: Vec<Arc<Shard>> = (0..workers).map(|_| Arc::new(Shard::new())).collect();
         let handles = shards
             .iter()
@@ -484,6 +520,7 @@ impl ServiceRuntime {
         ServiceRuntime {
             shards,
             workers: handles,
+            registry,
             counters,
             next_id: AtomicU64::new(0),
         }
@@ -492,6 +529,13 @@ impl ServiceRuntime {
     /// Worker-thread (= shard) count.
     pub fn workers(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The runtime's metric registry — the `service.*` counters live
+    /// here; callers can register their own metrics alongside or take
+    /// a [`td_telemetry::Snapshot`] of everything at once.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Hand a tenant to its worker. Returns immediately; the tenant
@@ -511,7 +555,14 @@ impl ServiceRuntime {
             tenant.outbox_capacity,
             Arc::clone(&self.counters),
         ));
-        Counters::add(&self.counters.tenants_added, 1);
+        self.counters.tenants_added.inc();
+        td_telemetry::td_event!(
+            td_telemetry::Level::Info,
+            "service",
+            "submit",
+            td_telemetry::LogicalClock::NONE.with_tenant(id.0),
+            queries = tenant.session.query_count(),
+        );
         shard.push(Command::Submit {
             id,
             tenant: Box::new(tenant),
@@ -534,20 +585,19 @@ impl ServiceRuntime {
             .map(|s| s.live.load(Ordering::Relaxed))
             .collect();
         let c = &self.counters;
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
         ServiceStats {
             workers: self.shards.len(),
-            tenants_added: load(&c.tenants_added),
-            tenants_removed: load(&c.tenants_removed),
+            tenants_added: c.tenants_added.value(),
+            tenants_removed: c.tenants_removed.value(),
             tenants_live: shard_occupancy.iter().sum(),
-            epochs_driven: load(&c.epochs_driven),
-            reports_emitted: load(&c.reports_emitted),
-            reports_drained: load(&c.reports_drained),
-            reports_dropped: load(&c.reports_dropped),
-            parks: load(&c.parks),
-            park_nanos: load(&c.park_nanos),
-            late_ops: load(&c.late_ops),
-            rejected_ops: load(&c.rejected_ops),
+            epochs_driven: c.epochs_driven.value(),
+            reports_emitted: c.reports_emitted.value(),
+            reports_drained: c.reports_drained.value(),
+            reports_dropped: c.reports_dropped.value(),
+            parks: c.parks.value(),
+            park_nanos: c.park_nanos.value(),
+            late_ops: c.late_ops.value(),
+            rejected_ops: c.rejected_ops.value(),
             shard_occupancy,
         }
     }

@@ -1,30 +1,50 @@
-//! Runtime-wide accounting: the shared atomic counters every shard,
-//! outbox, and handle bumps, and the [`ServiceStats`] snapshot they
-//! aggregate into.
+//! Runtime-wide accounting: the shared counters every shard, outbox,
+//! and handle bumps, and the [`ServiceStats`] snapshot they aggregate
+//! into.
+//!
+//! The counters are [`td_telemetry::Counter`] handles registered in the
+//! runtime's per-instance [`td_telemetry::Registry`] under `service.*`
+//! names — the same sharded lock-free cells the phase histograms use,
+//! so a telemetry snapshot and [`ServiceStats`] read one source of
+//! truth. Handles are cached here at runtime construction; the
+//! registry lock is never taken on the epoch hot path.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use td_telemetry::{Counter, Registry};
 
 /// The runtime's shared counters. Lock-free: workers bump these on the
 /// epoch hot path, outboxes on drains — never under a cross-shard lock.
-#[derive(Debug, Default)]
 pub(crate) struct Counters {
-    pub tenants_added: AtomicU64,
-    pub tenants_removed: AtomicU64,
-    pub epochs_driven: AtomicU64,
-    pub reports_emitted: AtomicU64,
-    pub reports_drained: AtomicU64,
-    pub reports_dropped: AtomicU64,
-    pub parks: AtomicU64,
-    pub park_nanos: AtomicU64,
-    pub late_ops: AtomicU64,
-    pub rejected_ops: AtomicU64,
+    pub tenants_added: Counter,
+    pub tenants_removed: Counter,
+    pub epochs_driven: Counter,
+    pub reports_emitted: Counter,
+    pub reports_drained: Counter,
+    pub reports_dropped: Counter,
+    pub parks: Counter,
+    pub park_nanos: Counter,
+    pub late_ops: Counter,
+    pub rejected_ops: Counter,
 }
 
 impl Counters {
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    /// Register (or re-attach to) the `service.*` counters in
+    /// `registry` and cache the handles.
+    pub fn new(registry: &Registry) -> Self {
+        Counters {
+            tenants_added: registry.counter("service.tenants_added"),
+            tenants_removed: registry.counter("service.tenants_removed"),
+            epochs_driven: registry.counter("service.epochs_driven"),
+            reports_emitted: registry.counter("service.reports_emitted"),
+            reports_drained: registry.counter("service.reports_drained"),
+            reports_dropped: registry.counter("service.reports_dropped"),
+            parks: registry.counter("service.parks"),
+            park_nanos: registry.counter("service.park_nanos"),
+            late_ops: registry.counter("service.late_ops"),
+            rejected_ops: registry.counter("service.rejected_ops"),
+        }
     }
 }
 

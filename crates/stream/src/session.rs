@@ -571,11 +571,15 @@ impl StreamSession {
         );
         let comm = Arc::new(comm);
         let coverage = stepped.record.pct_contributing;
+        // Window-fold phase: every query's pane absorption and window
+        // re-folds for this epoch, as one latency sample.
+        let sw = td_telemetry::phase::stopwatch();
         for (qi, value) in values.into_iter().enumerate() {
             if let Some(value) = value {
                 self.absorb_pane(qi, epoch, value, coverage, relabeled, &comm, &mut reports);
             }
         }
+        td_telemetry::phase::record(td_telemetry::phase::Phase::WindowFold, sw);
         reports
     }
 

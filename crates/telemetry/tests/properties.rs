@@ -1,0 +1,119 @@
+//! Property tests for snapshot algebra: merge is associative and
+//! commutative, and quantile estimation is monotone in `q` across
+//! bucket boundaries.
+
+use proptest::prelude::*;
+use td_telemetry::{HistogramSnapshot, Snapshot};
+
+/// Build a histogram snapshot on the shared 8-bucket bounds from a
+/// per-bucket count vector.
+fn hist(counts: &[u64]) -> HistogramSnapshot {
+    let bounds: Vec<u64> = (0..7).map(|i| 16u64 << i).collect();
+    let mut c = counts.to_vec();
+    c.resize(8, 0);
+    let sum = c
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| n * (8 * (i as u64 + 1)))
+        .sum();
+    HistogramSnapshot {
+        bounds,
+        counts: c,
+        sum,
+    }
+}
+
+/// Build a full snapshot from three counter values and one histogram.
+fn snap(c1: u64, c2: u64, g: i64, counts: &[u64]) -> Snapshot {
+    let mut s = Snapshot::default();
+    s.counters.insert("a".to_string(), c1);
+    s.counters.insert("b".to_string(), c2);
+    s.gauges.insert("g".to_string(), g);
+    s.histograms.insert("h".to_string(), hist(counts));
+    s
+}
+
+fn merged(a: &Snapshot, b: &Snapshot) -> Snapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec(0u64..1000, 8..9),
+        ys in proptest::collection::vec(0u64..1000, 8..9),
+        c1 in 0u64..1_000_000, c2 in 0u64..1_000_000,
+        d1 in 0u64..1_000_000, d2 in 0u64..1_000_000,
+        g1 in 0i64..1000, g2 in 0i64..1000,
+    ) {
+        let a = snap(c1, c2, g1, &xs);
+        let b = snap(d1, d2, g2, &ys);
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(0u64..1000, 8..9),
+        ys in proptest::collection::vec(0u64..1000, 8..9),
+        zs in proptest::collection::vec(0u64..1000, 8..9),
+        c in 0u64..1_000_000, d in 0u64..1_000_000, e in 0u64..1_000_000,
+    ) {
+        let a = snap(c, c / 2, 1, &xs);
+        let b = snap(d, d / 2, 2, &ys);
+        let z = snap(e, e / 2, 3, &zs);
+        prop_assert_eq!(merged(&merged(&a, &b), &z), merged(&a, &merged(&b, &z)));
+    }
+
+    #[test]
+    fn quantile_is_monotone_across_buckets(
+        counts in proptest::collection::vec(0u64..50, 8..9),
+    ) {
+        let h = hist(&counts);
+        // Sweep a fine grid of quantiles, crossing every bucket
+        // boundary; estimates must never decrease.
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=200 {
+            let q = i as f64 / 200.0;
+            let v = h.quantile(q);
+            prop_assert!(
+                v >= prev,
+                "quantile({q}) = {v} < quantile at previous grid point {prev}"
+            );
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_stays_within_bucket_bounds(
+        counts in proptest::collection::vec(0u64..50, 8..9),
+        qi in 0u32..101,
+    ) {
+        let h = hist(&counts);
+        if h.count() == 0 {
+            return Ok(());
+        }
+        let v = h.quantile(qi as f64 / 100.0);
+        // Never below zero, never above the overflow bucket's
+        // interpolation ceiling (2 × last bound).
+        let ceiling = (h.bounds.last().unwrap() * 2) as f64;
+        prop_assert!((0.0..=ceiling).contains(&v), "quantile {v} outside [0, {ceiling}]");
+    }
+
+    #[test]
+    fn merged_count_and_sum_add(
+        xs in proptest::collection::vec(0u64..1000, 8..9),
+        ys in proptest::collection::vec(0u64..1000, 8..9),
+    ) {
+        let mut a = hist(&xs);
+        let b = hist(&ys);
+        let (ca, cb) = (a.count(), b.count());
+        let (sa, sb) = (a.sum, b.sum);
+        a.merge(&b);
+        prop_assert_eq!(a.count(), ca + cb);
+        prop_assert_eq!(a.sum, sa.wrapping_add(sb));
+    }
+}

@@ -22,6 +22,10 @@
 //!   multiplexing thousands of independent tenant sessions with sharded
 //!   ownership, bounded outboxes, and bit-deterministic isolation
 //!   (extension)
+//! - [`telemetry`] — lock-free sharded metrics, structured events keyed
+//!   by the logical clock, and epoch-lifecycle phase profiling; compiles
+//!   out under `--no-default-features` and is provably inert either way
+//!   (extension)
 //!
 //! The typical entry point is the session engine:
 //!
@@ -64,6 +68,7 @@ pub use td_quantiles as quantiles;
 pub use td_service as service;
 pub use td_sketches as sketches;
 pub use td_stream as stream;
+pub use td_telemetry as telemetry;
 pub use td_topology as topology;
 pub use td_workloads as workloads;
 pub use tributary_delta as core;

@@ -126,10 +126,7 @@ fn stream_run(
     out
 }
 
-fn wait_drained(
-    handle: &TenantHandle,
-    target: u64,
-) -> Vec<Fingerprint> {
+fn wait_drained(handle: &TenantHandle, target: u64) -> Vec<Fingerprint> {
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
     let mut out = Vec::new();
     loop {
@@ -232,18 +229,27 @@ fn service_tenants_asking_for_workers_match_the_serial_reference() {
     let mut rng = tenant_rng(seed);
     let mut reference = Vec::new();
     for _ in 0..epochs {
-        reference.extend(serial.step(&workload, &model, &mut rng).iter().map(fingerprint));
+        reference.extend(
+            serial
+                .step(&workload, &model, &mut rng)
+                .iter()
+                .map(fingerprint),
+        );
     }
 
     // Service run: the tenant's session asks for 8 workers; submit
     // pins it back to serial-per-tenant.
     let runtime = ServiceRuntime::new(2);
     let handle = runtime.submit(
-        Tenant::builder(make_stream(8), FixedReadings(vec![2; net.len()]), Global::new(loss))
-            .seed(seed)
-            .run_until(epochs)
-            .outbox_capacity(8)
-            .build(),
+        Tenant::builder(
+            make_stream(8),
+            FixedReadings(vec![2; net.len()]),
+            Global::new(loss),
+        )
+        .seed(seed)
+        .run_until(epochs)
+        .outbox_capacity(8)
+        .build(),
     );
     let drained = wait_drained(&handle, epochs);
     assert_eq!(reference, drained);

@@ -1,0 +1,182 @@
+//! End-to-end pins that telemetry is **inert**: metrics, events, and
+//! phase profiling never touch the RNG stream or the result path.
+//!
+//! (a) For every scheme, a full scenario — raw session epochs, a
+//!     windowed stream under churn (patch path engaged), and a service
+//!     tenant drained through the runtime — produces bit-identical
+//!     answers, instrumentation, adaptation trajectories, and window
+//!     reports whether event recording is off, cranked to `Trace`, or
+//!     switched off again mid-process.
+//! (b) A fixed-seed run's digest is pinned to a constant that the
+//!     default build **and** the `--no-default-features` build both
+//!     assert — CI runs this file in both configurations, so a
+//!     telemetry-enabled binary is proven bit-identical to one with
+//!     telemetry compiled out entirely.
+
+use proptest::prelude::*;
+use td_suite::aggregates::sum::Sum;
+use td_suite::core::driver::{Driver, FixedReadings};
+use td_suite::core::protocol::ScalarProtocol;
+use td_suite::core::session::{Scheme, SessionBuilder};
+use td_suite::netsim::churn::ChurnSchedule;
+use td_suite::netsim::loss::Global;
+use td_suite::netsim::network::Network;
+use td_suite::netsim::node::Position;
+use td_suite::netsim::rng::rng_from_seed;
+use td_suite::service::{ServiceRuntime, Tenant, TenantPhase};
+use td_suite::stream::{EpochMerge, StreamQuery, StreamSession, WindowSpec};
+use td_suite::telemetry::{events, Level};
+
+fn build_net(seed: u64, sensors: usize) -> Network {
+    let mut rng = rng_from_seed(seed);
+    Network::random_connected(sensors, 14.0, 14.0, Position::new(7.0, 7.0), 2.6, &mut rng)
+}
+
+fn fnv(h: &mut u64, x: u64) {
+    *h ^= x;
+    *h = h.wrapping_mul(0x100_0000_01b3);
+}
+
+/// One determinism-relevant digest of a full scenario at `scheme`:
+/// per-epoch session records, churn-streamed window reports, and a
+/// service tenant's drained report stream, all folded bit-exactly.
+fn scenario_digest(scheme: Scheme, net: &Network, loss: f64, seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+
+    // Raw session epochs (adaptation engaged).
+    let values: Vec<u64> = (0..net.len() as u64).map(|i| 1 + i % 23).collect();
+    let mut rng = rng_from_seed(seed);
+    let mut session = SessionBuilder::new(scheme)
+        .adapt_every(3)
+        .build(net, &mut rng);
+    let model = Global::new(loss);
+    for epoch in 0..10u64 {
+        let proto = ScalarProtocol::new(Sum::default(), &values);
+        let rec = session.run_epoch(&proto, &model, epoch, &mut rng);
+        fnv(&mut h, rec.output.to_bits());
+        fnv(&mut h, rec.contributing as u64);
+        fnv(&mut h, rec.delta_size as u64);
+        for b in format!("{:?}", rec.action).bytes() {
+            fnv(&mut h, b as u64);
+        }
+    }
+
+    // Windowed stream under churn: plan patches interleave with epochs.
+    let mut rng = rng_from_seed(seed ^ 0x57E9);
+    let session = SessionBuilder::new(scheme)
+        .adapt_every(4)
+        .build(net, &mut rng);
+    let mut stream = StreamSession::new(Driver::new(session, 1));
+    let _ = stream.register(
+        StreamQuery::scalar(Sum::default())
+            .window(WindowSpec::sliding(3, 1), EpochMerge::Add)
+            .window(WindowSpec::tumbling(2), EpochMerge::Mean),
+    );
+    let workload = FixedReadings(vec![3; net.len()]);
+    let schedule = ChurnSchedule::new(net.len(), 0.05, 3.0, seed ^ 0xC4A9);
+    for _ in 0..10 {
+        for r in stream.step_under_churn(&workload, &model, &schedule, &mut rng) {
+            fnv(&mut h, r.handle.query as u64);
+            fnv(&mut h, r.handle.window as u64);
+            fnv(&mut h, r.start_epoch);
+            fnv(&mut h, r.end_epoch);
+            fnv(&mut h, r.answer.to_bits());
+            fnv(&mut h, r.coverage.to_bits());
+            fnv(&mut h, r.nodes_joined);
+            fnv(&mut h, r.nodes_left);
+            fnv(&mut h, r.relabels as u64);
+        }
+    }
+
+    // Service layer: one tenant, submitted and drained to its pause.
+    let epochs = 8u64;
+    let mut rng = rng_from_seed(seed ^ 0xBEEF);
+    let session = SessionBuilder::new(scheme).build(net, &mut rng);
+    let mut stream = StreamSession::new(Driver::new(session, 1));
+    let _ = stream.register(
+        StreamQuery::scalar(Sum::default()).window(WindowSpec::sliding(4, 1), EpochMerge::Add),
+    );
+    let runtime = ServiceRuntime::new(2);
+    let handle = runtime.submit(
+        Tenant::builder(stream, FixedReadings(vec![2; net.len()]), Global::new(loss))
+            .seed(seed)
+            .run_until(epochs)
+            .outbox_capacity(8)
+            .build(),
+    );
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        for r in handle.drain(16) {
+            fnv(&mut h, r.report.answer.to_bits());
+            fnv(&mut h, r.report.start_epoch);
+            fnv(&mut h, r.report.end_epoch);
+        }
+        let st = handle.status();
+        if st.epochs_driven >= epochs && st.phase == TenantPhase::Paused && st.queued_reports == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out draining the scenario tenant (status {st:?})"
+        );
+        std::thread::yield_now();
+    }
+    for r in handle.drain(usize::MAX) {
+        fnv(&mut h, r.report.answer.to_bits());
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// (a) recording off vs `Trace` vs off again: bit-identical for
+    /// every scheme, through the stream and service layers.
+    #[test]
+    fn recording_events_never_perturbs_results(
+        seed in 0u64..1_000,
+        loss_pct in 0u32..31,
+    ) {
+        let net = build_net(63_000 + seed, 60);
+        let loss = loss_pct as f64 / 100.0;
+        events::set_echo(false);
+        for scheme in Scheme::all() {
+            events::set_level(None);
+            let silent = scenario_digest(scheme, &net, loss, seed);
+            events::set_level(Some(Level::Trace));
+            let traced = scenario_digest(scheme, &net, loss, seed);
+            events::set_level(None);
+            let silent_again = scenario_digest(scheme, &net, loss, seed);
+            prop_assert_eq!(silent, traced, "{}: Trace recording changed results", scheme.name());
+            prop_assert_eq!(silent, silent_again, "{}: disabling left residue", scheme.name());
+            if td_suite::telemetry::compiled() {
+                prop_assert!(
+                    !events::events().is_empty(),
+                    "Trace run recorded nothing — the instrumentation went missing"
+                );
+            }
+        }
+    }
+}
+
+/// (b) the fixed-seed digest, asserted identical in the default build
+/// and the `--no-default-features` build. If this constant moves in
+/// only one of the two configurations, telemetry stopped being inert;
+/// if it moves in both, an engine change shifted results and the pin
+/// just needs re-stamping alongside it.
+#[test]
+fn fixed_seed_digest_matches_across_builds() {
+    events::set_echo(false);
+    events::set_level(Some(Level::Debug));
+    let net = build_net(77_700, 60);
+    let digest = scenario_digest(Scheme::Td, &net, 0.15, 4242);
+    events::set_level(None);
+    assert_eq!(
+        digest, PINNED_TD_DIGEST,
+        "fixed-seed scenario digest moved (got {digest:#018x})"
+    );
+}
+
+/// Stamped from the digest printed by a default-features run; see
+/// [`fixed_seed_digest_matches_across_builds`].
+const PINNED_TD_DIGEST: u64 = 0x7460_be2b_c81d_2c08;
