@@ -315,6 +315,25 @@ mod imp {
         MAX_LEVEL.store(max, Ordering::Relaxed);
     }
 
+    /// Apply a `TD_LOG`-style spec (`info,adapt=trace`) to the filters.
+    /// Must stay `ensure_init`-free: it runs inside the `INIT` closure,
+    /// and `Once` deadlocks on recursive `call_once`.
+    fn apply_spec(spec: &str) {
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some((target, level)) = part.split_once('=') {
+                if let Some(l) = Level::parse(level) {
+                    apply_target_level(target, l);
+                }
+            } else if let Some(l) = Level::parse(part) {
+                apply_level(l);
+            }
+        }
+    }
+
     fn ensure_init() {
         INIT.call_once(|| {
             epoch_instant();
@@ -324,19 +343,7 @@ mod imp {
             // Env-driven filters echo to stderr, like the old
             // TD_DEBUG_ADAPT debugging flow.
             ECHO.store(true, Ordering::Relaxed);
-            for part in spec.split(',') {
-                let part = part.trim();
-                if part.is_empty() {
-                    continue;
-                }
-                if let Some((target, level)) = part.split_once('=') {
-                    if let Some(l) = Level::parse(level) {
-                        super::set_target_level(target, l);
-                    }
-                } else if let Some(l) = Level::parse(part) {
-                    super::set_level(l);
-                }
-            }
+            apply_spec(&spec);
         });
     }
 
@@ -355,14 +362,12 @@ mod imp {
             .any(|(t, l)| t == target && level as u8 <= *l)
     }
 
-    pub fn set_level(level: Option<Level>) {
-        ensure_init();
+    fn apply_level(level: Option<Level>) {
         GLOBAL_LEVEL.store(level.map_or(0, |l| l as u8), Ordering::Relaxed);
         recompute_max();
     }
 
-    pub fn set_target_level(target: &str, level: Option<Level>) {
-        ensure_init();
+    fn apply_target_level(target: &str, level: Option<Level>) {
         let mut overrides = targets().overrides.lock().unwrap();
         overrides.retain(|(t, _)| t != target);
         if let Some(l) = level {
@@ -370,6 +375,16 @@ mod imp {
         }
         drop(overrides);
         recompute_max();
+    }
+
+    pub fn set_level(level: Option<Level>) {
+        ensure_init();
+        apply_level(level);
+    }
+
+    pub fn set_target_level(target: &str, level: Option<Level>) {
+        ensure_init();
+        apply_target_level(target, level);
     }
 
     pub fn set_echo(on: bool) {

@@ -266,15 +266,25 @@ impl Registry {
     /// upper bounds (strictly increasing, non-empty).
     ///
     /// # Panics
-    /// If `name` is already registered as a different metric kind, or
-    /// `bounds` is empty / not strictly increasing.
+    /// If `name` is already registered as a different metric kind or as
+    /// a histogram with different bounds, or `bounds` is empty / not
+    /// strictly increasing.
     pub fn histogram_with_bounds(&self, name: &str, bounds: &[u64]) -> Histogram {
         let mut map = self.metrics.lock().unwrap();
         let slot = map
             .entry(name.to_string())
             .or_insert_with(|| MetricSlot::Histogram(Histogram::new(bounds.into())));
         match slot {
-            MetricSlot::Histogram(h) => h.clone(),
+            MetricSlot::Histogram(h) => {
+                // Fail at the registration site: a silently reused
+                // histogram with the wrong buckets only surfaces much
+                // later, as a panic in Snapshot::merge.
+                assert_eq!(
+                    &*h.0.bounds, bounds,
+                    "metric {name:?} is already a histogram with different bounds"
+                );
+                h.clone()
+            }
             other => panic!("metric {name:?} is a {}, not a histogram", other.kind()),
         }
     }
@@ -346,6 +356,22 @@ mod tests {
         let r = Registry::new();
         r.counter("x");
         r.gauge("x");
+    }
+
+    #[test]
+    fn registry_histogram_same_bounds_alias() {
+        let r = Registry::new();
+        r.histogram_with_bounds("h", &[10, 100]).record(7);
+        r.histogram_with_bounds("h", &[10, 100]).record(50);
+        assert_eq!(r.snapshot().histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already a histogram with different bounds")]
+    fn registry_rejects_histogram_bounds_mismatch() {
+        let r = Registry::new();
+        r.histogram_with_bounds("h", &[10, 100]);
+        r.histogram_with_bounds("h", &[10, 100, 1000]);
     }
 
     #[test]

@@ -27,6 +27,19 @@ use td_suite::service::{ServiceRuntime, Tenant, TenantPhase};
 use td_suite::stream::{EpochMerge, StreamQuery, StreamSession, WindowSpec};
 use td_suite::telemetry::{events, Level};
 
+/// The event level filter is process-global, and both tests below
+/// mutate it; cargo test runs them on parallel threads. Serializing
+/// them keeps one test's `set_level(None)` from suppressing recording
+/// during the other's Trace pass. (The digests themselves are immune —
+/// telemetry is inert — so a poisoned lock can just be taken over.)
+static FILTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn filter_guard() -> std::sync::MutexGuard<'static, ()> {
+    FILTER_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 fn build_net(seed: u64, sensors: usize) -> Network {
     let mut rng = rng_from_seed(seed);
     Network::random_connected(sensors, 14.0, 14.0, Position::new(7.0, 7.0), 2.6, &mut rng)
@@ -139,6 +152,7 @@ proptest! {
     ) {
         let net = build_net(63_000 + seed, 60);
         let loss = loss_pct as f64 / 100.0;
+        let _serial = filter_guard();
         events::set_echo(false);
         for scheme in Scheme::all() {
             events::set_level(None);
@@ -166,6 +180,7 @@ proptest! {
 /// just needs re-stamping alongside it.
 #[test]
 fn fixed_seed_digest_matches_across_builds() {
+    let _serial = filter_guard();
     events::set_echo(false);
     events::set_level(Some(Level::Debug));
     let net = build_net(77_700, 60);
