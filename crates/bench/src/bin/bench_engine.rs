@@ -304,13 +304,15 @@ fn main() {
         .set("intra_epoch_speedup_4w", num(i1 / i4.max(1.0), 3))
         .set("intra_epoch_speedup_8w", num(i1 / i8.max(1.0), 3));
     // Phase breakdown from everything the runs above recorded. Keys are
-    // flat and numeric (the gate parser rejects anything else); phases
-    // this bench never enters — and every phase in a no-telemetry
-    // build — report zero. `telemetry_compiled` marks which build wrote
-    // the file so a gate comparison knows what it is looking at.
+    // flat and numeric (the gate parser rejects anything else); in a
+    // no-telemetry build every phase reports zero. `telemetry_compiled`
+    // marks which build wrote the file so a gate comparison knows what
+    // it is looking at. `WindowFold` is skipped: this bench never runs
+    // the stream layer, so its keys live in `bench_stream.json`, where
+    // they actually populate.
     obj.set("telemetry_compiled", u64::from(td_telemetry::compiled()));
     let snap = td_telemetry::global().snapshot();
-    for p in Phase::ALL {
+    for p in Phase::ALL.into_iter().filter(|&p| p != Phase::WindowFold) {
         let base = p.metric_name().replace('.', "_");
         let base = base.strip_suffix("_ns").expect("phase metrics end in _ns");
         let (p50, p99) = snap

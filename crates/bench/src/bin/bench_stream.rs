@@ -1,15 +1,109 @@
-//! Regenerates the streaming-window sweep (`results/stream_windows.csv`):
-//! windowed-Sum RMS and bytes/epoch versus window length and hop, across
-//! all four schemes, over a drifting stream under 20% loss. Respects
-//! `TD_SCALE=smoke|paper`; runs at smoke scale by default so CI can emit
-//! the CSV on every push.
+//! Streaming-window bench: the accuracy sweep CSV plus the window-hop
+//! throughput numbers (`results/bench_stream.json`).
+//!
+//! Two parts, both on every CI push:
+//!
+//! 1. The `(scheme, window)` accuracy sweep (`results/stream_windows.csv`):
+//!    windowed-Sum RMS and bytes/epoch versus window length and hop over
+//!    a drifting stream under 20% loss. Driving real `StreamSession`s is
+//!    also what populates the `phase.window_fold_ns` histogram, so this
+//!    bench — not `bench_engine`, which never runs a stream — reports
+//!    the `phase_window_fold_p50/p99_ns` keys.
+//! 2. The hop micro-bench: one `WindowAccum` (sliding, hop 1, `Add`)
+//!    driven directly with synthetic integer panes at W ∈ {16, 256,
+//!    4096}, in both fold modes. `FoldMode::Refold` re-folds all W panes
+//!    per hop (the pre-incremental engine's cost); `Incremental` is the
+//!    subtract-on-evict path. The headline `window_incremental_speedup`
+//!    (W = 4096) is the O(W) → O(1) win and must be ≥ 10×; being a
+//!    ratio of same-machine runs it is CI-gateable, and `perf_gate`
+//!    gates it against the committed baseline.
+//!
+//! The JSON schema is flat (string keys → numbers) for `jq` and the
+//! perf gate's `parse_flat_json`, like the other bench JSONs.
+
+use std::time::Instant;
 
 use td_bench::experiments::stream_windows;
+use td_bench::json::{num, JsonObject};
 use td_bench::Scale;
+use td_stream::{
+    AccumCounters, EpochMerge, FoldMode, PaneInput, PaneKind, PaneValue, WindowAccum, WindowSpec,
+};
+use td_telemetry::phase::Phase;
+
+/// Sliding-window lengths for the hop micro-bench (hop 1).
+const HOP_WINDOWS: [u32; 3] = [16, 256, 4096];
+/// Reps per timed quantity; the reported figure is the best rep (the
+/// same de-noising as `bench_engine`: the run least disturbed by
+/// scheduler interference).
+const REPS: usize = 3;
+
+/// Synthetic integer pane for hop `seq`: integer-valued and small, so
+/// the incremental path's exactness certificate holds on every eviction
+/// and the measured loop is the pure O(1) subtract path.
+fn pane(seq: u64) -> PaneInput {
+    PaneInput {
+        epoch: seq,
+        value: PaneValue::Scalar((seq % 1021) as f64),
+        coverage: 1.0,
+        relabeled: false,
+        nodes_joined: 0,
+        nodes_left: 0,
+        bytes: 48,
+    }
+}
+
+/// Window hops per second for one `(len, mode)` cell, best of [`REPS`].
+/// A hop = absorb one pane + emit the closed window's answer (hop 1
+/// emits every pane once the window is warm).
+fn hops_per_sec(len: u32, mode: FoldMode) -> f64 {
+    // Refold work is O(len) per hop — scale the hop count so each cell
+    // does comparable total work instead of W=4096 dominating the bench.
+    let hops: u64 = match mode {
+        FoldMode::Refold => (4_000_000 / len as u64).max(4_000),
+        FoldMode::Incremental => 400_000,
+    };
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let mut acc = WindowAccum::new(
+            WindowSpec::sliding(len, 1),
+            EpochMerge::Add,
+            PaneKind::Scalar,
+            mode,
+        );
+        let mut counters = AccumCounters::default();
+        let mut sink = 0.0f64;
+        for seq in 0..len as u64 {
+            if let Some(ans) = acc.absorb(seq, &pane(seq), &mut counters) {
+                sink += ans.value;
+            }
+        }
+        let t0 = Instant::now();
+        for seq in len as u64..len as u64 + hops {
+            if let Some(ans) = acc.absorb(seq, &pane(seq), &mut counters) {
+                sink += ans.value;
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        std::hint::black_box(sink);
+        if mode == FoldMode::Incremental {
+            assert_eq!(
+                counters.value_refolds, 0,
+                "integer panes left the O(1) subtract path — the bench \
+                 would be measuring the fallback, not the fast path"
+            );
+        }
+        best = best.max(hops as f64 / dt);
+    }
+    best
+}
 
 fn main() {
     let scale = Scale::from_env_or(Scale::smoke());
     let t0 = std::time::Instant::now();
+
+    // Part 1: the accuracy sweep (drives real sessions → populates the
+    // window-fold phase histogram read below).
     let rows = stream_windows::run(scale, 0x57E2EA);
     let table = stream_windows::table(&rows);
     table.print();
@@ -17,5 +111,61 @@ fn main() {
         Some(path) => println!("wrote {}", path.display()),
         None => std::process::exit(1),
     }
+
+    // Part 2: the hop micro-bench, both fold modes.
+    let mut obj = JsonObject::new();
+    obj.set("telemetry_compiled", u64::from(td_telemetry::compiled()));
+    let mut headline = 0.0;
+    for len in HOP_WINDOWS {
+        let refold = hops_per_sec(len, FoldMode::Refold);
+        let incremental = hops_per_sec(len, FoldMode::Incremental);
+        let speedup = incremental / refold.max(1e-9);
+        println!(
+            "W={len}: refold {refold:.0} hops/s, incremental {incremental:.0} hops/s \
+             ({speedup:.1}x)"
+        );
+        obj.set(
+            &format!("window_hops_per_sec_refold_w{len}"),
+            num(refold, 1),
+        )
+        .set(
+            &format!("window_hops_per_sec_incremental_w{len}"),
+            num(incremental, 1),
+        )
+        .set(
+            &format!("window_incremental_speedup_w{len}"),
+            num(speedup, 2),
+        );
+        headline = speedup;
+    }
+    // The headline is the largest window: where O(W) vs O(1) matters.
+    obj.set("window_incremental_speedup", num(headline, 2));
+    assert!(
+        headline >= 10.0,
+        "incremental hop speedup at W=4096 is {headline:.1}x, below the 10x floor \
+         — the O(1) path regressed toward the re-fold"
+    );
+
+    // The window-fold phase breakdown from the sweep above. These keys
+    // used to sit (always zero) in bench_engine.json; they live here
+    // because only this bench actually runs the stream layer.
+    let snap = td_telemetry::global().snapshot();
+    let (p50, p99) = snap
+        .histogram(Phase::WindowFold.metric_name())
+        .map(|h| (h.quantile(0.50), h.quantile(0.99)))
+        .unwrap_or((0.0, 0.0));
+    obj.set("phase_window_fold_p50_ns", num(p50, 1));
+    obj.set("phase_window_fold_p99_ns", num(p99, 1));
+    if td_telemetry::compiled() {
+        assert!(
+            p50 > 0.0 && p99 > 0.0,
+            "window-fold phase histogram is empty after a full sweep — \
+             the per-epoch stream instrumentation went missing"
+        );
+    }
+
+    let json = obj.to_string_pretty();
+    print!("{json}");
+    td_bench::json::write_results_text("bench_stream.json", &json);
     println!("done in {:.1}s", t0.elapsed().as_secs_f64());
 }

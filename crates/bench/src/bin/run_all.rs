@@ -2,8 +2,8 @@
 //! `TD_SCALE=smoke|paper`; paper scale takes several minutes.
 
 use td_bench::experiments::{
-    ablation, churn, fig04, fig06, fig07, fig08, fig09, labdata_sum, rms, stream_windows, tab01,
-    tab02,
+    ablation, churn, fig04, fig06, fig07, fig08, fig09, fig09d, labdata_sum, rms, stream_windows,
+    tab01, tab02,
 };
 use td_bench::Scale;
 
@@ -78,6 +78,10 @@ fn main() {
     fig09::table("§7.4.3 ext: Regional(p, 0.05)", &f9c).print();
     fig09::table("§7.4.3 ext: Regional(p, 0.05)", &f9c)
         .write_csv("fig09c_false_negatives_regional");
+    let f9d = fig09d::run(scale, 0xF1609D);
+    fig09::table("Figure 9(d) ext: windowed false negatives", &f9d).print();
+    fig09::table("Figure 9(d) ext: windowed false negatives", &f9d)
+        .write_csv("fig09d_false_negatives_windowed");
 
     let lab = labdata_sum::run(scale, 0x1AB5);
     labdata_sum::table(&lab).print();

@@ -1,0 +1,111 @@
+//! Windowed frequent-items queries: the §6 [`FreqProtocol`] as a
+//! stream source producing *set-valued* panes.
+//!
+//! A [`FreqStreamQuery`] runs one epoch of the paper's frequent-items
+//! machinery (Algorithm 1 with a precision gradient in the tributaries,
+//! Algorithm 2 in the delta, the §6.3 conversion at the boundary) per
+//! measured epoch and reduces its answer to a [`FreqPane`] — the
+//! per-item count estimates plus the estimated total N̂. Windows merge
+//! those panes by multiset union ([`EpochMerge::Add`] is the only legal
+//! law), so a sliding window's report answers "which items were
+//! frequent over the last W epochs" with the window-level threshold
+//! `(s − ε)·N̂_window` ([`FreqPane::report`]) — the windowed
+//! false-negative experiment beside Figure 9 rides exactly this.
+//!
+//! Per-epoch item bags are supplied as a table indexed by
+//! `epoch % len`, so drifting workloads replay deterministic bag
+//! cycles without the factory borrowing epoch-local state.
+//!
+//! [`EpochMerge::Add`]: crate::window::EpochMerge::Add
+
+use td_frequent::items::ItemBag;
+use td_frequent::multipath::MultipathConfig;
+use td_quantiles::gradient::PrecisionGradient;
+use td_sketches::counter::CounterFactory;
+use tributary_delta::protocol::{FreqOutput, FreqProtocol};
+
+use crate::query::EpochProtocolFactory;
+use crate::window::{FreqPane, PaneKind, PaneValue};
+
+/// A frequent-items stream source: one [`FreqProtocol`] instance per
+/// measured epoch, over that epoch's per-node item bags.
+///
+/// The bag table holds one `Vec<ItemBag>` (indexed by node) per epoch
+/// slot; epoch `e` uses slot `e % slots`, so a single-slot table
+/// replays the same bags every epoch and a multi-slot table cycles —
+/// enough to express the drifting item distributions the windowed
+/// false-negative sweep needs, while the factory stays `'static`-clean.
+pub struct FreqStreamQuery<F: CounterFactory, G> {
+    mp_cfg: MultipathConfig<F>,
+    gradient: G,
+    support: f64,
+    bags_by_epoch: Vec<Vec<ItemBag>>,
+}
+
+impl<F: CounterFactory, G: PrecisionGradient + Clone> FreqStreamQuery<F, G> {
+    /// Build the source.
+    ///
+    /// # Panics
+    /// Panics on an empty bag table — every epoch needs bags.
+    pub fn new(
+        mp_cfg: MultipathConfig<F>,
+        gradient: G,
+        support: f64,
+        bags_by_epoch: Vec<Vec<ItemBag>>,
+    ) -> Self {
+        assert!(
+            !bags_by_epoch.is_empty(),
+            "a frequent-items stream needs at least one epoch of item bags"
+        );
+        FreqStreamQuery {
+            mp_cfg,
+            gradient,
+            support,
+            bags_by_epoch,
+        }
+    }
+
+    /// The combined per-epoch error tolerance ε = ε_a + ε_b.
+    pub fn total_eps(&self) -> f64 {
+        self.gradient.final_eps() + self.mp_cfg.eps
+    }
+
+    /// The support threshold s.
+    pub fn support(&self) -> f64 {
+        self.support
+    }
+}
+
+impl<F, G> EpochProtocolFactory for FreqStreamQuery<F, G>
+where
+    F: CounterFactory + Send + 'static,
+    F::Counter: Send,
+    G: PrecisionGradient + Clone + Send + 'static,
+{
+    type Output = FreqOutput;
+    type Proto<'e> = FreqProtocol<'e, F, G>;
+
+    fn make<'e>(&'e self, _readings: &'e [u64], epoch: u64) -> FreqProtocol<'e, F, G> {
+        let slot = (epoch % self.bags_by_epoch.len() as u64) as usize;
+        FreqProtocol::new(
+            self.mp_cfg.clone(),
+            self.gradient.clone(),
+            self.support,
+            &self.bags_by_epoch[slot],
+        )
+    }
+
+    fn pane_of(&self, output: FreqOutput) -> PaneValue {
+        PaneValue::Freq(std::sync::Arc::new(FreqPane::from_estimates(
+            &output.estimates,
+        )))
+    }
+
+    fn kind(&self) -> PaneKind {
+        PaneKind::Freq
+    }
+
+    fn label(&self) -> String {
+        format!("frequent(s={})", self.support)
+    }
+}

@@ -20,13 +20,21 @@
 //!   rings with O(1) eviction, and emits [`WindowReport`]s.
 //! * [`PanePartial`] / [`EpochMerge`] — the associative, commutative
 //!   cross-epoch merge: the scalar aggregates' tree-merge laws lifted
-//!   to per-epoch answers.
+//!   to per-epoch answers. [`PaneAlgebra`] generalizes the fold so
+//!   panes can carry *set-valued* state too — [`FreqPane`] merges
+//!   per-item count estimates for windowed frequent-items queries
+//!   ([`FreqStreamQuery`]).
+//! * [`WindowAccum`] / [`FoldMode`] — per-window incremental
+//!   accumulators (subtract-on-evict, two-stacks) making a window hop
+//!   O(1) amortized regardless of window length, bit-for-bit equal to
+//!   the from-scratch re-fold.
 //!
 //! Windows interoperate with loss and adaptation instead of hiding
-//! them: every report carries per-pane [`CommStats`] and coverage, the
-//! window's mean/min coverage, and the count of tributary/delta
-//! relabels that fired between its panes. Completed panes are plain
-//! merged values, so a mid-window relabel never invalidates history.
+//! them: every report carries the newest pane's [`CommStats`] and
+//! coverage (full per-pane history on request), the window's mean/min
+//! coverage, and the count of tributary/delta relabels that fired
+//! between its panes. Completed panes are plain merged values, so a
+//! mid-window relabel never invalidates history.
 //!
 //! [`Protocol`]: tributary_delta::Protocol
 //! [`CommStats`]: td_netsim::stats::CommStats
@@ -34,12 +42,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod freq;
 pub mod query;
 pub mod session;
 pub mod window;
 
-pub use query::{EpochProtocolFactory, PaneProtocol, ScalarQuery, StreamQuery};
+pub use freq::FreqStreamQuery;
+pub use query::{EpochProtocolFactory, PaneProtocol, ScalarQuery, StreamQuery, WindowCfg};
 pub use session::{
     DeregisterError, PaneStats, StreamSession, StreamStats, WindowHandle, WindowReport,
 };
-pub use window::{EpochMerge, PanePartial, WindowSpec};
+pub use window::{
+    AccumCounters, EpochMerge, FoldMode, FreqPane, PaneAlgebra, PaneInput, PaneKind, PanePartial,
+    PaneValue, TwoStacks, WindowAccum, WindowAnswer, WindowSpec,
+};

@@ -25,7 +25,7 @@ use td_aggregates::traits::Aggregate;
 use tributary_delta::protocol::{Protocol, ScalarProtocol};
 use tributary_delta::query::{Answers, QuerySet};
 
-use crate::window::{EpochMerge, WindowSpec};
+use crate::window::{EpochMerge, PaneKind, PaneValue, WindowSpec};
 
 /// The object-safe face of one underlying per-epoch protocol: what the
 /// stream session stores and drives each epoch.
@@ -46,8 +46,13 @@ pub trait PaneProtocol: Send {
     fn register<'e>(&'e self, set: &mut QuerySet<'e>, readings: &'e [u64], epoch: u64) -> usize;
 
     /// Extract this epoch's answer from `slot` and reduce it to the
-    /// scalar pane value.
-    fn pane_value(&self, answers: &mut Answers, slot: usize) -> f64;
+    /// pane value.
+    fn pane_value(&self, answers: &mut Answers, slot: usize) -> PaneValue;
+
+    /// Which [`PaneKind`] this query's panes carry — fixed per query,
+    /// consulted once at registration to specialize the window
+    /// accumulators.
+    fn pane_kind(&self) -> PaneKind;
 
     /// Display name (reports and CSV rows).
     fn name(&self) -> String;
@@ -73,8 +78,14 @@ pub trait EpochProtocolFactory {
     /// Build the protocol for one epoch over its readings.
     fn make<'e>(&'e self, readings: &'e [u64], epoch: u64) -> Self::Proto<'e>;
 
-    /// Reduce the epoch's answer to the scalar pane value.
-    fn pane_of(&self, output: Self::Output) -> f64;
+    /// Reduce the epoch's answer to the pane value.
+    fn pane_of(&self, output: Self::Output) -> PaneValue;
+
+    /// Which [`PaneKind`] [`pane_of`](Self::pane_of) produces.
+    /// Defaults to scalar; set-valued factories override.
+    fn kind(&self) -> PaneKind {
+        PaneKind::Scalar
+    }
 
     /// Display name (reports and CSV rows).
     fn label(&self) -> String;
@@ -85,12 +96,16 @@ impl<F: EpochProtocolFactory + Send> PaneProtocol for F {
         set.register(self.make(readings, epoch)).index()
     }
 
-    fn pane_value(&self, answers: &mut Answers, slot: usize) -> f64 {
+    fn pane_value(&self, answers: &mut Answers, slot: usize) -> PaneValue {
         let output = answers
             .take_erased(slot)
             .downcast::<F::Output>()
             .expect("pane slot holds an answer of a different type");
         self.pane_of(*output)
+    }
+
+    fn pane_kind(&self) -> PaneKind {
+        self.kind()
     }
 
     fn name(&self) -> String {
@@ -113,8 +128,8 @@ impl<A: Aggregate + 'static> EpochProtocolFactory for ScalarQuery<A> {
         ScalarProtocol::new(self.0.clone(), readings)
     }
 
-    fn pane_of(&self, output: f64) -> f64 {
-        output
+    fn pane_of(&self, output: f64) -> PaneValue {
+        PaneValue::Scalar(output)
     }
 
     fn label(&self) -> String {
@@ -122,12 +137,29 @@ impl<A: Aggregate + 'static> EpochProtocolFactory for ScalarQuery<A> {
     }
 }
 
+/// One window's configuration on a [`StreamQuery`].
+#[derive(Clone, Copy, Debug)]
+pub struct WindowCfg {
+    /// The window shape.
+    pub spec: WindowSpec,
+    /// The cross-epoch merge law.
+    pub merge: EpochMerge,
+    /// Whether reports carry full per-pane instrumentation
+    /// ([`WindowReport::pane_stats`]) — opting in keeps the query's
+    /// pane ring alive and clones `O(len)` stats per report, so it is
+    /// off by default; lean reports still carry the newest pane's stats
+    /// plus the window-level aggregates.
+    ///
+    /// [`WindowReport::pane_stats`]: crate::session::WindowReport::pane_stats
+    pub detailed: bool,
+}
+
 /// A windowed stream query: one underlying protocol `P` plus the
 /// windows attached to its shared pane series.
 #[derive(Clone, Debug)]
 pub struct StreamQuery<P> {
     pub(crate) proto: P,
-    pub(crate) windows: Vec<(WindowSpec, EpochMerge)>,
+    pub(crate) windows: Vec<WindowCfg>,
 }
 
 impl<P: PaneProtocol> StreamQuery<P> {
@@ -140,14 +172,41 @@ impl<P: PaneProtocol> StreamQuery<P> {
     }
 
     /// Attach one window (builder-style; call repeatedly for several
-    /// windows over the same pane series).
+    /// windows over the same pane series). Reports are lean: window
+    /// aggregates plus the newest pane's stats, no per-pane history —
+    /// see [`window_detailed`](Self::window_detailed).
     pub fn window(mut self, spec: WindowSpec, merge: EpochMerge) -> Self {
-        self.windows.push((spec, merge));
+        self.windows.push(WindowCfg {
+            spec,
+            merge,
+            detailed: false,
+        });
+        self
+    }
+
+    /// Attach one window whose reports carry full per-pane
+    /// instrumentation (the pre-incremental engine's report shape).
+    /// Costs a pane ring on the query and `O(len)` stat clones per
+    /// report.
+    ///
+    /// # Panics
+    /// Panics for [`WindowSpec::Landmark`] — a landmark window's pane
+    /// history is unbounded, so per-pane detail is never retained.
+    pub fn window_detailed(mut self, spec: WindowSpec, merge: EpochMerge) -> Self {
+        assert!(
+            !matches!(spec, WindowSpec::Landmark),
+            "landmark windows keep O(1) state and cannot report per-pane detail"
+        );
+        self.windows.push(WindowCfg {
+            spec,
+            merge,
+            detailed: true,
+        });
         self
     }
 
     /// The attached windows, in attachment order.
-    pub fn windows(&self) -> &[(WindowSpec, EpochMerge)] {
+    pub fn windows(&self) -> &[WindowCfg] {
         &self.windows
     }
 }
@@ -187,8 +246,9 @@ mod tests {
 
         let mut rec = session.run_set(&set, &NoLoss, 0, &mut rng);
         // Lossless TAG: the pane value is the exact sum.
+        assert_eq!(q.pane_kind(), PaneKind::Scalar);
         assert_eq!(
-            q.pane_value(&mut rec.answers, slot),
+            q.pane_value(&mut rec.answers, slot).scalar(),
             2.0 * net.num_sensors() as f64
         );
     }

@@ -8,10 +8,11 @@
 //! traversal** — runs the epoch through [`Driver::step_set`], and turns
 //! each answer into a *pane*: the value plus that epoch's
 //! contributor-envelope coverage, its [`CommStats`] delta, and whether
-//! adaptation relabeled the topology afterwards. Panes live in one
-//! ring per query (shared by all of the query's windows, evicted O(1)
-//! from the front); windows merge panes through the associative
-//! [`PanePartial`] algebra and emit [`WindowReport`]s.
+//! adaptation relabeled the topology afterwards. Each window folds the
+//! pane into its own [`WindowAccum`] through the [`PaneAlgebra`] fold
+//! and emits [`WindowReport`]s when its schedule closes.
+//!
+//! [`PaneAlgebra`]: crate::window::PaneAlgebra
 //!
 //! ## Loss, churn, and adaptation visibility
 //!
@@ -24,6 +25,16 @@
 //! relabel changes how future panes are computed, never the merged
 //! history — so adaptation mid-window degrades answers visibly
 //! (through coverage) rather than invalidating them.
+//!
+//! ## Incremental absorption
+//!
+//! Each window owns a [`WindowAccum`] — the O(1)-amortized state
+//! machine from [`crate::window`] — so absorbing a pane costs O(1)
+//! per window regardless of window length, and steady-state hops
+//! allocate nothing. Reports are lean by default (window aggregates
+//! plus the newest pane's [`PaneStats`]); per-pane history is opt-in
+//! via [`StreamQuery::window_detailed`], which is the only thing that
+//! keeps a pane ring alive on the query.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -38,7 +49,10 @@ use tributary_delta::query::QuerySet;
 use tributary_delta::session::Session;
 
 use crate::query::{PaneProtocol, StreamQuery};
-use crate::window::{EpochMerge, PanePartial, WindowSpec};
+use crate::window::{
+    AccumCounters, EpochMerge, FoldMode, FreqPane, PaneInput, PaneKind, PaneValue, WindowAccum,
+    WindowSpec,
+};
 
 /// Identifies one window of one registered stream query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -72,8 +86,9 @@ pub struct PaneStats {
 pub struct WindowReport {
     /// Which window emitted.
     pub handle: WindowHandle,
-    /// The underlying protocol's display name.
-    pub query_name: String,
+    /// The underlying protocol's display name (`Arc`-shared with the
+    /// session — a report carries it for a pointer bump).
+    pub query_name: Arc<str>,
     /// The window shape.
     pub spec: WindowSpec,
     /// The cross-epoch merge the answer evaluates.
@@ -109,11 +124,20 @@ pub struct WindowReport {
     /// membership half of "lossy windows degrade visibly": a window
     /// whose coverage dipped because nodes left says so here.
     pub nodes_left: u64,
-    /// Per-pane instrumentation, oldest first. For [`WindowSpec::Landmark`]
-    /// this is a single entry — the *newest* pane's per-epoch stats (the
-    /// landmark window keeps O(1) state and retains no history; its
-    /// running coverage/relabel picture lives in the report-level
-    /// `coverage`/`min_coverage`/`relabels` fields).
+    /// Payload bytes across the window's panes, maintained
+    /// incrementally (exact `u64` arithmetic). For landmark windows a
+    /// running total since the stream began.
+    pub bytes: u64,
+    /// The merged set-valued frequent-items estimate, for queries whose
+    /// panes are [`PaneValue::Freq`]; `None` for scalar queries.
+    pub freq: Option<Arc<FreqPane>>,
+    /// The newest pane's per-epoch instrumentation — always present,
+    /// O(1) to carry (the `CommStats` is `Arc`-shared).
+    pub last_pane: PaneStats,
+    /// Full per-pane instrumentation, oldest first — populated only for
+    /// windows attached via [`StreamQuery::window_detailed`]; empty
+    /// (no allocation) otherwise. Lean consumers read
+    /// [`last_pane`](Self::last_pane) and the window-level aggregates.
     pub pane_stats: Vec<PaneStats>,
 }
 
@@ -125,11 +149,11 @@ impl WindowReport {
         self.min_coverage < 1.0
     }
 
-    /// Total payload bytes across the traversals in `pane_stats` — for
-    /// landmark reports that is the newest pane only (the landmark
-    /// keeps no history; see the `pane_stats` docs).
+    /// Total payload bytes across the window's panes — for landmark
+    /// reports a running total since the stream began (the landmark
+    /// window never evicts).
     pub fn comm_bytes(&self) -> u64 {
-        self.pane_stats.iter().map(|p| p.comm.total_bytes()).sum()
+        self.bytes
     }
 }
 
@@ -145,8 +169,13 @@ pub struct StreamStats {
     /// Panes built — exactly `measured_epochs × queries`, however many
     /// windows ride on them.
     pub panes_built: u64,
-    /// Pane-partial merge operations performed across all windows.
+    /// Pane merge/fold operations performed across all windows.
     pub pane_merges: u64,
+    /// Evictions where the subtract-on-evict exactness certificate did
+    /// not hold and the window value was refolded from its pane buffer
+    /// instead ([`AccumCounters::value_refolds`]). Zero in the exact
+    /// integer regimes the engine is built for.
+    pub value_refolds: u64,
     /// Window reports emitted.
     pub reports_emitted: u64,
     /// Sum of every built pane's coverage fraction — each measured
@@ -167,46 +196,22 @@ impl StreamStats {
     }
 }
 
-/// One measured epoch's contribution to a query's pane series.
-#[derive(Clone, Debug)]
-struct Pane {
-    epoch: u64,
-    value: f64,
-    coverage: f64,
-    relabeled: bool,
-    comm: Arc<CommStats>,
-}
-
-/// Running state of a landmark window (no ring: O(1) per epoch).
-#[derive(Clone, Debug, Default)]
-struct LandmarkState {
-    acc: Option<PanePartial>,
-    panes: u64,
-    start_epoch: u64,
-    coverage_sum: f64,
-    min_coverage: f64,
-    relabels: u32,
-    /// Running churn totals across every absorbed pane.
-    nodes_joined: u64,
-    nodes_left: u64,
-    /// Relabel flag of the most recent pane — promoted into `relabels`
-    /// only once a later pane arrives (a relabel after the last pane is
-    /// not *between* panes yet).
-    pending_relabel: bool,
-}
-
 struct WindowState {
     spec: WindowSpec,
     merge: EpochMerge,
-    landmark: Option<LandmarkState>,
+    detailed: bool,
+    accum: WindowAccum,
 }
 
 /// Per-query pane bookkeeping (parallel to the session's boxed
 /// protocols — split so the epoch loop can borrow protocols shared
-/// while mutating rings).
+/// while mutating rings). The ring holds per-pane *stats* only (values
+/// live in the window accumulators) and exists only when a detailed
+/// window needs report-time history.
 struct QueryState {
-    name: String,
-    ring: VecDeque<Pane>,
+    name: Arc<str>,
+    kind: PaneKind,
+    ring: VecDeque<PaneStats>,
     ring_need: usize,
     windows: Vec<WindowState>,
     next_seq: u64,
@@ -258,10 +263,14 @@ pub struct StreamSession {
     queries: Vec<QueryState>,
     last_stats: CommStats,
     stats: StreamStats,
+    mode: FoldMode,
 }
 
 impl StreamSession {
-    /// Wrap a driver (its warmup epochs produce no panes).
+    /// Wrap a driver (its warmup epochs produce no panes). Windows run
+    /// the O(1)-amortized incremental accumulators
+    /// ([`FoldMode::Incremental`]) unless
+    /// [`set_fold_mode`](Self::set_fold_mode) says otherwise.
     pub fn new(driver: Driver) -> Self {
         let last_stats = driver.session().stats().clone();
         StreamSession {
@@ -270,6 +279,29 @@ impl StreamSession {
             queries: Vec::new(),
             last_stats,
             stats: StreamStats::default(),
+            mode: FoldMode::default(),
+        }
+    }
+
+    /// Select how windows maintain their answers —
+    /// [`FoldMode::Refold`] re-folds every emission from the pane
+    /// buffer (the pre-incremental engine, kept as the bit-for-bit
+    /// reference and bench baseline). Both modes produce identical
+    /// reports on every field; only the work profile differs.
+    ///
+    /// # Panics
+    /// Panics once any registered query has absorbed a pane — the mode
+    /// is a construction-time choice, not a mid-stream switch.
+    pub fn set_fold_mode(&mut self, mode: FoldMode) {
+        assert!(
+            self.queries.iter().all(|q| q.next_seq == 0),
+            "fold mode must be chosen before the first measured epoch"
+        );
+        self.mode = mode;
+        for q in &mut self.queries {
+            for w in &mut q.windows {
+                w.accum = WindowAccum::new(w.spec, w.merge, q.kind, mode);
+            }
         }
     }
 
@@ -279,7 +311,8 @@ impl StreamSession {
     ///
     /// # Panics
     /// Panics if the query has no windows (it would produce panes
-    /// nobody consumes).
+    /// nobody consumes), or if a set-valued query attaches a window
+    /// with a merge law other than [`EpochMerge::Add`].
     pub fn register<P: PaneProtocol + 'static>(
         &mut self,
         query: StreamQuery<P>,
@@ -289,19 +322,25 @@ impl StreamSession {
             "a stream query needs at least one window"
         );
         let qi = self.protos.len();
+        let kind = query.proto.pane_kind();
+        // Only detailed windows replay per-pane history at report time;
+        // everything else rides the accumulators, so lean-only queries
+        // keep no ring at all (satellite of the O(1)-hop work).
         let ring_need = query
             .windows
             .iter()
-            .map(|(spec, _)| spec.ring_need())
+            .filter(|cfg| cfg.detailed)
+            .map(|cfg| cfg.spec.ring_need())
             .max()
             .unwrap_or(0);
         let windows: Vec<WindowState> = query
             .windows
             .iter()
-            .map(|&(spec, merge)| WindowState {
-                spec,
-                merge,
-                landmark: matches!(spec, WindowSpec::Landmark).then(LandmarkState::default),
+            .map(|cfg| WindowState {
+                spec: cfg.spec,
+                merge: cfg.merge,
+                detailed: cfg.detailed,
+                accum: WindowAccum::new(cfg.spec, cfg.merge, kind, self.mode),
             })
             .collect();
         let handles = (0..windows.len())
@@ -311,8 +350,9 @@ impl StreamSession {
             })
             .collect();
         self.queries.push(QueryState {
-            name: PaneProtocol::name(&query.proto),
-            ring: VecDeque::with_capacity(ring_need + 1),
+            name: PaneProtocol::name(&query.proto).into(),
+            kind,
+            ring: VecDeque::with_capacity(if ring_need > 0 { ring_need + 1 } else { 0 }),
             ring_need,
             windows,
             next_seq: 0,
@@ -546,7 +586,7 @@ impl StreamSession {
             }
             None => self.driver.step_set(&set, model, rng),
         };
-        let values: Vec<Option<f64>> = self
+        let values: Vec<Option<PaneValue>> = self
             .protos
             .iter()
             .zip(&slots)
@@ -583,14 +623,15 @@ impl StreamSession {
         reports
     }
 
-    /// Fold one measured epoch's answer into query `qi`'s pane series
-    /// and emit whatever windows close on it.
+    /// Fold one measured epoch's answer into query `qi`'s pane series —
+    /// one O(1)-amortized [`WindowAccum::absorb`] per window — and emit
+    /// whatever windows close on it.
     #[allow(clippy::too_many_arguments)]
     fn absorb_pane(
         &mut self,
         qi: usize,
         epoch: u64,
-        value: f64,
+        value: PaneValue,
         coverage: f64,
         relabeled: bool,
         comm: &Arc<CommStats>,
@@ -601,127 +642,66 @@ impl StreamSession {
         q.next_seq += 1;
         self.stats.panes_built += 1;
         self.stats.pane_coverage_sum += coverage;
-        let pane = Pane {
+        let input = PaneInput {
             epoch,
             value,
+            coverage,
+            relabeled,
+            nodes_joined: comm.nodes_joined(),
+            nodes_left: comm.nodes_left(),
+            bytes: comm.total_bytes(),
+        };
+        let last_pane = PaneStats {
+            epoch,
             coverage,
             relabeled,
             comm: Arc::clone(comm),
         };
         if q.ring_need > 0 {
-            q.ring.push_back(pane.clone());
+            q.ring.push_back(last_pane.clone());
             // O(1) eviction: drop exactly the pane that aged out.
             while q.ring.len() > q.ring_need {
                 q.ring.pop_front();
             }
         }
+        let mut counters = AccumCounters::default();
         for (wi, w) in q.windows.iter_mut().enumerate() {
-            let handle = WindowHandle {
-                query: qi,
-                window: wi,
+            let Some(ans) = w.accum.absorb(seq, &input, &mut counters) else {
+                continue;
             };
-            if let Some(lm) = &mut w.landmark {
-                // O(1) running update; emits every pane.
-                if lm.panes == 0 {
-                    lm.start_epoch = pane.epoch;
-                    lm.min_coverage = pane.coverage;
-                    lm.acc = Some(PanePartial::of(pane.value));
-                } else {
-                    lm.acc
-                        .as_mut()
-                        .expect("landmark accumulator seeded")
-                        .merge(&PanePartial::of(pane.value));
-                    self.stats.pane_merges += 1;
-                    lm.min_coverage = lm.min_coverage.min(pane.coverage);
-                    if lm.pending_relabel {
-                        lm.relabels += 1;
-                    }
-                }
-                lm.panes += 1;
-                lm.coverage_sum += pane.coverage;
-                lm.pending_relabel = pane.relabeled;
-                lm.nodes_joined += pane.comm.nodes_joined();
-                lm.nodes_left += pane.comm.nodes_left();
-                let acc = lm.acc.expect("landmark accumulator seeded");
-                reports.push(WindowReport {
-                    handle,
-                    query_name: q.name.clone(),
-                    spec: w.spec,
-                    merge: w.merge,
-                    start_epoch: lm.start_epoch,
-                    end_epoch: pane.epoch,
-                    panes: lm.panes as usize,
-                    expected_panes: lm.panes as usize,
-                    answer: acc.evaluate(w.merge),
-                    coverage: lm.coverage_sum / lm.panes as f64,
-                    min_coverage: lm.min_coverage,
-                    relabels: lm.relabels,
-                    nodes_joined: lm.nodes_joined,
-                    nodes_left: lm.nodes_left,
-                    // The newest pane's true per-epoch stats (see the
-                    // `pane_stats` field docs).
-                    pane_stats: vec![PaneStats {
-                        epoch: pane.epoch,
-                        coverage: pane.coverage,
-                        relabeled: pane.relabeled,
-                        comm: Arc::clone(&pane.comm),
-                    }],
-                });
-                self.stats.reports_emitted += 1;
-                continue;
-            }
-            if !w.spec.emits_after(seq) {
-                continue;
-            }
-            let span = w.spec.span_at(seq).min(q.ring.len());
-            let window_panes: Vec<&Pane> = q.ring.iter().skip(q.ring.len() - span).collect();
-            let mut acc = PanePartial::of(window_panes[0].value);
-            let mut coverage_sum = window_panes[0].coverage;
-            let mut min_coverage = window_panes[0].coverage;
-            let mut relabels = 0u32;
-            let mut nodes_joined = window_panes[0].comm.nodes_joined();
-            let mut nodes_left = window_panes[0].comm.nodes_left();
-            for pair in window_panes.windows(2) {
-                let (prev, cur) = (pair[0], pair[1]);
-                acc.merge(&PanePartial::of(cur.value));
-                self.stats.pane_merges += 1;
-                coverage_sum += cur.coverage;
-                min_coverage = min_coverage.min(cur.coverage);
-                nodes_joined += cur.comm.nodes_joined();
-                nodes_left += cur.comm.nodes_left();
-                // A relabel flagged on `prev` happened between prev and
-                // cur — inside this window.
-                if prev.relabeled {
-                    relabels += 1;
-                }
-            }
+            let pane_stats: Vec<PaneStats> = if w.detailed {
+                let take = ans.panes.min(q.ring.len());
+                q.ring.iter().skip(q.ring.len() - take).cloned().collect()
+            } else {
+                Vec::new()
+            };
             reports.push(WindowReport {
-                handle,
-                query_name: q.name.clone(),
+                handle: WindowHandle {
+                    query: qi,
+                    window: wi,
+                },
+                query_name: Arc::clone(&q.name),
                 spec: w.spec,
                 merge: w.merge,
-                start_epoch: window_panes[0].epoch,
-                end_epoch: window_panes[span - 1].epoch,
-                panes: span,
-                expected_panes: w.spec.full_span().unwrap_or(span),
-                answer: acc.evaluate(w.merge),
-                coverage: coverage_sum / span as f64,
-                min_coverage,
-                relabels,
-                nodes_joined,
-                nodes_left,
-                pane_stats: window_panes
-                    .iter()
-                    .map(|p| PaneStats {
-                        epoch: p.epoch,
-                        coverage: p.coverage,
-                        relabeled: p.relabeled,
-                        comm: Arc::clone(&p.comm),
-                    })
-                    .collect(),
+                start_epoch: ans.start_epoch,
+                end_epoch: ans.end_epoch,
+                panes: ans.panes,
+                expected_panes: w.spec.full_span().unwrap_or(ans.panes),
+                answer: ans.value,
+                coverage: ans.coverage,
+                min_coverage: ans.min_coverage,
+                relabels: ans.relabels,
+                nodes_joined: ans.nodes_joined,
+                nodes_left: ans.nodes_left,
+                bytes: ans.bytes,
+                freq: ans.freq,
+                last_pane: last_pane.clone(),
+                pane_stats,
             });
             self.stats.reports_emitted += 1;
         }
+        self.stats.pane_merges += counters.pane_merges;
+        self.stats.value_refolds += counters.value_refolds;
     }
 }
 
@@ -760,7 +740,8 @@ mod tests {
         let truth = 2.0 * net.num_sensors() as f64;
         let (mut ss, mut rng) = stream(Scheme::Tag, &net, 2, 302);
         let handles = ss.register(
-            StreamQuery::scalar(Sum::default()).window(WindowSpec::tumbling(3), EpochMerge::Add),
+            StreamQuery::scalar(Sum::default())
+                .window_detailed(WindowSpec::tumbling(3), EpochMerge::Add),
         );
         assert_eq!(
             handles,
@@ -784,8 +765,18 @@ mod tests {
             // epochs 2-4.
             assert_eq!(r.start_epoch, 2 + 3 * i as u64);
             assert_eq!(r.end_epoch, 4 + 3 * i as u64);
+            // Detailed window: full per-pane history in the report.
             assert_eq!(r.pane_stats.len(), 3);
+            assert_eq!(r.last_pane.epoch, r.end_epoch);
             assert!(r.comm_bytes() > 0);
+            assert_eq!(
+                r.comm_bytes(),
+                r.pane_stats
+                    .iter()
+                    .map(|p| p.comm.total_bytes())
+                    .sum::<u64>(),
+                "incremental byte total diverged from the per-pane stats"
+            );
         }
         let st = ss.stream_stats();
         assert_eq!(st.epochs_run, 11);
@@ -832,11 +823,14 @@ mod tests {
             assert_eq!(r.panes, i + 1);
             assert_eq!(r.start_epoch, 1, "landmark anchors at first measured epoch");
             assert_eq!(r.answer, (i + 1) as f64 * truth);
-            // O(1) state: exactly one (running) pane-stats entry.
-            assert_eq!(r.pane_stats.len(), 1);
+            // O(1) state: lean reports carry no per-pane history, just
+            // the newest pane's stats.
+            assert!(r.pane_stats.is_empty());
+            assert_eq!(r.last_pane.epoch, r.end_epoch);
         }
-        // No ring retained for landmark-only queries.
+        // No ring retained for lean-only queries.
         assert_eq!(ss.queries[0].ring.len(), 0);
+        assert_eq!(ss.queries[0].ring.capacity(), 0);
     }
 
     #[test]

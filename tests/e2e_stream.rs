@@ -66,6 +66,37 @@ fn baseline_epochs<W: Workload>(
 }
 
 #[allow(clippy::too_many_arguments)]
+fn stream_run_with<W: Workload>(
+    scheme: Scheme,
+    net: &Network,
+    workload: &W,
+    loss: f64,
+    warmup: u64,
+    epochs: u64,
+    seed: u64,
+    windows: &[(WindowSpec, EpochMerge)],
+    detailed: bool,
+    mode: td_suite::stream::FoldMode,
+) -> (StreamSession, Vec<td_suite::stream::WindowReport>) {
+    let mut rng = rng_from_seed(seed);
+    let session = SessionBuilder::new(scheme).build(net, &mut rng);
+    let mut stream = StreamSession::new(Driver::new(session, warmup));
+    let mut query = StreamQuery::scalar(Sum::default());
+    for &(spec, merge) in windows {
+        // Landmark windows never carry per-pane detail.
+        query = if detailed && !matches!(spec, WindowSpec::Landmark) {
+            query.window_detailed(spec, merge)
+        } else {
+            query.window(spec, merge)
+        };
+    }
+    let _ = stream.register(query);
+    stream.set_fold_mode(mode);
+    let reports = stream.run(workload, &Global::new(loss), epochs, &mut rng);
+    (stream, reports)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn stream_run<W: Workload>(
     scheme: Scheme,
     net: &Network,
@@ -76,16 +107,18 @@ fn stream_run<W: Workload>(
     seed: u64,
     windows: &[(WindowSpec, EpochMerge)],
 ) -> (StreamSession, Vec<td_suite::stream::WindowReport>) {
-    let mut rng = rng_from_seed(seed);
-    let session = SessionBuilder::new(scheme).build(net, &mut rng);
-    let mut stream = StreamSession::new(Driver::new(session, warmup));
-    let mut query = StreamQuery::scalar(Sum::default());
-    for &(spec, merge) in windows {
-        query = query.window(spec, merge);
-    }
-    let _ = stream.register(query);
-    let reports = stream.run(workload, &Global::new(loss), epochs, &mut rng);
-    (stream, reports)
+    stream_run_with(
+        scheme,
+        net,
+        workload,
+        loss,
+        warmup,
+        epochs,
+        seed,
+        windows,
+        false,
+        td_suite::stream::FoldMode::Incremental,
+    )
 }
 
 proptest! {
@@ -212,7 +245,7 @@ fn window_answers_stable_across_adaptation_relabel() {
         epochs,
         seed,
     );
-    let (_, reports) = stream_run(
+    let (_, reports) = stream_run_with(
         Scheme::TdCoarse,
         &net,
         &workload,
@@ -221,6 +254,8 @@ fn window_answers_stable_across_adaptation_relabel() {
         epochs,
         seed,
         &[(WindowSpec::sliding(10, 1), EpochMerge::Add)],
+        true,
+        td_suite::stream::FoldMode::Incremental,
     );
     assert!(
         reports.iter().any(|r| r.relabels > 0),
@@ -240,6 +275,7 @@ fn window_answers_stable_across_adaptation_relabel() {
             r.end_epoch,
             r.relabels
         );
+        // Detailed window: full per-pane history rides the report.
         assert_eq!(r.pane_stats.len(), r.panes);
     }
 }
@@ -275,10 +311,7 @@ fn stream_windows_identical_under_patched_and_recompiled_plans() {
                     r.end_epoch,
                     r.answer.to_bits(),
                     r.relabels,
-                    r.pane_stats
-                        .iter()
-                        .map(|s| s.comm.total_bytes())
-                        .sum::<u64>(),
+                    r.comm_bytes(),
                 )
             })
             .collect();
@@ -411,4 +444,268 @@ fn stream_session_is_send() {
     fn assert_send<T: Send>() {}
     assert_send::<StreamSession>();
     assert_send::<td_suite::stream::WindowReport>();
+}
+
+/// EVERY report field that could diverge between fold modes, floats
+/// bit-exact, set-valued panes included.
+#[allow(clippy::type_complexity)]
+fn mode_fingerprint(
+    r: &td_suite::stream::WindowReport,
+) -> (
+    (usize, usize),
+    (u64, u64, usize, usize),
+    (u64, u64, u64),
+    (u32, u64, u64, u64),
+    Vec<(u64, u64)>,
+) {
+    let freq_bits: Vec<(u64, u64)> = match &r.freq {
+        None => Vec::new(),
+        Some(f) => {
+            let mut v: Vec<(u64, u64)> =
+                f.counts().iter().map(|(&u, &c)| (u, c.to_bits())).collect();
+            v.push((u64::MAX, f.total().to_bits()));
+            v
+        }
+    };
+    (
+        (r.handle.query, r.handle.window),
+        (r.start_epoch, r.end_epoch, r.panes, r.expected_panes),
+        (
+            r.answer.to_bits(),
+            r.coverage.to_bits(),
+            r.min_coverage.to_bits(),
+        ),
+        (r.relabels, r.nodes_joined, r.nodes_left, r.comm_bytes()),
+        freq_bits,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Tentpole pin: the O(1)-amortized incremental accumulators emit
+    /// reports bit-for-bit identical to the from-scratch re-fold on
+    /// EVERY field, for every `EpochMerge` op, across random window
+    /// specs, churn, adaptation relabels, and worker counts.
+    #[test]
+    fn incremental_reports_are_bit_identical_to_refold(
+        seed in 1u64..50_000,
+        loss in 0.1f64..0.3,
+        workers in 1usize..4,
+        len_a in 2u32..12,
+        hop_a in 1u32..12,
+        len_b in 2u32..12,
+        hop_b in 1u32..12,
+        len_c in 2u32..12,
+        hop_c in 1u32..12,
+        len_d in 2u32..12,
+        tumble in 1u32..8,
+    ) {
+        use td_suite::netsim::churn::ChurnSchedule;
+        use td_suite::stream::FoldMode;
+        let net = net(seed % 5000 + 42, 140);
+        let workload = DriftingStream::new(Synthetic::sum_workload(&net, seed), seed ^ 5);
+        // One window per merge law, shapes randomized (hop clamped into
+        // 1..=len), plus a tumbling and a landmark window.
+        let windows = [
+            (WindowSpec::sliding(len_a, 1 + hop_a % len_a), EpochMerge::Add),
+            (WindowSpec::sliding(len_b, 1 + hop_b % len_b), EpochMerge::Mean),
+            (WindowSpec::sliding(len_c, 1 + hop_c % len_c), EpochMerge::Min),
+            (WindowSpec::sliding(len_d, 1), EpochMerge::Max),
+            (WindowSpec::tumbling(tumble), EpochMerge::Add),
+            (WindowSpec::landmark(), EpochMerge::Mean),
+        ];
+        let schedule = ChurnSchedule::new(net.len(), 0.02, 5.0, seed ^ 0xC4);
+        let run = |mode: FoldMode| {
+            let mut rng = rng_from_seed(seed ^ 0xF01D);
+            // TD-Coarse at 10–30% loss so adaptation relabels land
+            // mid-window; churn exercises the join/leave aggregates.
+            let session = SessionBuilder::new(Scheme::TdCoarse).build(&net, &mut rng);
+            let mut stream = StreamSession::new(Driver::new(session, 1));
+            stream.set_workers(workers);
+            let mut query = StreamQuery::scalar(Sum::default());
+            for &(spec, merge) in &windows {
+                query = query.window(spec, merge);
+            }
+            let _ = stream.register(query);
+            stream.set_fold_mode(mode);
+            let reports =
+                stream.run_under_churn(&workload, &Global::new(loss), &schedule, 40, &mut rng);
+            let stats = *stream.stream_stats();
+            (reports.iter().map(mode_fingerprint).collect::<Vec<_>>(), stats)
+        };
+        let (incremental, inc_stats) = run(FoldMode::Incremental);
+        let (refold, ref_stats) = run(FoldMode::Refold);
+        prop_assert_eq!(incremental, refold, "fold modes diverged");
+        prop_assert_eq!(inc_stats.panes_built, ref_stats.panes_built);
+        prop_assert_eq!(inc_stats.reports_emitted, ref_stats.reports_emitted);
+        prop_assert_eq!(
+            ref_stats.value_refolds, 0,
+            "refold mode never runs the subtract path"
+        );
+    }
+}
+
+/// Set-valued panes, exact counters: a windowed frequent-items query
+/// under the subtract-on-evict path is bit-identical to the re-fold,
+/// with ZERO certificate-failure refolds (exact counters keep every
+/// count a small integer), and a full lossless tumbling window reports
+/// every truly frequent item of its merged epochs (the §6 guarantee
+/// lifted to windows).
+#[test]
+fn windowed_frequent_items_exact_counters_hit_the_o1_path() {
+    use td_suite::frequent::items::ItemBag;
+    use td_suite::frequent::multipath::MultipathConfig;
+    use td_suite::quantiles::gradient::MinTotalLoad;
+    use td_suite::sketches::counter::ExactFactory;
+    use td_suite::stream::{FoldMode, FreqStreamQuery};
+    let net = net(901, 100);
+    let support = 0.15;
+    // Three drifting epoch slots: a stable heavy item plus a rotating
+    // mid-weight item per slot.
+    let slots = 3usize;
+    let bags_by_epoch: Vec<Vec<ItemBag>> = (0..slots)
+        .map(|s| {
+            (0..net.len())
+                .map(|i| {
+                    if i == 0 {
+                        ItemBag::new()
+                    } else {
+                        ItemBag::from_counts([
+                            (1u64, 40),
+                            (10 + s as u64, 25),
+                            (100 + i as u64 % 7, 6),
+                        ])
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let n_epoch: u64 = bags_by_epoch[0].iter().map(|b| b.total()).sum();
+    let run = |mode: FoldMode| {
+        let mut rng = rng_from_seed(902);
+        let session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+        let mut stream = StreamSession::new(Driver::new(session, 0));
+        let query = StreamQuery::new(FreqStreamQuery::new(
+            MultipathConfig::new(0.01, 1.5, n_epoch * 2, ExactFactory),
+            MinTotalLoad::new(0.01, 2.25),
+            support,
+            bags_by_epoch.clone(),
+        ))
+        .window(WindowSpec::tumbling(3), EpochMerge::Add)
+        .window(WindowSpec::sliding(6, 1), EpochMerge::Add)
+        .window(WindowSpec::landmark(), EpochMerge::Add);
+        let _ = stream.register(query);
+        stream.set_fold_mode(mode);
+        let reports = stream.run(
+            &td_suite::core::driver::FixedReadings(vec![1; net.len()]),
+            &td_suite::netsim::loss::NoLoss,
+            18,
+            &mut rng,
+        );
+        let stats = *stream.stream_stats();
+        (reports, stats)
+    };
+    let (incremental, inc_stats) = run(FoldMode::Incremental);
+    let (refold, _) = run(FoldMode::Refold);
+    assert_eq!(
+        incremental.iter().map(mode_fingerprint).collect::<Vec<_>>(),
+        refold.iter().map(mode_fingerprint).collect::<Vec<_>>(),
+        "set-valued fold modes diverged"
+    );
+    assert_eq!(
+        inc_stats.value_refolds, 0,
+        "exact integer counts must keep every eviction on the O(1) subtract path"
+    );
+    // Windowed no-false-negative check on full lossless tumbling
+    // windows: merged truth over the window's epoch slots.
+    let eps = 0.01 + 0.01; // ε_a + ε_b
+    let mut checked = 0;
+    for r in incremental
+        .iter()
+        .filter(|r| r.handle.window == 0 && r.panes == r.expected_panes)
+    {
+        let freq = r.freq.as_ref().expect("freq query emits set-valued panes");
+        let reported = freq.report(support, eps);
+        // Exact windowed truth from the bag construction.
+        let mut true_counts = std::collections::BTreeMap::<u64, u64>::new();
+        let mut true_total = 0u64;
+        for epoch in r.start_epoch..=r.end_epoch {
+            for bag in &bags_by_epoch[epoch as usize % slots] {
+                for (item, count) in bag.iter() {
+                    *true_counts.entry(item).or_insert(0) += count;
+                    true_total += count;
+                }
+            }
+        }
+        for (&item, &count) in &true_counts {
+            if count as f64 > support * true_total as f64 {
+                assert!(
+                    reported.contains(&item),
+                    "window [{}, {}] missed frequent item {item}",
+                    r.start_epoch,
+                    r.end_epoch
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 0, "no truly frequent item ever checked — vacuous");
+}
+
+/// Set-valued panes, FM counters: fractional estimates fail the
+/// exactness certificate, so evictions fall back to the O(len) refold —
+/// and the answers STILL pin bit-for-bit against refold mode (the
+/// fallback never loosens the equality, it only costs time).
+#[test]
+fn windowed_frequent_items_fm_counters_fall_back_without_loosening_the_pin() {
+    use td_suite::frequent::items::ItemBag;
+    use td_suite::frequent::multipath::MultipathConfig;
+    use td_suite::quantiles::gradient::MinTotalLoad;
+    use td_suite::sketches::counter::FmFactory;
+    use td_suite::stream::{FoldMode, FreqStreamQuery};
+    let net = net(911, 90);
+    let bags: Vec<ItemBag> = (0..net.len())
+        .map(|i| {
+            if i == 0 {
+                ItemBag::new()
+            } else {
+                ItemBag::from_counts([(1u64, 30), (2 + i as u64 % 5, 8)])
+            }
+        })
+        .collect();
+    let n_epoch: u64 = bags.iter().map(|b| b.total()).sum();
+    let run = |mode: FoldMode| {
+        let mut rng = rng_from_seed(912);
+        let session = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+        let mut stream = StreamSession::new(Driver::new(session, 0));
+        let query = StreamQuery::new(FreqStreamQuery::new(
+            MultipathConfig::new(0.02, 1.5, n_epoch * 2, FmFactory { bitmaps: 16 }),
+            MinTotalLoad::new(0.02, 2.25),
+            0.2,
+            vec![bags.clone()],
+        ))
+        .window(WindowSpec::sliding(5, 1), EpochMerge::Add);
+        let _ = stream.register(query);
+        stream.set_fold_mode(mode);
+        let reports = stream.run(
+            &td_suite::core::driver::FixedReadings(vec![1; net.len()]),
+            &Global::new(0.15),
+            15,
+            &mut rng,
+        );
+        let stats = *stream.stream_stats();
+        (reports, stats)
+    };
+    let (incremental, inc_stats) = run(FoldMode::Incremental);
+    let (refold, _) = run(FoldMode::Refold);
+    assert_eq!(
+        incremental.iter().map(mode_fingerprint).collect::<Vec<_>>(),
+        refold.iter().map(mode_fingerprint).collect::<Vec<_>>(),
+        "FM fold modes diverged"
+    );
+    assert!(
+        inc_stats.value_refolds > 0,
+        "fractional FM estimates should fail the exactness certificate"
+    );
 }
