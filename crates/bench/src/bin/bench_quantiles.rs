@@ -1,0 +1,108 @@
+//! Quantile-bundle throughput bench (`results/bench_quantiles.json`).
+//!
+//! Times the bundle engine answering **both** quantile families at once
+//! — a GK and a q-digest `QuantileProtocol` registered on one
+//! `QuerySet`, so each epoch is a single TD traversal carrying two
+//! summary slots — over a lossy network, end to end through
+//! `Session::run_set`. The headline `quantile_epochs_per_sec` is the
+//! steady-state bundled rate and is gated by `perf_gate` against the
+//! committed baseline, like the engine/service/stream bins.
+//!
+//! The JSON schema is flat (string keys → numbers) for `jq` and the
+//! perf gate's `parse_flat_json`, like the other bench JSONs.
+
+use std::time::Instant;
+
+use td_bench::json::{num, JsonObject};
+use td_bench::Scale;
+use td_netsim::loss::Global;
+use td_netsim::network::Network;
+use td_netsim::node::Position;
+use td_netsim::rng::substream;
+use td_quantiles::gradient::MinTotalLoad;
+use td_quantiles::{GkSummary, QDigest};
+use td_topology::domination::domination_factor;
+use tributary_delta::protocol::{QuantileOutput, QuantileProtocol};
+use tributary_delta::query::QuerySet;
+use tributary_delta::session::{Scheme, SessionBuilder};
+
+/// Final rank-error tolerance shared by both families.
+const EPS: f64 = 0.05;
+/// q-digest domain width; readings stay inside it.
+const QD_BITS: u32 = 16;
+/// Loss rate for the steady-state measurement.
+const LOSS: f64 = 0.1;
+/// Reps per timed quantity; the reported figure is the best rep.
+const REPS: usize = 3;
+
+fn main() {
+    let scale = Scale::from_env_or(Scale::smoke());
+    let t0 = Instant::now();
+
+    let mut rng = substream(0xBE7C5, 0x01);
+    let side = (scale.sensors as f64).sqrt().max(10.0);
+    let net = Network::random_connected(
+        scale.sensors,
+        side,
+        side,
+        Position::new(side / 2.0, side / 2.0),
+        2.5,
+        &mut rng,
+    );
+    let values: Vec<u64> = (0..net.len() as u64)
+        .map(|i| (i * 12_289 + 7) % 60_000)
+        .collect();
+    let model = Global::new(LOSS);
+
+    let epochs = (scale.epochs * 4).max(40);
+    let mut best = 0.0f64;
+    let mut med = (0u64, 0u64);
+    for rep in 0..REPS {
+        let mut rng = substream(0xBE7C5, 0x10 + rep as u64);
+        let mut session = scale
+            .configure(SessionBuilder::new(Scheme::Td))
+            .build(&net, &mut rng);
+        let gradient = {
+            let d = session
+                .topology()
+                .map(|t| domination_factor(t.tree(), 0.05))
+                .unwrap_or(2.0)
+                .max(1.1);
+            MinTotalLoad::new(EPS, d)
+        };
+        let timer = Instant::now();
+        for epoch in 0..epochs {
+            let gk_p = QuantileProtocol::gk(gradient, &values);
+            let qd_p = QuantileProtocol::qdigest(QD_BITS, gradient, &values);
+            let mut set = QuerySet::new();
+            let h_gk = set.register(&gk_p);
+            let h_qd = set.register(&qd_p);
+            let mut rec = session.run_set(&set, &model, epoch, &mut rng);
+            let gk: QuantileOutput<GkSummary> = rec.answers.take(h_gk);
+            let qd: QuantileOutput<QDigest> = rec.answers.take(h_qd);
+            med = (
+                gk.summary.quantile(0.5).unwrap_or(0),
+                qd.summary.quantile(0.5).unwrap_or(0),
+            );
+            std::hint::black_box(&med);
+        }
+        let dt = timer.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(epochs as f64 / dt);
+    }
+    println!(
+        "quantile bundle (GK + q-digest, {} sensors, {LOSS} loss): \
+         {best:.1} epochs/s over {epochs} epochs (medians {med:?})",
+        net.len()
+    );
+
+    let mut obj = JsonObject::new();
+    obj.set("telemetry_compiled", u64::from(td_telemetry::compiled()))
+        .set("quantile_epochs_per_sec", num(best, 1))
+        .set("quantile_bundle_epochs", num(epochs as f64, 0));
+    assert!(best > 0.0, "no epochs timed");
+
+    let json = obj.to_string_pretty();
+    print!("{json}");
+    td_bench::json::write_results_text("bench_quantiles.json", &json);
+    println!("done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -2,8 +2,8 @@
 //! `TD_SCALE=smoke|paper`; paper scale takes several minutes.
 
 use td_bench::experiments::{
-    ablation, churn, fig04, fig06, fig07, fig08, fig09, fig09d, labdata_sum, rms, stream_windows,
-    tab01, tab02,
+    ablation, churn, fig04, fig06, fig07, fig08, fig09, fig09d, fig_quantiles, labdata_sum, rms,
+    stream_windows, tab01, tab02,
 };
 use td_bench::Scale;
 
@@ -94,6 +94,10 @@ fn main() {
     let rows = stream_windows::run(scale, 0x57E2EA);
     stream_windows::table(&rows).print();
     stream_windows::table(&rows).write_csv("stream_windows");
+
+    let cells = fig_quantiles::run(scale, 0xF1610);
+    fig_quantiles::table(&cells).print();
+    fig_quantiles::table(&cells).write_csv("quantiles");
 
     let rows = churn::run(scale, 0xC4012);
     churn::table(&rows).print();

@@ -1,0 +1,367 @@
+//! Quantile queries under the precision gradient (§6.1.4): rank error
+//! versus communication, across aggregation schemes, summary families,
+//! and loss shapes — `results/quantiles.csv`.
+//!
+//! The sweep crosses every scheme (TD, TD-Coarse, SD, TAG) with both
+//! summary families (GK, q-digest), two rate-matched loss models
+//! (Bernoulli `Global(p)` and a Gilbert–Elliott burst channel at the
+//! same long-run rate), and two per-height budget allocations at the
+//! same final ε: the paper's geometric `MinTotalLoad` gradient versus
+//! the **uniform** per-level allocation `ε(k) = ε·k/H` (equal error
+//! increments at every level — the min–max-load gradient, the same
+//! baseline Figure 8 uses for frequent items).
+//!
+//! The headline ordering (the §6.1.4 claim lifted to the session
+//! engine): on tree-bearing schemes, the precision gradient beats the
+//! uniform allocation on bytes at matched final error. Compression at a
+//! hop is paid by the error *increment* `ε(k) − ε(k−1)` times the
+//! subtree population; the uniform split gives every level the same
+//! sliver, too small to compress the numerous low-height messages where
+//! the load actually is, while the geometric gradient front-loads its
+//! increments exactly there (Lemma 3). SD is the control: its delta
+//! floods exact per-origin parts, so the gradient can't matter.
+
+use crate::report::Table;
+use crate::Scale;
+use td_netsim::loss::{GilbertElliott, Global, LossModel};
+use td_netsim::network::Network;
+use td_netsim::node::{Position, BASE_STATION};
+use td_netsim::rng::substream;
+use td_quantiles::gradient::{MinMaxLoad, MinTotalLoad, PrecisionGradient};
+use td_quantiles::summary::QuantileSummary;
+use td_quantiles::{GkSummary, QDigest};
+use td_topology::domination::domination_factor;
+use tributary_delta::driver::{Driver, TrialPool};
+use tributary_delta::protocol::QuantileProtocol;
+use tributary_delta::session::{Scheme, SessionBuilder};
+
+/// Final rank-error tolerance ε at the base station. Coarse enough
+/// that per-level budgets `⌊ε(k)·n⌋` are non-zero on interior subtrees
+/// at bench scale — the regime where the allocations actually differ.
+pub const EPS: f64 = 0.2;
+/// q-digest domain width (`[0, 2^bits)`); readings stay inside it.
+pub const QD_BITS: u32 = 16;
+/// Long-run loss rate shared by both loss shapes.
+pub const LOSS: f64 = 0.2;
+/// Probe quantiles for the self-consistency error measure.
+const PHIS: [f64; 5] = [0.1, 0.25, 0.5, 0.75, 0.9];
+
+/// One `(scheme, summary, loss, gradient)` cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct QuantileCell {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Summary family (`gk` / `qdigest`).
+    pub summary: &'static str,
+    /// Loss shape (`bernoulli` / `burst`).
+    pub loss: &'static str,
+    /// Budget allocation (`min_total_load` / `uniform`).
+    pub gradient: &'static str,
+    /// Mean payload bytes per epoch.
+    pub bytes_per_epoch: f64,
+    /// Mean self-reported error `E / n` of the final summary.
+    pub self_eps: f64,
+    /// Mean worst-probe self-consistency error
+    /// `max_φ |rank(quantile(φ)) − ⌈φ·n⌉| / n`.
+    pub observed_err: f64,
+    /// Mean population of the final summary (readings that survived).
+    pub population: f64,
+}
+
+/// The deployment: one reading per sensor, spread over the q-digest
+/// domain so both families see the same stream.
+fn readings(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| (i * 12_289 + 7) % 60_000).collect()
+}
+
+fn net(scale: Scale, seed: u64) -> Network {
+    let mut rng = substream(seed, 0x9A);
+    let side = (scale.sensors as f64).sqrt().max(10.0);
+    Network::random_connected(
+        scale.sensors,
+        side,
+        side,
+        Position::new(side / 2.0, side / 2.0),
+        2.5,
+        &mut rng,
+    )
+}
+
+/// Run one cell: `scale.runs` independent sessions, outputs averaged.
+#[allow(clippy::too_many_arguments)]
+fn run_cell<S, G, M>(
+    net: &Network,
+    values: &[u64],
+    scheme: Scheme,
+    template: &S,
+    gradient: &G,
+    model: &M,
+    scale: Scale,
+    seed: u64,
+) -> (f64, f64, f64, f64)
+where
+    S: QuantileSummary,
+    G: PrecisionGradient + Clone,
+    M: LossModel,
+{
+    let (mut bytes, mut eps_sum, mut err_sum, mut pop_sum) = (0.0, 0.0, 0.0, 0.0);
+    for run in 0..scale.runs {
+        let mut rng = substream(seed, 0x0D1 + run);
+        let session = scale
+            .configure(SessionBuilder::new(scheme))
+            .build(net, &mut rng);
+        let mut driver = Driver::new(session, 0);
+        let out = driver
+            .run_protocol(
+                |_| QuantileProtocol::new(template.clone(), gradient.clone(), values),
+                model,
+                scale.epochs,
+                &mut rng,
+            )
+            .expect("ran at least one epoch");
+        bytes += driver.session().stats().total_bytes() as f64 / scale.epochs as f64;
+        let s = &out.summary;
+        let n = s.population().max(1) as f64;
+        eps_sum += s.uncertainty() as f64 / n;
+        let worst = PHIS
+            .iter()
+            .filter_map(|&phi| {
+                let q = s.quantile(phi)?;
+                let target = (phi * n).ceil();
+                Some((s.rank(q) as f64 - target).abs() / n)
+            })
+            .fold(0.0, f64::max);
+        err_sum += worst;
+        pop_sum += s.population() as f64;
+    }
+    let r = scale.runs as f64;
+    (bytes / r, eps_sum / r, err_sum / r, pop_sum / r)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_family<G: PrecisionGradient + Clone, M: LossModel>(
+    net: &Network,
+    values: &[u64],
+    scheme: Scheme,
+    family: &'static str,
+    gradient: &G,
+    model: &M,
+    scale: Scale,
+    seed: u64,
+) -> (f64, f64, f64, f64) {
+    match family {
+        "gk" => run_cell(
+            net,
+            values,
+            scheme,
+            &GkSummary::empty(),
+            gradient,
+            model,
+            scale,
+            seed,
+        ),
+        "qdigest" => run_cell(
+            net,
+            values,
+            scheme,
+            &QDigest::empty(QD_BITS),
+            gradient,
+            model,
+            scale,
+            seed,
+        ),
+        other => unreachable!("unknown summary family {other}"),
+    }
+}
+
+/// Run the full sweep. Cells are independent, so they fan across the
+/// trial pool; results come back in deterministic cell order.
+pub fn run(scale: Scale, seed: u64) -> Vec<QuantileCell> {
+    let net = net(scale, seed);
+    let values = readings(net.len());
+    // The domination factor and tree height for the gradients come from
+    // a probe session's tree (SD has none; any sane pair is fine for
+    // the control).
+    let (d, height) = {
+        let mut rng = substream(seed, 0xD0);
+        let probe = SessionBuilder::new(Scheme::Td).build(&net, &mut rng);
+        match probe.topology() {
+            Some(t) => {
+                let tree = t.tree();
+                let d = domination_factor(tree, 0.05).max(1.1);
+                let h = tree.heights()[BASE_STATION.index()].max(1);
+                (d, h)
+            }
+            None => (2.0, 4),
+        }
+    };
+
+    let mut cells: Vec<(Scheme, &'static str, &'static str, &'static str)> = Vec::new();
+    for scheme in Scheme::all() {
+        for family in ["gk", "qdigest"] {
+            for loss in ["bernoulli", "burst"] {
+                for gradient in ["min_total_load", "uniform"] {
+                    cells.push((scheme, family, loss, gradient));
+                }
+            }
+        }
+    }
+
+    TrialPool::new().map(seed, &cells, |_, &(scheme, family, loss, gradient), _| {
+        let model: Box<dyn LossModel> = match loss {
+            "bernoulli" => Box::new(Global::new(LOSS)),
+            _ => Box::new(GilbertElliott::bursty(LOSS, 4.0, 0.8, seed ^ 0xB0).per_link()),
+        };
+        let (bytes_per_epoch, self_eps, observed_err, population) = match gradient {
+            "min_total_load" => run_family(
+                &net,
+                &values,
+                scheme,
+                family,
+                &MinTotalLoad::new(EPS, d),
+                &model,
+                scale,
+                seed,
+            ),
+            _ => run_family(
+                &net,
+                &values,
+                scheme,
+                family,
+                &MinMaxLoad::new(EPS, height),
+                &model,
+                scale,
+                seed,
+            ),
+        };
+        QuantileCell {
+            scheme: scheme.name(),
+            summary: family,
+            loss,
+            gradient,
+            bytes_per_epoch,
+            self_eps,
+            observed_err,
+            population,
+        }
+    })
+}
+
+/// Render the sweep as the `quantiles.csv` table.
+pub fn table(cells: &[QuantileCell]) -> Table {
+    let mut t = Table::new(
+        "Quantile queries: rank error vs bytes (schemes x families x loss x gradient)",
+        &[
+            "scheme",
+            "summary",
+            "loss",
+            "gradient",
+            "bytes_per_epoch",
+            "self_eps",
+            "observed_err",
+            "population",
+        ],
+    );
+    for c in cells {
+        t.row(vec![
+            c.scheme.to_string(),
+            c.summary.to_string(),
+            c.loss.to_string(),
+            c.gradient.to_string(),
+            format!("{:.1}", c.bytes_per_epoch),
+            format!("{:.4}", c.self_eps),
+            format!("{:.4}", c.observed_err),
+            format!("{:.1}", c.population),
+        ]);
+    }
+    t
+}
+
+/// The headline ordering: the precision gradient costs fewer bytes
+/// than the uniform per-level allocation at the same final ε —
+/// **strictly** on TAG (all-tree: every byte rides the tree the
+/// gradient shapes) and for GK on the Tributary-Delta schemes, and
+/// never worse anywhere. Strictness is not required of q-digest under
+/// TD/TD-Coarse: their tributary trees are shallow (the delta floods
+/// exact per-origin parts and dominates the bytes), and a q-digest's
+/// cheapest merge costs path lift 2 — per-tuple GK slack compresses
+/// under budgets a tributary-height q-digest cannot use. Returns the
+/// violations (the bin asserts none).
+pub fn ordering_violations(cells: &[QuantileCell]) -> Vec<String> {
+    let mut out = Vec::new();
+    let find = |scheme: &str, family: &str, loss: &str, gradient: &str| {
+        cells
+            .iter()
+            .find(|c| {
+                c.scheme == scheme
+                    && c.summary == family
+                    && c.loss == loss
+                    && c.gradient == gradient
+            })
+            .expect("sweep covers the full grid")
+    };
+    for scheme in ["TD", "TD-Coarse", "TAG"] {
+        for family in ["gk", "qdigest"] {
+            for loss in ["bernoulli", "burst"] {
+                let mtl = find(scheme, family, loss, "min_total_load");
+                let uni = find(scheme, family, loss, "uniform");
+                let strict = scheme == "TAG" || family == "gk";
+                let violated = if strict {
+                    mtl.bytes_per_epoch >= uni.bytes_per_epoch
+                } else {
+                    mtl.bytes_per_epoch > uni.bytes_per_epoch
+                };
+                if violated {
+                    out.push(format!(
+                        "{scheme}/{family}/{loss}: gradient {:.1} B/epoch {} uniform {:.1}",
+                        mtl.bytes_per_epoch,
+                        if strict { "!<" } else { "!<=" },
+                        uni.bytes_per_epoch
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        // Full smoke-scale sensor count: the gradients only diverge
+        // once interior budgets `⌊ε(k)·n⌋` clear zero, which needs
+        // real subtree populations. Epochs stay short.
+        Scale {
+            runs: 1,
+            epochs: 4,
+            warmup: 0,
+            sensors: 150,
+            items_per_node: 0,
+            workers: None,
+        }
+    }
+
+    #[test]
+    fn gradient_beats_uniform_on_tree_schemes() {
+        let cells = run(tiny(), 11);
+        assert_eq!(cells.len(), 32, "full grid");
+        let violations = ordering_violations(&cells);
+        assert!(violations.is_empty(), "{violations:?}");
+        // Self-reported error stays within the configured tolerance
+        // (combine adds uncertainties; reduce never exceeds budget).
+        for c in &cells {
+            assert!(
+                c.self_eps <= EPS + 1e-9,
+                "{}/{}/{}/{}: self eps {} above ε",
+                c.scheme,
+                c.summary,
+                c.loss,
+                c.gradient,
+                c.self_eps
+            );
+            assert!(c.population > 0.0);
+        }
+    }
+}

@@ -8,6 +8,7 @@ pub mod fig07;
 pub mod fig08;
 pub mod fig09;
 pub mod fig09d;
+pub mod fig_quantiles;
 pub mod labdata_sum;
 pub mod rms;
 pub mod stream_windows;

@@ -107,7 +107,9 @@ pub use adapt::{AdaptAction, Adapter, AdapterConfig, Strategy};
 pub use driver::{
     Driver, EpochView, FixedReadings, ScalarRun, SteppedEpoch, TrialBatch, TrialPool, Workload,
 };
-pub use protocol::{FreqProtocol, Protocol, ScalarProtocol};
+pub use protocol::{
+    FreqProtocol, Protocol, QuantileOutput, QuantileProtocol, QuantileSynopsisSet, ScalarProtocol,
+};
 pub use query::{Answers, DynProtocol, ErasedMsg, QueryHandle, QuerySet};
 pub use runner::{
     run_tag_epoch, run_tag_epoch_set, run_td_epoch, run_td_epoch_set, EpochOutput, EpochPlan,

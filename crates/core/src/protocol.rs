@@ -10,6 +10,7 @@ use td_frequent::summary::FreqSummary;
 use td_netsim::message::WireSize;
 use td_netsim::node::NodeId;
 use td_quantiles::gradient::PrecisionGradient;
+use td_quantiles::summary::QuantileSummary;
 use td_sketches::counter::CounterFactory;
 
 /// An aggregation protocol runnable by the Tributary-Delta runner.
@@ -380,6 +381,228 @@ impl<'v, F: CounterFactory, G: PrecisionGradient> Protocol for FreqProtocol<'v, 
     }
 }
 
+// ---------------------------------------------------------------------
+// Quantile adapter
+// ---------------------------------------------------------------------
+
+/// ODI multi-path message for quantile queries: per-origin summaries
+/// keyed by the node that generated them. Quantile summaries are
+/// duplicate-*sensitive* (combining a summary with itself double-counts
+/// its population), so the delta carries a keyed set — re-inserting a
+/// part that another path already delivered is a no-op, which restores
+/// order-and-duplicate insensitivity. The same trick `SynopsisSet` uses
+/// for the frequent-items delta.
+#[derive(Clone, Debug)]
+pub struct QuantileSynopsisSet<S> {
+    parts: std::collections::BTreeMap<u32, S>,
+}
+
+impl<S: QuantileSummary> QuantileSynopsisSet<S> {
+    /// A set holding one part from `origin`.
+    fn singleton(origin: u32, part: S) -> Self {
+        let mut parts = std::collections::BTreeMap::new();
+        parts.insert(origin, part);
+        QuantileSynopsisSet { parts }
+    }
+
+    /// Keyed union; the first writer wins (both copies of a key were
+    /// generated by the same node, so they are identical).
+    fn union(&mut self, other: &Self) {
+        for (k, v) in &other.parts {
+            self.parts.entry(*k).or_insert_with(|| v.clone());
+        }
+    }
+
+    /// Wire words: one origin-id word plus each part's payload.
+    fn wire_words(&self) -> usize {
+        self.parts.values().map(|p| 1 + p.wire_words()).sum()
+    }
+
+    /// Combine every part in deterministic (key) order.
+    fn merged(&self, template: &S) -> S {
+        let mut acc = template.exact_from(&[]);
+        for p in self.parts.values() {
+            acc = acc.combine(p);
+        }
+        acc
+    }
+
+    /// Number of distinct origins represented.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the set holds no parts.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+}
+
+/// The answer of a quantile query: the merged summary at the base, which
+/// self-reports its absolute rank uncertainty.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantileOutput<S> {
+    /// The merged (and, on the pure-tree path, final-combined) summary.
+    pub summary: S,
+}
+
+impl<S: QuantileSummary> QuantileOutput<S> {
+    /// The φ-quantile of the aggregated population.
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        self.summary.quantile(phi)
+    }
+
+    /// Estimated rank of `value` over the aggregated population.
+    pub fn rank(&self, value: u64) -> u64 {
+        self.summary.rank(value)
+    }
+
+    /// Number of contributing readings.
+    pub fn population(&self) -> u64 {
+        self.summary.population()
+    }
+
+    /// Self-reported absolute rank uncertainty `E`.
+    pub fn uncertainty(&self) -> u64 {
+        self.summary.uncertainty()
+    }
+}
+
+/// Adapter running a quantile summary family (GK or q-digest — anything
+/// implementing [`QuantileSummary`]) under Tributary-Delta: the §6.1.4
+/// extension of the precision-gradient machinery to quantiles. Holds the
+/// epoch's readings (`values[i]` is node `i`'s reading; the base
+/// station's entry is ignored).
+///
+/// In the tributaries each node combines its children's summaries and
+/// `finalize_tree` reduces the result to its height's **absolute** rank
+/// budget `⌊ε(h) · n_subtree⌋` — the gradient's per-level error
+/// *differences* pay for compression, so `MinTotalLoad` geometric
+/// budgets beat a `Uniform` budget on bytes at matched final error. In
+/// the delta, per-origin exact summaries ride a keyed ODI set; `convert`
+/// injects a tributary root's reduced summary under the root's key.
+#[derive(Clone, Debug)]
+pub struct QuantileProtocol<'v, S, G> {
+    template: S,
+    gradient: G,
+    values: &'v [u64],
+}
+
+impl<'v, S: QuantileSummary, G: PrecisionGradient> QuantileProtocol<'v, S, G> {
+    /// Create the protocol over this epoch's readings. `template`
+    /// carries the summary family's configuration (e.g. q-digest domain
+    /// bits) and is otherwise empty.
+    pub fn new(template: S, gradient: G, values: &'v [u64]) -> Self {
+        QuantileProtocol {
+            template,
+            gradient,
+            values,
+        }
+    }
+
+    /// The final fractional rank-error tolerance ε at the base.
+    pub fn total_eps(&self) -> f64 {
+        self.gradient.final_eps()
+    }
+
+    /// Absolute rank budget at `height` for a subtree of `n` readings.
+    fn budget(&self, height: u32, n: u64) -> u64 {
+        (self.gradient.eps_at(height) * n as f64).floor() as u64
+    }
+}
+
+impl<'v, G: PrecisionGradient> QuantileProtocol<'v, td_quantiles::GkSummary, G> {
+    /// A Greenwald–Khanna quantile protocol.
+    pub fn gk(gradient: G, values: &'v [u64]) -> Self {
+        QuantileProtocol::new(td_quantiles::GkSummary::empty(), gradient, values)
+    }
+}
+
+impl<'v, G: PrecisionGradient> QuantileProtocol<'v, td_quantiles::QDigest, G> {
+    /// A q-digest quantile protocol over the domain `[0, 2^bits)`.
+    pub fn qdigest(bits: u32, gradient: G, values: &'v [u64]) -> Self {
+        QuantileProtocol::new(td_quantiles::QDigest::empty(bits), gradient, values)
+    }
+}
+
+impl<'v, S: QuantileSummary, G: PrecisionGradient> Protocol for QuantileProtocol<'v, S, G> {
+    type TreeMsg = S;
+    type MpMsg = QuantileSynopsisSet<S>;
+    type Output = QuantileOutput<S>;
+
+    fn local_tree(&self, node: NodeId) -> Option<Self::TreeMsg> {
+        if node.is_base() {
+            return None;
+        }
+        Some(
+            self.template
+                .exact_from(std::slice::from_ref(&self.values[node.index()])),
+        )
+    }
+
+    fn merge_tree(&self, into: &mut Self::TreeMsg, from: &Self::TreeMsg) {
+        *into = into.combine(from);
+    }
+
+    fn finalize_tree(&self, _node: NodeId, height: u32, mut msg: Self::TreeMsg) -> Self::TreeMsg {
+        msg.reduce(self.budget(height, msg.population()));
+        msg
+    }
+
+    fn local_mp(&self, node: NodeId) -> Option<Self::MpMsg> {
+        if node.is_base() {
+            return None;
+        }
+        let part = self
+            .template
+            .exact_from(std::slice::from_ref(&self.values[node.index()]));
+        Some(QuantileSynopsisSet::singleton(node.0, part))
+    }
+
+    fn fuse(&self, into: &mut Self::MpMsg, from: &Self::MpMsg) {
+        into.union(from);
+    }
+
+    fn convert(&self, root: NodeId, msg: &Self::TreeMsg) -> Self::MpMsg {
+        QuantileSynopsisSet::singleton(root.0, msg.clone())
+    }
+
+    fn tree_wire(&self, msg: &Self::TreeMsg) -> WireSize {
+        WireSize::from_words(msg.wire_words())
+    }
+
+    fn mp_wire(&self, msg: &Self::MpMsg) -> WireSize {
+        WireSize::from_words(msg.wire_words())
+    }
+
+    fn evaluate(
+        &self,
+        tree_parts: &[Self::TreeMsg],
+        mp: Option<&Self::MpMsg>,
+        base_height: u32,
+    ) -> QuantileOutput<S> {
+        match mp {
+            None => {
+                // Pure tree: final combine + the base's budget.
+                let mut acc = self.template.exact_from(&[]);
+                for p in tree_parts {
+                    acc = acc.combine(p);
+                }
+                acc.reduce(self.budget(base_height, acc.population()));
+                QuantileOutput { summary: acc }
+            }
+            Some(set) => {
+                let mut acc = set.merged(&self.template);
+                for p in tree_parts {
+                    // Normally empty: the runner converts on arrival.
+                    acc = acc.combine(p);
+                }
+                QuantileOutput { summary: acc }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +653,68 @@ mod tests {
         let est = p.evaluate(&[], Some(&mp), 1);
         let rel = (est - 100.0).abs() / 100.0;
         assert!(rel < 0.45, "count estimate {est}");
+    }
+
+    #[test]
+    fn quantile_protocol_tree_path_is_exact_at_small_scale() {
+        // Readings 10,20,30 with budgets too small to compress: the
+        // merged summary at the base is exact.
+        let values = vec![0u64, 10, 20, 30];
+        let p = QuantileProtocol::gk(MinTotalLoad::new(0.05, 2.25), &values);
+        assert!(p.local_tree(NodeId(0)).is_none());
+        let mut acc = p.local_tree(NodeId(1)).unwrap();
+        for n in [2u32, 3] {
+            let t = p.local_tree(NodeId(n)).unwrap();
+            p.merge_tree(&mut acc, &t);
+        }
+        let acc = p.finalize_tree(NodeId(1), 2, acc);
+        let out = p.evaluate(&[acc], None, 3);
+        assert_eq!(out.population(), 3);
+        assert_eq!(out.quantile(0.5), Some(20));
+        assert_eq!(out.rank(15), 1);
+    }
+
+    #[test]
+    fn quantile_mp_fuse_is_duplicate_insensitive() {
+        let values: Vec<u64> = (0..50).collect();
+        let p = QuantileProtocol::qdigest(8, MinTotalLoad::new(0.05, 2.25), &values);
+        let mut acc = p.local_mp(NodeId(1)).unwrap();
+        let b = p.local_mp(NodeId(2)).unwrap();
+        p.fuse(&mut acc, &b);
+        // The same part arriving over a second path must not double-count.
+        p.fuse(&mut acc, &b);
+        let dup = acc.clone();
+        p.fuse(&mut acc, &dup);
+        let out = p.evaluate(&[], Some(&acc), 1);
+        assert_eq!(out.population(), 2);
+        assert_eq!(out.uncertainty(), 0);
+    }
+
+    #[test]
+    fn quantile_conversion_path_counts_everyone_once() {
+        let values: Vec<u64> = (0..101).collect();
+        let p = QuantileProtocol::gk(MinTotalLoad::new(0.02, 2.25), &values);
+        // Nodes 1..=50 as a tributary rooted at node 1; 51..=100 native mp.
+        let mut tree = p.local_tree(NodeId(1)).unwrap();
+        for n in 2..=50u32 {
+            let t = p.local_tree(NodeId(n)).unwrap();
+            p.merge_tree(&mut tree, &t);
+        }
+        let tree = p.finalize_tree(NodeId(1), 3, tree);
+        let mut mp = p.convert(NodeId(1), &tree);
+        for n in 51..=100u32 {
+            let s = p.local_mp(NodeId(n)).unwrap();
+            p.fuse(&mut mp, &s);
+        }
+        let out = p.evaluate(&[], Some(&mp), 3);
+        assert_eq!(out.population(), 100);
+        let median = out.quantile(0.5).unwrap();
+        let err = out.summary.rank(median).abs_diff(50);
+        assert!(
+            err <= out.uncertainty() + 1,
+            "median {median} rank err {err} vs E {}",
+            out.uncertainty()
+        );
     }
 
     fn freq_fixture(bags: &[ItemBag]) -> FreqProtocol<'_, ExactFactory, MinTotalLoad> {

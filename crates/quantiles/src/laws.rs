@@ -1,0 +1,153 @@
+//! Law checks for quantile summaries, in the style of
+//! `td_aggregates::laws::assert_merge_laws`: the algebraic laws are
+//! asserted **up to canonical form**, i.e. through evaluated
+//! rank/quantile answers rather than structural equality. GK's combine
+//! resolves value ties differently depending on argument order, so the
+//! stored tuple lists may differ while every answer the protocol can
+//! extract agrees; q-digest combine is node-wise addition and holds the
+//! laws on the representation itself (its tests pin that separately).
+
+use crate::summary::QuantileSummary;
+
+/// Assert combine commutativity and associativity up to canonical form:
+/// populations and uncertainties must match exactly; rank answers at
+/// each probe must agree within `2E` (each side is independently within
+/// `E` of the same true rank — for exact inputs `E = 0` and the check
+/// is exact equality). Panics with a diagnostic on violation.
+pub fn assert_combine_laws<S: QuantileSummary>(a: &S, b: &S, c: &S, probes: &[u64]) {
+    let check = |x: &S, y: &S, law: &str| {
+        assert_eq!(x.population(), y.population(), "{law}: population");
+        assert_eq!(x.uncertainty(), y.uncertainty(), "{law}: uncertainty");
+        x.check_invariant()
+            .unwrap_or_else(|e| panic!("{law}: left invariant: {e}"));
+        y.check_invariant()
+            .unwrap_or_else(|e| panic!("{law}: right invariant: {e}"));
+        let tol = 2 * x.uncertainty();
+        for &p in probes {
+            let (rx, ry) = (x.rank(p), y.rank(p));
+            assert!(
+                rx.abs_diff(ry) <= tol,
+                "{law}: rank({p}) = {rx} vs {ry}, tolerance {tol}"
+            );
+        }
+    };
+    check(&a.combine(b), &b.combine(a), "commutativity");
+    check(
+        &a.combine(b).combine(c),
+        &a.combine(&b.combine(c)),
+        "associativity",
+    );
+}
+
+/// Assert `reduce(E)` never exceeds its budget: the reduced summary's
+/// self-reported uncertainty stays within `max(E, E_before)`, the
+/// structural invariant still holds, the population is untouched, and
+/// every probe's rank error against the raw `values` is within the
+/// self-reported uncertainty.
+pub fn assert_reduce_budget<S: QuantileSummary>(template: &S, values: &[u64], e_target: u64) {
+    let exact = template.exact_from(values);
+    let mut reduced = exact.clone();
+    reduced.reduce(e_target);
+    assert!(
+        reduced.uncertainty() <= e_target.max(exact.uncertainty()),
+        "reduce({e_target}) reported E = {}",
+        reduced.uncertainty()
+    );
+    assert_eq!(
+        reduced.population(),
+        exact.population(),
+        "reduce population"
+    );
+    reduced
+        .check_invariant()
+        .unwrap_or_else(|e| panic!("reduce invariant: {e}"));
+    for &p in values {
+        let truth = values.iter().filter(|&&x| x <= p).count() as u64;
+        let err = reduced.rank(p).abs_diff(truth);
+        assert!(
+            err <= reduced.uncertainty(),
+            "rank({p}) error {err} exceeds self-reported E = {}",
+            reduced.uncertainty()
+        );
+    }
+}
+
+/// Assert `quantile(φ)` is monotone non-decreasing in φ over `steps`
+/// evenly spaced probes in `[0, 1]`.
+pub fn assert_quantile_monotone<S: QuantileSummary>(s: &S, steps: u32) {
+    if s.population() == 0 {
+        assert_eq!(s.quantile(0.5), None, "empty summary must answer None");
+        return;
+    }
+    let mut prev = None;
+    for i in 0..=steps {
+        let q = s
+            .quantile(i as f64 / steps as f64)
+            .expect("non-empty summary");
+        if let Some(p) = prev {
+            assert!(q >= p, "quantile not monotone at step {i}: {q} < {p}");
+        }
+        prev = Some(q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qdigest::QDigest;
+    use crate::summary::GkSummary;
+    use proptest::prelude::*;
+
+    const PROBES: [u64; 8] = [0, 7, 100, 511, 1024, 2047, 3000, 4095];
+
+    fn vals() -> impl Strategy<Value = Vec<u64>> {
+        proptest::collection::vec(0u64..4096, 0..120)
+    }
+
+    proptest! {
+        #[test]
+        fn gk_combine_laws(a in vals(), b in vals(), c in vals(), ea in 0u64..30, eb in 0u64..30) {
+            let t = GkSummary::empty();
+            let mut sa = t.exact_from(&a);
+            sa.reduce(ea);
+            let mut sb = t.exact_from(&b);
+            sb.reduce(eb);
+            let sc = t.exact_from(&c);
+            assert_combine_laws(&sa, &sb, &sc, &PROBES);
+        }
+
+        #[test]
+        fn qdigest_combine_laws(a in vals(), b in vals(), c in vals(), ea in 0u64..30, eb in 0u64..30) {
+            let t = QDigest::empty(12);
+            let mut sa = t.exact_from(&a);
+            sa.reduce(ea);
+            let mut sb = t.exact_from(&b);
+            sb.reduce(eb);
+            let sc = t.exact_from(&c);
+            assert_combine_laws(&sa, &sb, &sc, &PROBES);
+            // q-digest combine is node-wise addition: the laws hold on
+            // the representation, not just up to evaluation.
+            prop_assert_eq!(sa.combine(&sb), sb.combine(&sa));
+            prop_assert_eq!(
+                sa.combine(&sb).combine(&sc),
+                sa.combine(&sb.combine(&sc))
+            );
+        }
+
+        #[test]
+        fn reduce_never_exceeds_budget(v in vals(), e in 0u64..200) {
+            assert_reduce_budget(&GkSummary::empty(), &v, e);
+            assert_reduce_budget(&QDigest::empty(12), &v, e);
+        }
+
+        #[test]
+        fn quantile_monotone(v in vals(), e in 0u64..100) {
+            let mut gk = GkSummary::exact(&v);
+            gk.reduce(e);
+            assert_quantile_monotone(&gk, 40);
+            let mut qd = QDigest::exact(&v, 12);
+            qd.reduce(e);
+            assert_quantile_monotone(&qd, 40);
+        }
+    }
+}

@@ -18,14 +18,29 @@
 //! [`summary::GkSummary`] type tracks its own absolute uncertainty `E` so
 //! validity is checkable at every step.
 //!
-//! See [`summary`] for the data structure and [`gradient`] for the
-//! precision-gradient helpers shared with the frequent-items crate.
+//! Two summary families share one combine/reduce surface
+//! ([`summary::QuantileSummary`]):
+//!
+//! * [`summary::GkSummary`] — the power-conserving GK formulation;
+//! * [`qdigest::QDigest`] — the q-digest of "Medians and Beyond"
+//!   (dyadic-range counts), whose node-wise combine is additionally
+//!   *invertible*, giving windowed quantile panes an exact
+//!   subtract-on-evict path.
+//!
+//! See [`summary`] and [`qdigest`] for the data structures,
+//! [`gradient`] for the precision-gradient helpers shared with the
+//! frequent-items crate, and [`laws`] for the algebraic law checks
+//! (combine commutativity/associativity up to canonical form, reduce
+//! budget adherence, quantile monotonicity).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gradient;
+pub mod laws;
+pub mod qdigest;
 pub mod summary;
 
 pub use gradient::PrecisionGradient;
-pub use summary::GkSummary;
+pub use qdigest::QDigest;
+pub use summary::{GkSummary, QuantileSummary};

@@ -23,7 +23,10 @@
 //!   to per-epoch answers. [`PaneAlgebra`] generalizes the fold so
 //!   panes can carry *set-valued* state too — [`FreqPane`] merges
 //!   per-item count estimates for windowed frequent-items queries
-//!   ([`FreqStreamQuery`]).
+//!   ([`FreqStreamQuery`]), and [`QuantilePane`] carries merged
+//!   GK/q-digest summaries for windowed medians and p99s
+//!   ([`QuantileStreamQuery`]), subtracting evicted panes exactly
+//!   where the digest's invertible combine allows it.
 //! * [`WindowAccum`] / [`FoldMode`] — per-window incremental
 //!   accumulators (subtract-on-evict, two-stacks) making a window hop
 //!   O(1) amortized regardless of window length, bit-for-bit equal to
@@ -43,16 +46,18 @@
 #![warn(missing_docs)]
 
 pub mod freq;
+pub mod quantile;
 pub mod query;
 pub mod session;
 pub mod window;
 
 pub use freq::FreqStreamQuery;
+pub use quantile::{IntoQuantilePane, QuantileStreamQuery};
 pub use query::{EpochProtocolFactory, PaneProtocol, ScalarQuery, StreamQuery, WindowCfg};
 pub use session::{
     DeregisterError, PaneStats, StreamSession, StreamStats, WindowHandle, WindowReport,
 };
 pub use window::{
     AccumCounters, EpochMerge, FoldMode, FreqPane, PaneAlgebra, PaneInput, PaneKind, PanePartial,
-    PaneValue, TwoStacks, WindowAccum, WindowAnswer, WindowSpec,
+    PaneValue, QuantilePane, TwoStacks, WindowAccum, WindowAnswer, WindowSpec,
 };

@@ -50,8 +50,8 @@ use tributary_delta::session::Session;
 
 use crate::query::{PaneProtocol, StreamQuery};
 use crate::window::{
-    AccumCounters, EpochMerge, FoldMode, FreqPane, PaneInput, PaneKind, PaneValue, WindowAccum,
-    WindowSpec,
+    AccumCounters, EpochMerge, FoldMode, FreqPane, PaneInput, PaneKind, PaneValue, QuantilePane,
+    WindowAccum, WindowSpec,
 };
 
 /// Identifies one window of one registered stream query.
@@ -131,6 +131,10 @@ pub struct WindowReport {
     /// The merged set-valued frequent-items estimate, for queries whose
     /// panes are [`PaneValue::Freq`]; `None` for scalar queries.
     pub freq: Option<Arc<FreqPane>>,
+    /// The merged quantile summary, for queries whose panes are
+    /// [`PaneValue::Quantile`] — ask it for any rank, not just the
+    /// median that [`answer`](Self::answer) carries; `None` otherwise.
+    pub quantile: Option<Arc<QuantilePane>>,
     /// The newest pane's per-epoch instrumentation — always present,
     /// O(1) to carry (the `CommStats` is `Arc`-shared).
     pub last_pane: PaneStats,
@@ -695,6 +699,7 @@ impl StreamSession {
                 nodes_left: ans.nodes_left,
                 bytes: ans.bytes,
                 freq: ans.freq,
+                quantile: ans.quantile,
                 last_pane: last_pane.clone(),
                 pane_stats,
             });

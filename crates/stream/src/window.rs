@@ -354,25 +354,145 @@ impl PaneAlgebra for FreqPane {
     }
 }
 
-/// One epoch's pane value: the scalar answer of an ordinary query, or
-/// the set-valued estimate map of a frequent-items query. The `Freq`
-/// variant is `Arc`-shared so a pane ride through window buffers and
-/// reports is a pointer bump, not a map copy.
+/// A quantile pane: one epoch's merged quantile summary, as produced by
+/// a `QuantileProtocol` riding a bundle slot. Merging combines the
+/// summaries (populations union, uncertainties add) — the same law the
+/// tree protocol uses, lifted across epochs.
+///
+/// The two summary families split on eviction: q-digest combine is
+/// node-wise count addition and therefore *invertible*, so
+/// `try_retract` subtracts an evicted pane exactly
+/// (canonical with a from-scratch fold, bit for bit); GK combine is not
+/// invertible, so GK panes report themselves ineligible for the
+/// exactness certificate and every eviction falls back to an O(len)
+/// refold — "canonicalized merge/retract where the digest supports it,
+/// refold fallback otherwise".
+#[derive(Clone, Debug, PartialEq)]
+pub enum QuantilePane {
+    /// A Greenwald–Khanna summary pane (evictions refold).
+    Gk(td_quantiles::GkSummary),
+    /// A q-digest summary pane (evictions subtract exactly).
+    Digest(td_quantiles::QDigest),
+}
+
+impl QuantilePane {
+    /// Merge another pane of the same family (union of populations).
+    ///
+    /// # Panics
+    /// Panics on a family mismatch — one query produces one family.
+    pub fn merge(&mut self, other: &QuantilePane) {
+        match (&mut *self, other) {
+            (QuantilePane::Gk(a), QuantilePane::Gk(b)) => *a = a.combine(b),
+            (QuantilePane::Digest(a), QuantilePane::Digest(b)) => *a = a.combine(b),
+            (a, b) => panic!("quantile pane family mismatch: {a:?} fed {b:?}"),
+        }
+    }
+
+    /// Subtract a previously-merged pane exactly, if the family supports
+    /// it: q-digest retraction is node-wise and atomic (no change on
+    /// failure); GK always returns `false`.
+    fn try_retract(&mut self, evicted: &QuantilePane) -> bool {
+        match (self, evicted) {
+            (QuantilePane::Digest(a), QuantilePane::Digest(b)) => match a.retract(b) {
+                Some(r) => {
+                    *a = r;
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Number of readings merged into the pane.
+    pub fn population(&self) -> u64 {
+        match self {
+            QuantilePane::Gk(s) => s.population(),
+            QuantilePane::Digest(d) => d.population(),
+        }
+    }
+
+    /// Self-reported absolute rank uncertainty `E` of the merged summary.
+    pub fn uncertainty(&self) -> u64 {
+        match self {
+            QuantilePane::Gk(s) => s.uncertainty(),
+            QuantilePane::Digest(d) => d.uncertainty(),
+        }
+    }
+
+    /// The φ-quantile of the merged population (`None` when empty).
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        match self {
+            QuantilePane::Gk(s) => s.quantile(phi),
+            QuantilePane::Digest(d) => d.quantile(phi),
+        }
+    }
+
+    /// Estimated rank of `value` over the merged population.
+    pub fn rank(&self, value: u64) -> u64 {
+        match self {
+            QuantilePane::Gk(s) => s.rank(value),
+            QuantilePane::Digest(d) => d.rank(value),
+        }
+    }
+
+    /// Wire words of the merged summary (size accounting).
+    pub fn wire_words(&self) -> usize {
+        match self {
+            QuantilePane::Gk(s) => s.wire_words(),
+            QuantilePane::Digest(d) => d.wire_words(),
+        }
+    }
+
+    /// The windowed median — the scalar face a [`WindowAnswer::value`]
+    /// carries for quantile windows (0.0 for an empty pane, e.g. a
+    /// window of fully-lossy epochs).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5).map_or(0.0, |v| v as f64)
+    }
+
+    /// Exactness-certificate weight and eligibility: population counts
+    /// are exact `u64`s, so a digest pane is always eligible (the
+    /// retraction itself re-checks node-wise containment atomically);
+    /// GK panes are never eligible.
+    fn exactness(&self) -> (f64, bool) {
+        let weight = self.population() as f64;
+        (
+            weight,
+            matches!(self, QuantilePane::Digest(_)) && weight <= EXACT_VALUE_MAX,
+        )
+    }
+}
+
+impl PaneAlgebra for QuantilePane {
+    fn absorb(&mut self, next: &Self) {
+        self.merge(next);
+    }
+}
+
+/// One epoch's pane value: the scalar answer of an ordinary query, the
+/// set-valued estimate map of a frequent-items query, or the quantile
+/// summary of a quantile query. The set-valued variants are
+/// `Arc`-shared so a pane ride through window buffers and reports is a
+/// pointer bump, not a map copy.
 #[derive(Clone, Debug)]
 pub enum PaneValue {
     /// A scalar per-epoch answer.
     Scalar(f64),
     /// A set-valued frequent-items pane.
     Freq(std::sync::Arc<FreqPane>),
+    /// A quantile-summary pane.
+    Quantile(std::sync::Arc<QuantilePane>),
 }
 
 impl PaneValue {
-    /// The scalar face of the pane: the value itself, or a freq pane's
-    /// estimated total N̂.
+    /// The scalar face of the pane: the value itself, a freq pane's
+    /// estimated total N̂, or a quantile pane's median.
     pub fn scalar(&self) -> f64 {
         match self {
             PaneValue::Scalar(v) => *v,
             PaneValue::Freq(f) => f.total(),
+            PaneValue::Quantile(q) => q.median(),
         }
     }
 
@@ -387,6 +507,7 @@ impl PaneValue {
                 v.is_finite() && v.fract() == 0.0 && v.abs() <= EXACT_VALUE_MAX,
             ),
             PaneValue::Freq(f) => f.exactness(),
+            PaneValue::Quantile(q) => q.exactness(),
         }
     }
 }
@@ -400,6 +521,9 @@ pub enum PaneKind {
     /// Set-valued frequent-items panes ([`PaneValue::Freq`]); windows
     /// over them must use [`EpochMerge::Add`] (multiset union).
     Freq,
+    /// Quantile-summary panes ([`PaneValue::Quantile`]); windows over
+    /// them must use [`EpochMerge::Add`] (population union).
+    Quantile,
 }
 
 /// Largest pane magnitude the exactness certificate accepts: 2⁵¹.
@@ -456,10 +580,14 @@ pub struct WindowAnswer {
     pub end_epoch: u64,
     /// Panes merged.
     pub panes: usize,
-    /// The window answer (for freq windows: the estimated total N̂).
+    /// The window answer (for freq windows: the estimated total N̂; for
+    /// quantile windows: the windowed median).
     pub value: f64,
     /// The merged set-valued estimate, for freq windows.
     pub freq: Option<std::sync::Arc<FreqPane>>,
+    /// The merged quantile summary, for quantile windows (p99s and
+    /// arbitrary φ come from here; `value` carries the median).
+    pub quantile: Option<std::sync::Arc<QuantilePane>>,
     /// Mean pane coverage.
     pub coverage: f64,
     /// Worst single pane's coverage.
@@ -623,10 +751,21 @@ enum ValueAccum {
         budget: f64,
         unsafe_panes: u32,
     },
+    /// Running left fold over quantile panes.
+    QuantileRunning(Option<QuantilePane>),
+    /// Subtract-on-evict over quantile panes: digest panes retract
+    /// exactly, GK panes fail the certificate and refold per eviction.
+    QuantileSubtract {
+        acc: Option<QuantilePane>,
+        budget: f64,
+        unsafe_panes: u32,
+    },
     /// Fold the pane buffer at every emission ([`FoldMode::Refold`]).
     Refold,
     /// [`FoldMode::Refold`] over set-valued panes.
     FreqRefold,
+    /// [`FoldMode::Refold`] over quantile panes.
+    QuantileRefold,
 }
 
 /// Minimum-coverage tracker: a running minimum where panes never leave
@@ -718,14 +857,22 @@ impl WindowAccum {
             // Landmark's running fold IS the from-scratch fold.
             (_, WindowSpec::Landmark, PaneKind::Scalar) => ValueAccum::Running(None),
             (_, WindowSpec::Landmark, PaneKind::Freq) => ValueAccum::FreqRunning(None),
+            (_, WindowSpec::Landmark, PaneKind::Quantile) => ValueAccum::QuantileRunning(None),
             (FoldMode::Refold, _, PaneKind::Scalar) => ValueAccum::Refold,
             (FoldMode::Refold, _, PaneKind::Freq) => ValueAccum::FreqRefold,
+            (FoldMode::Refold, _, PaneKind::Quantile) => ValueAccum::QuantileRefold,
             _ if !overlapping => match kind {
                 PaneKind::Scalar => ValueAccum::Running(None),
                 PaneKind::Freq => ValueAccum::FreqRunning(None),
+                PaneKind::Quantile => ValueAccum::QuantileRunning(None),
             },
             (_, _, PaneKind::Freq) => ValueAccum::FreqSubtract {
                 acc: FreqPane::default(),
+                budget: 0.0,
+                unsafe_panes: 0,
+            },
+            (_, _, PaneKind::Quantile) => ValueAccum::QuantileSubtract {
+                acc: None,
                 budget: 0.0,
                 unsafe_panes: 0,
             },
@@ -896,7 +1043,30 @@ impl WindowAccum {
                 *unsafe_panes += u32::from(!safe);
                 c.pane_merges += 1;
             }
-            (ValueAccum::Refold | ValueAccum::FreqRefold, _) => {}
+            (ValueAccum::QuantileRunning(acc), PaneValue::Quantile(q)) => match acc {
+                None => *acc = Some(q.as_ref().clone()),
+                Some(a) => {
+                    a.merge(q);
+                    c.pane_merges += 1;
+                }
+            },
+            (
+                ValueAccum::QuantileSubtract {
+                    acc,
+                    budget,
+                    unsafe_panes,
+                },
+                PaneValue::Quantile(q),
+            ) => {
+                match acc {
+                    None => *acc = Some(q.as_ref().clone()),
+                    Some(a) => a.merge(q),
+                }
+                *budget += weight;
+                *unsafe_panes += u32::from(!safe);
+                c.pane_merges += 1;
+            }
+            (ValueAccum::Refold | ValueAccum::FreqRefold | ValueAccum::QuantileRefold, _) => {}
             (accum, value) => panic!("pane kind mismatch: {accum:?} fed {value:?}"),
         }
     }
@@ -948,7 +1118,7 @@ impl WindowAccum {
             ValueAccum::Stacks(st) => {
                 st.evict(self.buf.iter().rev().map(|p| match p.value {
                     PaneValue::Scalar(v) => v,
-                    PaneValue::Freq(_) => unreachable!("scalar accumulator holds scalar panes"),
+                    _ => unreachable!("scalar accumulator holds scalar panes"),
                 }));
             }
             ValueAccum::FreqSubtract {
@@ -966,9 +1136,7 @@ impl WindowAccum {
                     counters.value_refolds += 1;
                     let mut rest = self.buf.iter().skip(1).map(|p| match &p.value {
                         PaneValue::Freq(f) => f.as_ref().clone(),
-                        PaneValue::Scalar(_) => {
-                            unreachable!("freq accumulator holds freq panes")
-                        }
+                        _ => unreachable!("freq accumulator holds freq panes"),
                     });
                     let first = rest.next().expect("eviction leaves at least one pane");
                     *acc = refold(first, rest, counters);
@@ -981,8 +1149,43 @@ impl WindowAccum {
                     *unsafe_panes = u;
                 }
             }
-            ValueAccum::Refold | ValueAccum::FreqRefold => {}
-            ValueAccum::Running(_) | ValueAccum::FreqRunning(_) => {
+            ValueAccum::QuantileSubtract {
+                acc,
+                budget,
+                unsafe_panes,
+            } => {
+                let PaneValue::Quantile(q) = &front.value else {
+                    unreachable!("quantile accumulator holds quantile panes")
+                };
+                // The retraction itself re-verifies node-wise containment
+                // and is atomic, so a digest pane that somehow fails just
+                // drops to the refold below.
+                let retracted = *unsafe_panes == 0
+                    && *budget <= EXACT_BUDGET_MAX
+                    && acc.as_mut().is_some_and(|a| a.try_retract(q));
+                if retracted {
+                    *budget -= front.weight;
+                } else {
+                    counters.value_refolds += 1;
+                    let mut rest = self.buf.iter().skip(1).map(|p| match &p.value {
+                        PaneValue::Quantile(q) => q.as_ref().clone(),
+                        _ => unreachable!("quantile accumulator holds quantile panes"),
+                    });
+                    let first = rest.next().expect("eviction leaves at least one pane");
+                    *acc = Some(refold(first, rest, counters));
+                    let (mut b, mut u) = (0.0, 0u32);
+                    for p in self.buf.iter().skip(1) {
+                        b += p.weight;
+                        u += u32::from(!p.safe);
+                    }
+                    *budget = b;
+                    *unsafe_panes = u;
+                }
+            }
+            ValueAccum::Refold | ValueAccum::FreqRefold | ValueAccum::QuantileRefold => {}
+            ValueAccum::Running(_)
+            | ValueAccum::FreqRunning(_)
+            | ValueAccum::QuantileRunning(_) => {
                 unreachable!("running accumulators never evict")
             }
         }
@@ -1007,16 +1210,21 @@ impl WindowAccum {
     }
 
     fn emit(&mut self, counters: &mut AccumCounters) -> WindowAnswer {
-        let (value, freq) = match &self.value {
+        let (value, freq, quantile) = match &self.value {
             ValueAccum::Running(acc) => (
                 acc.as_ref()
                     .expect("window emitted with no panes")
                     .evaluate(self.merge),
                 None,
+                None,
             ),
             ValueAccum::FreqRunning(acc) => {
                 let f = acc.clone().expect("window emitted with no panes");
-                (f.total(), Some(std::sync::Arc::new(f)))
+                (f.total(), Some(std::sync::Arc::new(f)), None)
+            }
+            ValueAccum::QuantileRunning(acc) => {
+                let q = acc.clone().expect("window emitted with no panes");
+                (q.median(), None, Some(std::sync::Arc::new(q)))
             }
             ValueAccum::Subtract { sum, .. } => (
                 match self.merge {
@@ -1027,27 +1235,45 @@ impl WindowAccum {
                     _ => unreachable!("subtract accumulator built for Add/Mean only"),
                 },
                 None,
+                None,
             ),
-            ValueAccum::Stacks(st) => (st.query(), None),
+            ValueAccum::Stacks(st) => (st.query(), None, None),
             ValueAccum::FreqSubtract { acc, .. } => {
-                (acc.total(), Some(std::sync::Arc::new(acc.clone())))
+                (acc.total(), Some(std::sync::Arc::new(acc.clone())), None)
+            }
+            ValueAccum::QuantileSubtract { acc, .. } => {
+                let q = acc.clone().expect("window emitted with no panes");
+                (q.median(), None, Some(std::sync::Arc::new(q)))
             }
             ValueAccum::Refold => {
                 let mut vals = self.buf.iter().map(|p| match p.value {
                     PaneValue::Scalar(v) => PanePartial::of(v),
-                    PaneValue::Freq(_) => unreachable!("scalar accumulator holds scalar panes"),
+                    _ => unreachable!("scalar accumulator holds scalar panes"),
                 });
                 let first = vals.next().expect("window emitted with no panes");
-                (refold(first, vals, counters).evaluate(self.merge), None)
+                (
+                    refold(first, vals, counters).evaluate(self.merge),
+                    None,
+                    None,
+                )
             }
             ValueAccum::FreqRefold => {
                 let mut vals = self.buf.iter().map(|p| match &p.value {
                     PaneValue::Freq(f) => f.as_ref().clone(),
-                    PaneValue::Scalar(_) => unreachable!("freq accumulator holds freq panes"),
+                    _ => unreachable!("freq accumulator holds freq panes"),
                 });
                 let first = vals.next().expect("window emitted with no panes");
                 let f = refold(first, vals, counters);
-                (f.total(), Some(std::sync::Arc::new(f)))
+                (f.total(), Some(std::sync::Arc::new(f)), None)
+            }
+            ValueAccum::QuantileRefold => {
+                let mut vals = self.buf.iter().map(|p| match &p.value {
+                    PaneValue::Quantile(q) => q.as_ref().clone(),
+                    _ => unreachable!("quantile accumulator holds quantile panes"),
+                });
+                let first = vals.next().expect("window emitted with no panes");
+                let q = refold(first, vals, counters);
+                (q.median(), None, Some(std::sync::Arc::new(q)))
             }
         };
         WindowAnswer {
@@ -1056,6 +1282,7 @@ impl WindowAccum {
             panes: self.panes as usize,
             value,
             freq,
+            quantile,
             coverage: self.coverage_sum / self.panes as f64,
             min_coverage: match &self.min_cov {
                 MinTrack::Running(m) => *m,
@@ -1084,7 +1311,8 @@ impl WindowAccum {
         match &mut self.value {
             ValueAccum::Running(acc) => *acc = None,
             ValueAccum::FreqRunning(acc) => *acc = None,
-            ValueAccum::Refold | ValueAccum::FreqRefold => {}
+            ValueAccum::QuantileRunning(acc) => *acc = None,
+            ValueAccum::Refold | ValueAccum::FreqRefold | ValueAccum::QuantileRefold => {}
             _ => unreachable!("resetting windows run running or refold accumulators"),
         }
         // `last_relabeled` survives the reset unpromoted: a relabel
@@ -1343,6 +1571,88 @@ mod tests {
         // Construction canonicalizes non-positive counts away.
         let canon = FreqPane::from_counts([(7, 0.0), (8, -1.0), (9, 2.0)], 2.0);
         assert_eq!(canon.counts().len(), 1);
+    }
+
+    /// Quantile panes: digest retraction after merges equals a
+    /// from-scratch fold bit-for-bit (node-wise exact inverse), and GK
+    /// panes always decline the subtract path.
+    #[test]
+    fn quantile_pane_retract_matches_refold() {
+        let panes: Vec<QuantilePane> = (0..6u64)
+            .map(|i| {
+                let vals: Vec<u64> = (0..40).map(|j| (i * 37 + j * 11) % 1024).collect();
+                QuantilePane::Digest(td_quantiles::QDigest::exact(&vals, 10))
+            })
+            .collect();
+        let mut acc = panes[0].clone();
+        for p in &panes[1..] {
+            acc.merge(p);
+        }
+        assert!(acc.try_retract(&panes[0]));
+        let mut expect = panes[1].clone();
+        for p in &panes[2..] {
+            expect.merge(p);
+        }
+        assert_eq!(acc, expect);
+        let mut gk = QuantilePane::Gk(td_quantiles::GkSummary::exact(&[1, 2, 3]));
+        let gk_other = gk.clone();
+        assert!(!gk.try_retract(&gk_other));
+    }
+
+    proptest! {
+        /// Incremental quantile windows (digest subtract-on-evict, GK
+        /// per-evict refold) match from-scratch refold bit-for-bit, and
+        /// the counters confirm which path ran: digests never refold,
+        /// GK refolds on every eviction.
+        #[test]
+        fn incremental_quantile_matches_refold(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(0u64..1024, 8..20), 6..30),
+            len in 2u32..8,
+            hop_raw in 1u32..8,
+            digest in any::<bool>(),
+        ) {
+            let hop = 1 + hop_raw % len;
+            let spec = WindowSpec::sliding(len, hop);
+            let mut inc =
+                WindowAccum::new(spec, EpochMerge::Add, PaneKind::Quantile, FoldMode::Incremental);
+            let mut rf =
+                WindowAccum::new(spec, EpochMerge::Add, PaneKind::Quantile, FoldMode::Refold);
+            let (mut ci, mut cr) = (AccumCounters::default(), AccumCounters::default());
+            for (seq, vals) in raw.iter().enumerate() {
+                let pane = if digest {
+                    QuantilePane::Digest(td_quantiles::QDigest::exact(vals, 10))
+                } else {
+                    QuantilePane::Gk(td_quantiles::GkSummary::exact(vals))
+                };
+                let input = PaneInput {
+                    epoch: seq as u64,
+                    value: PaneValue::Quantile(std::sync::Arc::new(pane)),
+                    coverage: 1.0,
+                    relabeled: false,
+                    nodes_joined: 0,
+                    nodes_left: 0,
+                    bytes: 64,
+                };
+                let a = inc.absorb(seq as u64, &input, &mut ci);
+                let b = rf.absorb(seq as u64, &input, &mut cr);
+                prop_assert_eq!(a.is_some(), b.is_some(), "schedule diverged at {}", seq);
+                if let (Some(a), Some(b)) = (a, b) {
+                    prop_assert_eq!(a.value.to_bits(), b.value.to_bits(),
+                        "median diverged at seq {}", seq);
+                    prop_assert_eq!(a.quantile.as_deref(), b.quantile.as_deref());
+                }
+            }
+            if digest {
+                prop_assert_eq!(ci.value_refolds, 0);
+            } else if hop < len && raw.len() as u32 > len {
+                // Overlapping GK window: evictions happen and every one
+                // refolds — and the answers above still pinned
+                // bit-for-bit.
+                prop_assert!(ci.value_refolds > 0);
+            }
+            prop_assert_eq!(cr.value_refolds, 0);
+        }
     }
 
     /// The steady-state allocation pin (the stream-layer sibling of the

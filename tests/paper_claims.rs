@@ -181,3 +181,98 @@ fn frequent_items_load_ordering() {
         "MTL {mtl} not clearly below MML {mml}"
     );
 }
+
+/// §7.4.2 (footnote 5): "frequent items can be computed from quantiles."
+/// The quantiles-derived report (GK rank differences) and td-frequent's
+/// direct ε-deficient report must AGREE within their combined error
+/// bounds on the same tree and item streams: every comfortably-frequent
+/// item is in both reports, every comfortably-infrequent item is in
+/// neither, and any item the two routes dispute has a true count inside
+/// the (s ± ε_combined)·N band.
+#[test]
+fn quantile_derived_frequent_items_agree_with_direct_route() {
+    use rand::Rng;
+    use td_suite::frequent::items::count_items;
+    use td_suite::frequent::quantile_based::{run_tree_gk, QuantileBasedConfig};
+
+    let mut rng = rng_from_seed(742);
+    let net = Network::random_connected(60, 18.0, 18.0, Position::new(9.0, 9.0), 4.5, &mut rng);
+    let rings = Rings::build(&net);
+    let tree = build_bushy_tree(&net, &rings, BushyOptions::default(), &mut rng);
+    // A few genuinely heavy items over a long uniform tail.
+    let mut bags = vec![ItemBag::new(); net.len()];
+    for u in net.sensor_ids() {
+        for _ in 0..200 {
+            let roll = rng.gen_range(0u32..100);
+            if roll < 12 {
+                bags[u.index()].add(3, 1);
+            } else if roll < 20 {
+                bags[u.index()].add(7, 1);
+            } else if roll < 24 {
+                bags[u.index()].add(11, 1); // borderline at s = 0.05
+            } else {
+                bags[u.index()].add(rng.gen_range(100u64..5000), 1);
+            }
+        }
+    }
+    let (s, eps) = (0.05, 0.01);
+
+    let mut rng = rng_from_seed(743);
+    let quant = run_tree_gk(
+        &net,
+        &tree,
+        &QuantileBasedConfig::new(eps),
+        &bags,
+        &NoLoss,
+        0,
+        &mut rng,
+    );
+    let mut rng = rng_from_seed(743);
+    let direct = run_tree(
+        &net,
+        &tree,
+        &TreeFrequentConfig::new(eps),
+        &bags,
+        &NoLoss,
+        0,
+        &mut rng,
+    );
+
+    let truth = count_items(&bags);
+    let n = truth.total() as f64;
+    assert_eq!(quant.summary.population(), truth.total());
+    let from_quantiles = quant.report_frequent(s, eps);
+    let from_direct = direct.summary.report_frequent(s);
+
+    // Each route over-reports by at most its own ε below s·N, so the
+    // two reports can only disagree inside the combined band.
+    let band = 2.0 * eps * n;
+    let mut comfortably_frequent = 0;
+    for (item, count) in truth.iter() {
+        let c = count as f64;
+        if c > s * n + band {
+            assert!(
+                from_quantiles.contains(&item) && from_direct.contains(&item),
+                "item {item} (count {count}) missed by a route"
+            );
+            comfortably_frequent += 1;
+        } else if c < s * n - band {
+            assert!(
+                !from_quantiles.contains(&item) && !from_direct.contains(&item),
+                "item {item} (count {count}) over-reported by a route"
+            );
+        }
+    }
+    assert!(comfortably_frequent >= 2, "stress lost its heavy items");
+    for item in from_quantiles
+        .iter()
+        .filter(|u| !from_direct.contains(u))
+        .chain(from_direct.iter().filter(|u| !from_quantiles.contains(u)))
+    {
+        let c = truth.count(*item) as f64;
+        assert!(
+            (c - s * n).abs() <= band,
+            "disputed item {item} (count {c}) outside the combined error band"
+        );
+    }
+}
